@@ -1,0 +1,212 @@
+//! Analytical performance models from Section IV-A of the paper.
+//!
+//! SpMM is a low-arithmetic-intensity kernel, so the paper models it as
+//! purely bandwidth-bound (Equations 1–5):
+//!
+//! ```text
+//! B_CSR     = (|V| + 1) * B_R + |E| * B_C + |E| * B_N        (1)
+//! B_Feature = K * |E| * B_F                                   (2)
+//! B_Write   = K * |V| * B_F                                   (3)
+//! FLOP      = 2 * |E| * K                                     (4)
+//! Time      = (B_CSR + B_Feature) / BW_read + B_Write / BW_write  (5)
+//! ```
+//!
+//! The model assumes **no reuse** of input feature vectors — fair on PIUMA,
+//! which has no L2/L3 cache — and one write per output row.
+//!
+//! [`SpmmTraffic`] implements those equations; [`ElementSizes`] captures the
+//! `B_X` byte-size parameters; [`workload`] adds the GCN-layer FLOP/traffic
+//! accounting shared by every platform model in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fusion;
+pub mod workload;
+
+use serde::{Deserialize, Serialize};
+
+/// Byte sizes of the CSR and feature elements (the `B_X` constants of
+/// Eq. 1–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementSizes {
+    /// Bytes per row-pointer entry (`B_R`).
+    pub row_ptr: usize,
+    /// Bytes per column index (`B_C`).
+    pub col_idx: usize,
+    /// Bytes per non-zero value (`B_N`).
+    pub value: usize,
+    /// Bytes per feature element (`B_F`).
+    pub feature: usize,
+}
+
+impl Default for ElementSizes {
+    /// 8-byte row pointers, 4-byte column indices, 4-byte values and
+    /// features — the layout used by the executable kernels in this
+    /// workspace.
+    fn default() -> Self {
+        ElementSizes {
+            row_ptr: 8,
+            col_idx: 4,
+            value: 4,
+            feature: 4,
+        }
+    }
+}
+
+/// Byte-traffic and FLOP accounting of one SpMM invocation
+/// (`H_out = A * H_in`, `A` is `|V| x |V|` with `|E|` non-zeros, `K` is the
+/// embedding dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmmTraffic {
+    /// Bytes read from the CSR arrays (Eq. 1).
+    pub csr_bytes: f64,
+    /// Bytes read from the dense feature matrix (Eq. 2).
+    pub feature_bytes: f64,
+    /// Bytes written to the output matrix (Eq. 3).
+    pub write_bytes: f64,
+    /// Floating-point operations (Eq. 4).
+    pub flops: f64,
+}
+
+impl SpmmTraffic {
+    /// Evaluates Equations 1–4 for a graph of `vertices` / `edges` and
+    /// embedding dimension `k`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use analytic::{ElementSizes, SpmmTraffic};
+    ///
+    /// let t = SpmmTraffic::compute(1000, 10_000, 256, ElementSizes::default());
+    /// assert_eq!(t.flops, 2.0 * 10_000.0 * 256.0);
+    /// ```
+    pub fn compute(vertices: usize, edges: usize, k: usize, sizes: ElementSizes) -> Self {
+        let v = vertices as f64;
+        let e = edges as f64;
+        let kf = k as f64;
+        SpmmTraffic {
+            csr_bytes: (v + 1.0) * sizes.row_ptr as f64
+                + e * sizes.col_idx as f64
+                + e * sizes.value as f64,
+            feature_bytes: kf * e * sizes.feature as f64,
+            write_bytes: kf * v * sizes.feature as f64,
+            flops: 2.0 * e * kf,
+        }
+    }
+
+    /// Total bytes read (`B_CSR + B_Feature`).
+    pub fn read_bytes(&self) -> f64 {
+        self.csr_bytes + self.feature_bytes
+    }
+
+    /// Total bytes moved (reads + writes).
+    pub fn total_bytes(&self) -> f64 {
+        self.read_bytes() + self.write_bytes
+    }
+
+    /// Execution time in seconds per Eq. 5, for read/write bandwidths in
+    /// bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bandwidth is non-positive.
+    pub fn time_seconds(&self, bw_read: f64, bw_write: f64) -> f64 {
+        assert!(bw_read > 0.0 && bw_write > 0.0, "bandwidth must be positive");
+        self.read_bytes() / bw_read + self.write_bytes / bw_write
+    }
+
+    /// Expected throughput in FLOP/s at the given bandwidths (Eq. 4 / Eq. 5).
+    pub fn flops_per_second(&self, bw_read: f64, bw_write: f64) -> f64 {
+        let t = self.time_seconds(bw_read, bw_write);
+        if t == 0.0 {
+            0.0
+        } else {
+            self.flops / t
+        }
+    }
+
+    /// Arithmetic intensity in FLOP per byte moved. For SpMM this sits well
+    /// below 1 — the signature of a memory-bound kernel.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.total_bytes();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.flops / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SZ: ElementSizes = ElementSizes {
+        row_ptr: 8,
+        col_idx: 4,
+        value: 4,
+        feature: 4,
+    };
+
+    #[test]
+    fn equations_match_hand_computation() {
+        // |V| = 10, |E| = 40, K = 16.
+        let t = SpmmTraffic::compute(10, 40, 16, SZ);
+        assert_eq!(t.csr_bytes, 11.0 * 8.0 + 40.0 * 4.0 + 40.0 * 4.0);
+        assert_eq!(t.feature_bytes, 16.0 * 40.0 * 4.0);
+        assert_eq!(t.write_bytes, 16.0 * 10.0 * 4.0);
+        assert_eq!(t.flops, 2.0 * 40.0 * 16.0);
+    }
+
+    #[test]
+    fn time_splits_reads_and_writes() {
+        let t = SpmmTraffic::compute(10, 40, 16, SZ);
+        // With 1 GB/s read and write, time = total bytes / 1e9.
+        let time = t.time_seconds(1e9, 1e9);
+        assert!((time - t.total_bytes() / 1e9).abs() < 1e-18);
+        // Doubling read bandwidth only shrinks the read term.
+        let faster = t.time_seconds(2e9, 1e9);
+        let expected = t.read_bytes() / 2e9 + t.write_bytes / 1e9;
+        assert!((faster - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn throughput_is_linear_in_bandwidth() {
+        // The paper's Figure 6 (top): GFLOPS scales linearly with DRAM
+        // bandwidth. In the pure model this is exact.
+        let t = SpmmTraffic::compute(1 << 16, 1 << 20, 64, SZ);
+        let f1 = t.flops_per_second(100e9, 100e9);
+        let f2 = t.flops_per_second(200e9, 200e9);
+        assert!((f2 / f1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_below_one_for_spmm() {
+        for k in [8usize, 64, 256] {
+            let t = SpmmTraffic::compute(1 << 20, 16 << 20, k, SZ);
+            assert!(
+                t.arithmetic_intensity() < 1.0,
+                "K={k} intensity {}",
+                t.arithmetic_intensity()
+            );
+        }
+    }
+
+    #[test]
+    fn intensity_grows_with_k_but_saturates() {
+        // Feature traffic and FLOPs both scale with K, so intensity
+        // approaches 2*|E| / (4*|E| + 4*|V|) elements-wise; it must increase
+        // in K and stay bounded by 0.5.
+        let small = SpmmTraffic::compute(1000, 10_000, 8, SZ).arithmetic_intensity();
+        let large = SpmmTraffic::compute(1000, 10_000, 256, SZ).arithmetic_intensity();
+        assert!(large > small);
+        assert!(large < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        SpmmTraffic::compute(10, 10, 8, SZ).time_seconds(0.0, 1.0);
+    }
+}

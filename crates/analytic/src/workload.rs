@@ -1,0 +1,224 @@
+//! GCN-layer and GCN-model workload accounting.
+//!
+//! Every platform model (Xeon, A100, PIUMA) prices the same three phases the
+//! paper's breakdown figures use — SpMM, Dense MM, and Glue Code — so the
+//! *what must be computed* accounting lives here, once, and only the
+//! *how fast* rates differ per platform.
+
+use crate::{ElementSizes, SpmmTraffic};
+use serde::{Deserialize, Serialize};
+
+/// Workload of a single GCN layer on a given graph.
+///
+/// A layer computes `H' = sigma(A_hat * H * W + b)` with `W` of shape
+/// `(k_in, k_out)`. Like the executable fused kernel (and PyTorch-
+/// Geometric), the cheaper association order is assumed: aggregation runs at
+/// `min(k_in, k_out)` width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerWorkload {
+    /// Vertices of the graph (`|V|`).
+    pub vertices: usize,
+    /// Stored edges / adjacency non-zeros (`|E|`, including self loops if
+    /// the caller counts them).
+    pub edges: usize,
+    /// Input feature width of the layer.
+    pub k_in: usize,
+    /// Output feature width of the layer.
+    pub k_out: usize,
+}
+
+impl LayerWorkload {
+    /// Embedding width at which the aggregation (SpMM) runs.
+    pub fn k_agg(&self) -> usize {
+        self.k_in.min(self.k_out)
+    }
+
+    /// SpMM byte traffic and FLOPs for this layer (Eq. 1–4 at `k_agg`).
+    pub fn spmm(&self, sizes: ElementSizes) -> SpmmTraffic {
+        SpmmTraffic::compute(self.vertices, self.edges, self.k_agg(), sizes)
+    }
+
+    /// Dense-update FLOPs: `2 * |V| * k_in * k_out`.
+    pub fn dense_flops(&self) -> f64 {
+        2.0 * self.vertices as f64 * self.k_in as f64 * self.k_out as f64
+    }
+
+    /// Dense-update minimum byte traffic (read `H`, read `W`, write `H'`),
+    /// used for roofline-style bounds on cache-less machines.
+    pub fn dense_bytes(&self, feature_bytes: usize) -> f64 {
+        let f = feature_bytes as f64;
+        let v = self.vertices as f64;
+        v * self.k_in as f64 * f + (self.k_in * self.k_out) as f64 * f + v * self.k_out as f64 * f
+    }
+
+    /// Glue-code byte traffic: one read + one write of the activation over
+    /// the layer output (bias add and ReLU fused into a single pass).
+    pub fn glue_bytes(&self, feature_bytes: usize) -> f64 {
+        2.0 * self.vertices as f64 * self.k_out as f64 * feature_bytes as f64
+    }
+}
+
+/// Workload of a full GCN model on one graph: one [`LayerWorkload`] per
+/// layer.
+///
+/// # Examples
+///
+/// ```
+/// use analytic::workload::GcnWorkload;
+///
+/// // 3-layer paper model on a graph with 1e5 vertices / 4e6 edges,
+/// // input 128, hidden 64, output 40.
+/// let w = GcnWorkload::new(100_000, 4_000_000, &[128, 64, 64, 40]);
+/// assert_eq!(w.layers().len(), 3);
+/// assert_eq!(w.layers()[1].k_agg(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnWorkload {
+    layers: Vec<LayerWorkload>,
+}
+
+impl GcnWorkload {
+    /// Builds the per-layer workload list from the model's dimension chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dimensions are supplied.
+    pub fn new(vertices: usize, edges: usize, dims: &[usize]) -> Self {
+        assert!(dims.len() >= 2, "a GCN needs at least one layer");
+        let layers = dims
+            .windows(2)
+            .map(|w| LayerWorkload {
+                vertices,
+                edges,
+                k_in: w[0],
+                k_out: w[1],
+            })
+            .collect();
+        GcnWorkload { layers }
+    }
+
+    /// Builds the paper's 3-layer model workload
+    /// (`input -> hidden -> hidden -> output`).
+    pub fn paper_model(
+        vertices: usize,
+        edges: usize,
+        input: usize,
+        hidden: usize,
+        output: usize,
+    ) -> Self {
+        GcnWorkload::new(vertices, edges, &[input, hidden, hidden, output])
+    }
+
+    /// The per-layer workloads in execution order.
+    pub fn layers(&self) -> &[LayerWorkload] {
+        &self.layers
+    }
+
+    /// Total SpMM FLOPs across layers.
+    pub fn total_spmm_flops(&self, sizes: ElementSizes) -> f64 {
+        self.layers.iter().map(|l| l.spmm(sizes).flops).sum()
+    }
+
+    /// Total dense-update FLOPs across layers.
+    pub fn total_dense_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.dense_flops()).sum()
+    }
+
+    /// Memory footprint in bytes of running inference: adjacency CSR plus
+    /// the widest pair of activation matrices plus all weights. This is the
+    /// quantity the GPU model compares against device memory to decide
+    /// whether sampling is required.
+    pub fn inference_footprint_bytes(&self, sizes: ElementSizes) -> f64 {
+        let v = self.layers[0].vertices as f64;
+        let e = self.layers[0].edges as f64;
+        let csr = (v + 1.0) * sizes.row_ptr as f64 + e * (sizes.col_idx + sizes.value) as f64;
+        let widest_pair = self
+            .layers
+            .iter()
+            .map(|l| (l.k_in + l.k_out) as f64)
+            .fold(0.0, f64::max);
+        let activations = v * widest_pair * sizes.feature as f64;
+        let weights: f64 = self
+            .layers
+            .iter()
+            .map(|l| (l.k_in * l.k_out) as f64 * sizes.feature as f64)
+            .sum();
+        csr + activations + weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_chain_follows_dims() {
+        let w = GcnWorkload::new(10, 20, &[4, 8, 2]);
+        assert_eq!(w.layers().len(), 2);
+        assert_eq!(w.layers()[0].k_in, 4);
+        assert_eq!(w.layers()[0].k_out, 8);
+        assert_eq!(w.layers()[1].k_in, 8);
+        assert_eq!(w.layers()[1].k_out, 2);
+    }
+
+    #[test]
+    fn aggregation_runs_at_narrow_width() {
+        let l = LayerWorkload {
+            vertices: 10,
+            edges: 20,
+            k_in: 128,
+            k_out: 8,
+        };
+        assert_eq!(l.k_agg(), 8);
+    }
+
+    #[test]
+    fn dense_flops_match_gemm_formula() {
+        let l = LayerWorkload {
+            vertices: 100,
+            edges: 0,
+            k_in: 16,
+            k_out: 32,
+        };
+        assert_eq!(l.dense_flops(), 2.0 * 100.0 * 16.0 * 32.0);
+    }
+
+    #[test]
+    fn paper_model_has_three_layers() {
+        let w = GcnWorkload::paper_model(1000, 5000, 128, 64, 40);
+        assert_eq!(w.layers().len(), 3);
+        assert_eq!(w.layers()[2].k_out, 40);
+    }
+
+    #[test]
+    fn spmm_flops_grow_with_hidden_dim() {
+        let small = GcnWorkload::paper_model(1000, 5000, 128, 8, 40)
+            .total_spmm_flops(ElementSizes::default());
+        let large = GcnWorkload::paper_model(1000, 5000, 128, 256, 40)
+            .total_spmm_flops(ElementSizes::default());
+        assert!(large > small * 4.0);
+    }
+
+    #[test]
+    fn footprint_scales_with_graph_and_width() {
+        let sizes = ElementSizes::default();
+        let small = GcnWorkload::paper_model(1000, 5000, 128, 8, 40).inference_footprint_bytes(sizes);
+        let large =
+            GcnWorkload::paper_model(1000, 5000, 128, 256, 40).inference_footprint_bytes(sizes);
+        assert!(large > small);
+        let bigger_graph =
+            GcnWorkload::paper_model(10_000, 50_000, 128, 8, 40).inference_footprint_bytes(sizes);
+        assert!(bigger_graph > small);
+    }
+
+    #[test]
+    fn glue_bytes_cover_read_and_write() {
+        let l = LayerWorkload {
+            vertices: 50,
+            edges: 0,
+            k_in: 4,
+            k_out: 8,
+        };
+        assert_eq!(l.glue_bytes(4), 2.0 * 50.0 * 8.0 * 4.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Benchmark target regenerating the ExtMultinode extension experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::{Experiment, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_multinode");
+    group.sample_size(10);
+    group.bench_function("ext_multinode", |b| {
+        b.iter(|| Experiment::ExtMultinode.run(Fidelity::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

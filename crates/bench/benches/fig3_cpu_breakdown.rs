@@ -1,0 +1,16 @@
+//! Benchmark target regenerating the paper's Fig3 experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::{Experiment, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_cpu_breakdown");
+    group.sample_size(10);
+    group.bench_function("fig3", |b| {
+        b.iter(|| Experiment::Fig3.run(Fidelity::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmark target regenerating the paper's Fig6 experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::{Experiment, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_bw_latency");
+    group.sample_size(10);
+    group.bench_function("fig6", |b| {
+        b.iter(|| Experiment::Fig6.run(Fidelity::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

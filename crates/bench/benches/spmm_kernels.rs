@@ -1,0 +1,29 @@
+//! Micro-benchmarks of the executable SpMM kernels (Section II-C trade-offs
+//! on the host CPU: vertex-parallel vs edge-parallel vs sequential).
+
+use bench::{features, products_twin};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::spmm::{spmm_edge_parallel, spmm_sequential, spmm_vertex_parallel};
+
+fn bench_spmm(c: &mut Criterion) {
+    let a = products_twin();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("spmm_kernels");
+    group.sample_size(10);
+    for k in [8usize, 64] {
+        let h = features(&a, k);
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, _| {
+            b.iter(|| spmm_sequential(&a, &h).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("vertex_parallel", k), &k, |b, _| {
+            b.iter(|| spmm_vertex_parallel(&a, &h, threads).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("edge_parallel", k), &k, |b, _| {
+            b.iter(|| spmm_edge_parallel(&a, &h, threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmark target regenerating the paper's Table1 experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::experiments::{Experiment, Fidelity};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_catalog");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| Experiment::Table1.run(Fidelity::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Micro-benchmark: feature-tiled SpMM vs the row-parallel kernels — the
+//! cache-blocking optimization of Graphite/GE-SpMM, with its K crossover.
+
+use bench::{features, products_twin};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kernels::spmm::spmm_vertex_parallel;
+use kernels::tiled::{spmm_feature_parallel, spmm_feature_tiled};
+
+fn bench_tiled(c: &mut Criterion) {
+    let a = products_twin();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("tiled_spmm");
+    group.sample_size(10);
+    for k in [32usize, 256] {
+        let h = features(&a, k);
+        group.bench_with_input(BenchmarkId::new("vertex_parallel", k), &k, |b, _| {
+            b.iter(|| spmm_vertex_parallel(&a, &h, threads).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("feature_tiled_seq", k), &k, |b, _| {
+            b.iter(|| spmm_feature_tiled(&a, &h, 64).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("feature_parallel", k), &k, |b, _| {
+            b.iter(|| spmm_feature_parallel(&a, &h, threads).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiled);
+criterion_main!(benches);

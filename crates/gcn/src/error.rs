@@ -1,0 +1,85 @@
+//! Error type for GCN inference.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by GCN model construction or inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GcnError {
+    /// The feature matrix's width does not match the model's input dim.
+    FeatureDimMismatch {
+        /// Model input dimension.
+        expected: usize,
+        /// Feature matrix width supplied.
+        actual: usize,
+    },
+    /// The feature matrix's height does not match the graph's vertex count.
+    VertexCountMismatch {
+        /// Graph vertex count.
+        graph: usize,
+        /// Feature matrix row count.
+        features: usize,
+    },
+    /// A kernel rejected its operands (wrapped lower-level error).
+    Kernel(matrix::MatrixError),
+    /// Adjacency normalization failed (wrapped lower-level error).
+    Normalize(sparse::SparseError),
+}
+
+impl fmt::Display for GcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcnError::FeatureDimMismatch { expected, actual } => write!(
+                f,
+                "feature dimension {actual} does not match model input dimension {expected}"
+            ),
+            GcnError::VertexCountMismatch { graph, features } => write!(
+                f,
+                "feature matrix has {features} rows but the graph has {graph} vertices"
+            ),
+            GcnError::Kernel(e) => write!(f, "kernel error: {e}"),
+            GcnError::Normalize(e) => write!(f, "normalization error: {e}"),
+        }
+    }
+}
+
+impl Error for GcnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GcnError::Kernel(e) => Some(e),
+            GcnError::Normalize(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<matrix::MatrixError> for GcnError {
+    fn from(e: matrix::MatrixError) -> Self {
+        GcnError::Kernel(e)
+    }
+}
+
+impl From<sparse::SparseError> for GcnError {
+    fn from(e: sparse::SparseError) -> Self {
+        GcnError::Normalize(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_kernel_errors_with_source() {
+        let inner = matrix::MatrixError::ZeroThreads;
+        let err = GcnError::from(inner.clone());
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("kernel error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GcnError>();
+    }
+}

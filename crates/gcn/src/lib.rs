@@ -1,0 +1,37 @@
+//! Graph Convolutional Networks (Kipf & Welling) over the workspace kernels.
+//!
+//! A GCN stacks layers of the form `H_{t+1} = sigma(A_hat * H_t * W_t)`.
+//! The paper characterizes a **three-layer** model whose hidden embedding
+//! dimension `K` is swept from 8 to 256; [`GcnConfig`] captures exactly
+//! those architecture knobs and [`GcnModel`] executes inference with any
+//! [`kernels::SpmmStrategy`].
+//!
+//! # Examples
+//!
+//! ```
+//! use gcn::{GcnConfig, GcnModel};
+//! use graph::Graph;
+//! use kernels::SpmmStrategy;
+//!
+//! let g = Graph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! let config = GcnConfig::paper_model(8, 16, 4);
+//! let model = GcnModel::new(&config, 42);
+//! let features = g.random_features(8, 7);
+//! let out = model.infer(&g, &features, SpmmStrategy::Sequential).unwrap();
+//! assert_eq!(out.shape(), (4, 4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod model;
+pub mod sampled;
+pub mod train;
+
+pub use config::GcnConfig;
+pub use error::GcnError;
+pub use model::{GcnLayer, GcnModel};
+pub use sampled::{SampledBatch, SamplingScheme};
+pub use train::{NodeClassification, OptimizerKind, StepStats, Trainer};

@@ -1,0 +1,275 @@
+//! The GCN model: layers, construction, and inference.
+
+use crate::config::GcnConfig;
+use crate::error::GcnError;
+use graph::Graph;
+use kernels::fused::gcn_layer_fused;
+use kernels::SpmmStrategy;
+use matrix::{Activation, DenseMatrix, WeightInit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::Csr;
+
+/// One GCN layer: a weight matrix, an optional bias, and an activation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayer {
+    /// Weight matrix `W_t` of shape `(in_dim, out_dim)`.
+    pub weight: DenseMatrix,
+    /// Optional bias of length `out_dim`.
+    pub bias: Option<Vec<f32>>,
+    /// Activation applied after the update.
+    pub activation: Activation,
+}
+
+impl GcnLayer {
+    /// Input feature dimension of this layer.
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature dimension of this layer.
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+}
+
+/// A multi-layer GCN model with learned (here: randomly initialized)
+/// weights, executing inference over any [`SpmmStrategy`].
+///
+/// # Examples
+///
+/// ```
+/// use gcn::{GcnConfig, GcnModel};
+///
+/// let model = GcnModel::new(&GcnConfig::paper_model(16, 32, 4), 0);
+/// assert_eq!(model.layers().len(), 3);
+/// assert_eq!(model.layers()[0].weight.shape(), (16, 32));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnModel {
+    layers: Vec<GcnLayer>,
+}
+
+impl GcnModel {
+    /// Builds a model with Glorot-initialized weights, seeded for
+    /// reproducibility.
+    pub fn new(config: &GcnConfig, seed: u64) -> Self {
+        Self::with_init(config, WeightInit::Glorot, seed)
+    }
+
+    /// Builds a model with an explicit weight-initialization scheme.
+    pub fn with_init(config: &GcnConfig, init: WeightInit, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = config.num_layers();
+        let layers = (0..n)
+            .map(|t| {
+                let (i, o) = config.layer_dims(t);
+                GcnLayer {
+                    weight: init.build(i, o, &mut rng),
+                    bias: config.bias.then(|| vec![0.0; o]),
+                    activation: if t + 1 == n {
+                        Activation::Identity
+                    } else {
+                        config.hidden_activation
+                    },
+                }
+            })
+            .collect();
+        GcnModel { layers }
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[GcnLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (for tests that pin weights).
+    pub fn layers_mut(&mut self) -> &mut [GcnLayer] {
+        &mut self.layers
+    }
+
+    /// Input feature dimension expected by the first layer.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, GcnLayer::in_dim)
+    }
+
+    /// Runs full-graph inference: normalizes the adjacency and applies every
+    /// layer with the given SpMM strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcnError::FeatureDimMismatch`] / [`GcnError::VertexCountMismatch`]
+    /// for malformed inputs, and propagates kernel errors.
+    pub fn infer(
+        &self,
+        graph: &Graph,
+        features: &DenseMatrix,
+        strategy: SpmmStrategy,
+    ) -> Result<DenseMatrix, GcnError> {
+        let a_hat = graph.normalized_adjacency()?;
+        self.infer_normalized(&a_hat, features, strategy)
+    }
+
+    /// Runs inference against a pre-normalized adjacency matrix. Use this
+    /// when amortizing normalization across many inference calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_normalized(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        strategy: SpmmStrategy,
+    ) -> Result<DenseMatrix, GcnError> {
+        if features.cols() != self.input_dim() {
+            return Err(GcnError::FeatureDimMismatch {
+                expected: self.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        if features.rows() != a_hat.nrows() {
+            return Err(GcnError::VertexCountMismatch {
+                graph: a_hat.nrows(),
+                features: features.rows(),
+            });
+        }
+        let mut h = features.clone();
+        for layer in &self.layers {
+            let (next, _) = gcn_layer_fused(
+                a_hat,
+                &h,
+                &layer.weight,
+                layer.bias.as_deref(),
+                layer.activation,
+                strategy,
+            )?;
+            h = next;
+        }
+        Ok(h)
+    }
+
+    /// Reference inference: unfused, sequential, aggregation always first.
+    /// Exists purely as an oracle for tests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_reference(
+        &self,
+        graph: &Graph,
+        features: &DenseMatrix,
+    ) -> Result<DenseMatrix, GcnError> {
+        let a_hat = graph.normalized_adjacency()?;
+        let mut h = features.clone();
+        for layer in &self.layers {
+            let agg = kernels::spmm::spmm_sequential(&a_hat, &h)?;
+            let mut upd = matrix::gemm::matmul_naive(&agg, &layer.weight)?;
+            if let Some(b) = &layer.bias {
+                upd.add_row_bias(b)?;
+            }
+            upd.apply_activation(layer.activation);
+            h = upd;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::rmat::RmatConfig;
+
+    fn small_graph() -> Graph {
+        Graph::rmat(&RmatConfig::power_law(6, 4), 11)
+    }
+
+    #[test]
+    fn inference_shapes_follow_config() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(12, 24, 5), 1);
+        let x = g.random_features(12, 2);
+        let out = model.infer(&g, &x, SpmmStrategy::Sequential).unwrap();
+        assert_eq!(out.shape(), (g.vertices(), 5));
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn fused_inference_matches_reference_for_all_strategies() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 16, 4), 3);
+        let x = g.random_features(8, 4);
+        let reference = model.infer_reference(&g, &x).unwrap();
+        for strategy in [
+            SpmmStrategy::Sequential,
+            SpmmStrategy::VertexParallel { threads: 4 },
+            SpmmStrategy::EdgeParallel { threads: 4 },
+        ] {
+            let got = model.infer(&g, &x, strategy).unwrap();
+            assert!(
+                reference.max_abs_diff(&got) < 1e-3,
+                "strategy {strategy} diverged by {}",
+                reference.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_feature_dim_is_rejected() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 16, 4), 3);
+        let x = g.random_features(9, 4);
+        assert!(matches!(
+            model.infer(&g, &x, SpmmStrategy::Sequential),
+            Err(GcnError::FeatureDimMismatch { expected: 8, actual: 9 })
+        ));
+    }
+
+    #[test]
+    fn wrong_vertex_count_is_rejected() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 16, 4), 3);
+        let x = DenseMatrix::zeros(g.vertices() + 1, 8);
+        assert!(matches!(
+            model.infer(&g, &x, SpmmStrategy::Sequential),
+            Err(GcnError::VertexCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_weights_propagate_neighbourhood_means() {
+        // With identity weights, no bias and identity activations, one layer
+        // computes exactly A_hat * X.
+        let g = Graph::from_undirected_edges(2, &[(0, 1)]);
+        let mut model = GcnModel::new(&GcnConfig::from_dims(vec![2, 2]), 0);
+        model.layers_mut()[0].weight = DenseMatrix::identity(2);
+        model.layers_mut()[0].bias = None;
+        model.layers_mut()[0].activation = Activation::Identity;
+        let x = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let out = model.infer(&g, &x, SpmmStrategy::Sequential).unwrap();
+        // A_hat for an edge graph with self loops: all entries 1/2.
+        for v in out.as_slice() {
+            assert!((v - 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalized_reuse_matches_fresh_normalization() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 8, 8), 5);
+        let x = g.random_features(8, 6);
+        let a_hat = g.normalized_adjacency().unwrap();
+        let a = model.infer(&g, &x, SpmmStrategy::Sequential).unwrap();
+        let b = model
+            .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_models_are_reproducible() {
+        let c = GcnConfig::paper_model(8, 8, 2);
+        assert_eq!(GcnModel::new(&c, 7), GcnModel::new(&c, 7));
+        assert_ne!(GcnModel::new(&c, 7), GcnModel::new(&c, 8));
+    }
+}

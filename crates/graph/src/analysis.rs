@@ -1,0 +1,168 @@
+//! Structural graph analysis: BFS, connected components, and degree
+//! histograms — the characterization utilities behind dataset profiling.
+
+use crate::graph_type::Graph;
+use std::collections::VecDeque;
+
+/// Breadth-first distances from `start` following out-edges; unreachable
+/// vertices get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn bfs_distances(graph: &Graph, start: usize) -> Vec<usize> {
+    assert!(start < graph.vertices(), "start vertex out of range");
+    let adj = graph.adjacency();
+    let mut dist = vec![usize::MAX; graph.vertices()];
+    let mut queue = VecDeque::new();
+    dist[start] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in adj.row_cols(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components (edges treated as undirected): returns a
+/// component id per vertex, ids dense from 0 in discovery order.
+pub fn connected_components(graph: &Graph) -> Vec<usize> {
+    let n = graph.vertices();
+    let adj = graph.adjacency();
+    let reverse = adj.transpose();
+    let mut component = vec![usize::MAX; n];
+    let mut next_id = 0usize;
+    let mut queue = VecDeque::new();
+    for root in 0..n {
+        if component[root] != usize::MAX {
+            continue;
+        }
+        component[root] = next_id;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &v in adj.row_cols(u).iter().chain(reverse.row_cols(u)) {
+                let v = v as usize;
+                if component[v] == usize::MAX {
+                    component[v] = next_id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    component
+}
+
+/// Number of weakly connected components.
+pub fn component_count(graph: &Graph) -> usize {
+    connected_components(graph)
+        .into_iter()
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+/// Out-degree histogram with power-of-two buckets:
+/// `histogram[i]` counts vertices with degree in `[2^i, 2^(i+1))`,
+/// except bucket 0 which counts degree 0 and 1.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let adj = graph.adjacency();
+    let mut histogram: Vec<usize> = Vec::new();
+    for u in 0..graph.vertices() {
+        let d = adj.row_nnz(u);
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
+        if histogram.len() <= bucket {
+            histogram.resize(bucket + 1, 0);
+        }
+        histogram[bucket] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::RmatConfig;
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = Graph::from_directed_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![usize::MAX, usize::MAX, 0, 1]);
+    }
+
+    #[test]
+    fn components_split_disconnected_pieces() {
+        let g = Graph::from_undirected_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let c = connected_components(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[4], c[5]);
+        assert_ne!(c[0], c[3]);
+        assert_ne!(c[0], c[4]);
+        assert_eq!(component_count(&g), 3);
+    }
+
+    #[test]
+    fn directed_edges_count_as_weak_links() {
+        let g = Graph::from_directed_edges(3, &[(0, 1), (2, 1)]);
+        assert_eq!(component_count(&g), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        // Degrees: 0, 1, 2, 3, 4, 8.
+        let mut edges = Vec::new();
+        for (u, d) in [(1usize, 1usize), (2, 2), (3, 3), (4, 4), (5, 8)] {
+            for i in 0..d {
+                edges.push((u, (u + i + 1) % 16));
+            }
+        }
+        let g = Graph::from_directed_edges(16, &edges);
+        let h = degree_histogram(&g);
+        // bucket 0: deg<=1 -> vertices 0 and 1 plus the 10 untouched = 12.
+        assert_eq!(h[0], 12);
+        assert_eq!(h[1], 2); // degrees 2 and 3
+        assert_eq!(h[2], 1); // degree 4
+        assert_eq!(h[3], 1); // degree 8
+        assert_eq!(h.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn power_law_graphs_have_long_histogram_tails() {
+        let skew = degree_histogram(&Graph::rmat(&RmatConfig::power_law(10, 8), 1));
+        let flat = degree_histogram(&Graph::rmat(&RmatConfig::uniform(10, 8), 1));
+        assert!(
+            skew.len() > flat.len(),
+            "power-law tail {} vs uniform {}",
+            skew.len(),
+            flat.len()
+        );
+    }
+
+    #[test]
+    fn rmat_twins_are_mostly_connected() {
+        let g = Graph::rmat(&RmatConfig::power_law(9, 8), 2);
+        let components = connected_components(&g);
+        let main_size = {
+            let mut counts = vec![0usize; component_count(&g)];
+            for &c in &components {
+                counts[c] += 1;
+            }
+            counts.into_iter().max().unwrap_or(0)
+        };
+        assert!(
+            main_size > g.vertices() / 2,
+            "giant component holds {main_size} of {}",
+            g.vertices()
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! The Open Graph Benchmark dataset catalog (Table I of the paper).
+//!
+//! The paper evaluates nine OGB graphs spanning four orders of magnitude in
+//! scale. We cannot redistribute the datasets, so this module provides:
+//!
+//! * the exact published `|V|` / `|E|` (plus standard feature/class
+//!   dimensions) for the **analytical** paths — every timing model needs
+//!   only these scalars, and
+//! * [`OgbDataset::materialize_scaled`] — a *scaled synthetic twin* for the
+//!   **functional** paths (host kernels, discrete-event simulation): an
+//!   R-MAT graph with the same average degree and a skew class matching the
+//!   dataset, capped at a vertex budget.
+//!
+//! The substitution is documented in `DESIGN.md`: timing models consume
+//! `(|V|, |E|, K)` exactly as the paper's Eq. 1–5 do, and functional runs
+//! only require a structurally similar graph.
+
+use crate::graph_type::Graph;
+use crate::rmat::RmatConfig;
+use serde::{Deserialize, Serialize};
+
+/// The nine OGB datasets of Table I plus the two synthetic RMAT graphs
+/// (`power-16`, `power-22`) added in Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OgbDataset {
+    /// ogbl-ddi — drug-drug interaction network (small, very dense).
+    Ddi,
+    /// ogbn-proteins — protein association network (dense).
+    Proteins,
+    /// ogbn-arxiv — citation network (sparse).
+    Arxiv,
+    /// ogbl-collab — author collaboration network (sparse).
+    Collab,
+    /// ogbl-ppa — protein association (large, dense).
+    Ppa,
+    /// ogbn-mag — heterogeneous academic graph (paper-cites subgraph).
+    Mag,
+    /// ogbn-products — Amazon co-purchase network (large, dense).
+    Products,
+    /// ogbl-citation2 — citation network (large).
+    Citation2,
+    /// ogbn-papers100M — 111M-vertex citation graph; exceeds GPU memory.
+    Papers,
+    /// Synthetic power-law RMAT, scale 16 (Figure 9's `power-16`).
+    Power16,
+    /// Synthetic power-law RMAT, scale 22 (Figure 9's `power-22`).
+    Power22,
+}
+
+/// Published statistics and model dimensions for a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Display name as used in the paper's figures.
+    pub name: &'static str,
+    /// Vertex count `|V|` (Table I).
+    pub vertices: usize,
+    /// Edge count `|E|` (Table I).
+    pub edges: usize,
+    /// Input feature dimension used by the GCN's first layer.
+    pub input_dim: usize,
+    /// Output dimension (classes for node tasks, embedding width for link
+    /// tasks).
+    pub output_dim: usize,
+    /// Whether the degree distribution is heavy-tailed (power-law-like).
+    pub power_law: bool,
+}
+
+impl DatasetStats {
+    /// Average degree `|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        self.edges as f64 / self.vertices as f64
+    }
+
+    /// Adjacency density `|E| / |V|^2` (the paper's `delta`).
+    pub fn density(&self) -> f64 {
+        self.edges as f64 / (self.vertices as f64 * self.vertices as f64)
+    }
+}
+
+impl OgbDataset {
+    /// All datasets in Table I order (smallest to largest |V|).
+    pub const TABLE1: [OgbDataset; 9] = [
+        OgbDataset::Ddi,
+        OgbDataset::Proteins,
+        OgbDataset::Arxiv,
+        OgbDataset::Collab,
+        OgbDataset::Ppa,
+        OgbDataset::Mag,
+        OgbDataset::Products,
+        OgbDataset::Citation2,
+        OgbDataset::Papers,
+    ];
+
+    /// The Figure 9 comparison set: Table I plus the two synthetic graphs.
+    pub const FIGURE9: [OgbDataset; 11] = [
+        OgbDataset::Ddi,
+        OgbDataset::Proteins,
+        OgbDataset::Arxiv,
+        OgbDataset::Collab,
+        OgbDataset::Ppa,
+        OgbDataset::Mag,
+        OgbDataset::Products,
+        OgbDataset::Citation2,
+        OgbDataset::Papers,
+        OgbDataset::Power16,
+        OgbDataset::Power22,
+    ];
+
+    /// Published statistics (Table I; feature/class dims from the OGB
+    /// reference implementations — link datasets without node features use
+    /// the customary 128-wide learned embedding as input).
+    pub fn stats(self) -> DatasetStats {
+        match self {
+            OgbDataset::Ddi => DatasetStats {
+                name: "ddi",
+                vertices: 4_267,
+                edges: 1_334_889,
+                input_dim: 128,
+                output_dim: 128,
+                power_law: false,
+            },
+            OgbDataset::Proteins => DatasetStats {
+                name: "proteins",
+                vertices: 132_534,
+                edges: 39_561_252,
+                input_dim: 8,
+                output_dim: 112,
+                power_law: false,
+            },
+            OgbDataset::Arxiv => DatasetStats {
+                name: "arxiv",
+                vertices: 169_343,
+                edges: 1_166_243,
+                input_dim: 128,
+                output_dim: 40,
+                power_law: true,
+            },
+            OgbDataset::Collab => DatasetStats {
+                name: "collab",
+                vertices: 235_868,
+                edges: 1_285_465,
+                input_dim: 128,
+                output_dim: 128,
+                power_law: true,
+            },
+            OgbDataset::Ppa => DatasetStats {
+                name: "ppa",
+                vertices: 576_289,
+                edges: 30_326_273,
+                input_dim: 58,
+                output_dim: 128,
+                power_law: false,
+            },
+            OgbDataset::Mag => DatasetStats {
+                name: "mag",
+                vertices: 1_939_743,
+                edges: 21_111_007,
+                input_dim: 128,
+                output_dim: 349,
+                power_law: true,
+            },
+            OgbDataset::Products => DatasetStats {
+                name: "products",
+                vertices: 2_449_029,
+                edges: 61_859_140,
+                input_dim: 100,
+                output_dim: 47,
+                power_law: true,
+            },
+            OgbDataset::Citation2 => DatasetStats {
+                name: "citation2",
+                vertices: 2_927_963,
+                edges: 30_561_187,
+                input_dim: 128,
+                output_dim: 128,
+                power_law: true,
+            },
+            OgbDataset::Papers => DatasetStats {
+                name: "papers",
+                vertices: 111_059_956,
+                edges: 1_615_685_872,
+                input_dim: 128,
+                output_dim: 172,
+                power_law: true,
+            },
+            OgbDataset::Power16 => DatasetStats {
+                name: "power-16",
+                vertices: 1 << 16,
+                edges: (1 << 16) * 16,
+                input_dim: 128,
+                output_dim: 128,
+                power_law: true,
+            },
+            OgbDataset::Power22 => DatasetStats {
+                name: "power-22",
+                vertices: 1 << 22,
+                edges: (1 << 22) * 16,
+                input_dim: 128,
+                output_dim: 128,
+                power_law: true,
+            },
+        }
+    }
+
+    /// Looks a dataset up by its figure-label name.
+    pub fn from_name(name: &str) -> Option<OgbDataset> {
+        OgbDataset::FIGURE9
+            .iter()
+            .copied()
+            .find(|d| d.stats().name == name)
+    }
+
+    /// Materializes a scaled synthetic twin of the dataset.
+    ///
+    /// The twin is an R-MAT graph with at most `max_vertices` vertices
+    /// (rounded down to a power of two), the dataset's average degree, and a
+    /// matching skew class (power-law vs uniform). Datasets that already fit
+    /// under the cap are generated at (power-of-two-rounded) full scale.
+    pub fn materialize_scaled(self, max_vertices: usize, seed: u64) -> Graph {
+        let stats = self.stats();
+        let cap = max_vertices.max(2);
+        let target_v = stats.vertices.min(cap);
+        let scale = (usize::BITS - 1 - target_v.leading_zeros()).max(1);
+        // RMAT mirrors every placed edge, so halve the requested factor to
+        // land near the dataset's stored-edge average degree.
+        let edge_factor = ((stats.avg_degree() / 2.0).round() as usize).max(1);
+        let config = if stats.power_law {
+            RmatConfig::power_law(scale, edge_factor)
+        } else {
+            RmatConfig::uniform(scale, edge_factor)
+        };
+        Graph::rmat(&config, seed)
+    }
+}
+
+impl std::fmt::Display for OgbDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.stats().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_published_counts() {
+        let p = OgbDataset::Papers.stats();
+        assert_eq!(p.vertices, 111_059_956);
+        assert_eq!(p.edges, 1_615_685_872);
+        let d = OgbDataset::Ddi.stats();
+        assert_eq!(d.vertices, 4_267);
+        assert_eq!(d.edges, 1_334_889);
+    }
+
+    #[test]
+    fn table1_is_sorted_by_vertices() {
+        let sizes: Vec<usize> = OgbDataset::TABLE1.iter().map(|d| d.stats().vertices).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn ddi_is_densest_table1_dataset() {
+        let ddi = OgbDataset::Ddi.stats().density();
+        for d in OgbDataset::TABLE1 {
+            assert!(d.stats().density() <= ddi, "{} denser than ddi", d);
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for d in OgbDataset::FIGURE9 {
+            assert_eq!(OgbDataset::from_name(d.stats().name), Some(d));
+        }
+        assert_eq!(OgbDataset::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scaled_twin_respects_cap_and_degree() {
+        let g = OgbDataset::Products.materialize_scaled(1 << 12, 1);
+        assert!(g.vertices() <= 1 << 12);
+        let want = OgbDataset::Products.stats().avg_degree();
+        let got = g.edges() as f64 / g.vertices() as f64;
+        assert!(
+            (got - want).abs() / want < 0.5,
+            "avg degree {got} too far from {want}"
+        );
+    }
+
+    #[test]
+    fn small_dataset_materializes_near_full_scale() {
+        let g = OgbDataset::Ddi.materialize_scaled(1 << 20, 2);
+        // ddi has 4267 vertices; power-of-two rounding gives 4096.
+        assert_eq!(g.vertices(), 4096);
+    }
+
+    #[test]
+    fn display_uses_figure_labels() {
+        assert_eq!(OgbDataset::Papers.to_string(), "papers");
+        assert_eq!(OgbDataset::Power16.to_string(), "power-16");
+    }
+
+    #[test]
+    fn power_law_flags_drive_generator_skew() {
+        let skewed = OgbDataset::Arxiv.materialize_scaled(1 << 10, 3).degree_stats();
+        let uniform = OgbDataset::Proteins.materialize_scaled(1 << 10, 3).degree_stats();
+        assert!(skewed.cv > uniform.cv);
+    }
+}

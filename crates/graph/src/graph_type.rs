@@ -1,0 +1,190 @@
+//! The [`Graph`] type: adjacency CSR plus GCN conveniences.
+
+use crate::rmat::RmatConfig;
+use matrix::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::norm::{normalize, NormKind};
+use sparse::{Coo, Csr, DegreeStats};
+
+/// A directed graph stored as an adjacency matrix in CSR form.
+///
+/// Row `u` of the adjacency holds the out-neighbours of vertex `u`. For the
+/// GCN aggregation `H_out[u] = sum_v A_hat[u,v] * H_in[v]`, the non-zeros of
+/// row `u` are the *in-edges* contributing to `u`; for graphs built through
+/// [`Graph::from_undirected_edges`] the distinction vanishes.
+///
+/// # Examples
+///
+/// ```
+/// use graph::Graph;
+///
+/// let g = Graph::from_undirected_edges(3, &[(0, 1), (1, 2)]);
+/// assert_eq!(g.vertices(), 3);
+/// assert_eq!(g.edges(), 4); // each undirected edge stored twice
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    adjacency: Csr,
+}
+
+impl Graph {
+    /// Wraps an existing square adjacency CSR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adjacency` is not square.
+    pub fn from_adjacency(adjacency: Csr) -> Self {
+        assert_eq!(
+            adjacency.nrows(),
+            adjacency.ncols(),
+            "adjacency matrix must be square"
+        );
+        Graph { adjacency }
+    }
+
+    /// Builds a graph from a directed edge list with unit weights.
+    /// Duplicate edges are merged (weights summed, then clamped to 1).
+    pub fn from_directed_edges(vertices: usize, edges: &[(usize, usize)]) -> Self {
+        let mut coo = Coo::with_capacity(vertices, vertices, edges.len());
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+        }
+        let mut csr = Csr::from_coo(&coo);
+        csr = clamp_weights(csr);
+        Graph { adjacency: csr }
+    }
+
+    /// Builds a graph from an undirected edge list: every `(u, v)` is stored
+    /// in both directions with unit weight.
+    pub fn from_undirected_edges(vertices: usize, edges: &[(usize, usize)]) -> Self {
+        let mut coo = Coo::with_capacity(vertices, vertices, edges.len() * 2);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0);
+            if u != v {
+                coo.push(v, u, 1.0);
+            }
+        }
+        let csr = clamp_weights(Csr::from_coo(&coo));
+        Graph { adjacency: csr }
+    }
+
+    /// Generates a graph with the R-MAT recursive generator.
+    /// See [`RmatConfig`] for the knobs; `seed` makes the run reproducible.
+    pub fn rmat(config: &RmatConfig, seed: u64) -> Self {
+        crate::rmat::generate(config, seed)
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.adjacency.nrows()
+    }
+
+    /// Number of stored directed edges (adjacency non-zeros).
+    pub fn edges(&self) -> usize {
+        self.adjacency.nnz()
+    }
+
+    /// Adjacency density `|E| / |V|^2`.
+    pub fn density(&self) -> f64 {
+        self.adjacency.density()
+    }
+
+    /// Borrows the adjacency CSR.
+    pub fn adjacency(&self) -> &Csr {
+        &self.adjacency
+    }
+
+    /// Consumes the graph and returns the adjacency CSR.
+    pub fn into_adjacency(self) -> Csr {
+        self.adjacency
+    }
+
+    /// Out-degree statistics.
+    pub fn degree_stats(&self) -> DegreeStats {
+        DegreeStats::of(&self.adjacency)
+    }
+
+    /// The GCN-normalized adjacency `A_hat = D^-1/2 (A + I) D^-1/2`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sparse::SparseError`] (cannot occur for a `Graph`, whose
+    /// adjacency is square by construction, but the signature mirrors
+    /// [`sparse::norm::normalize`]).
+    pub fn normalized_adjacency(&self) -> sparse::Result<Csr> {
+        normalize(&self.adjacency, NormKind::Symmetric)
+    }
+
+    /// Generates a random `|V| x dim` feature matrix with entries in
+    /// `[-1, 1)`, seeded for reproducibility.
+    pub fn random_features(&self, dim: usize, seed: u64) -> DenseMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.vertices();
+        let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(n, dim, data).expect("shape matches by construction")
+    }
+}
+
+/// Clamps all edge weights to 1.0 (merged duplicates become simple edges).
+fn clamp_weights(csr: Csr) -> Csr {
+    let (nrows, ncols) = csr.shape();
+    let row_ptr = csr.row_ptr().to_vec();
+    let col_idx = csr.col_idx().to_vec();
+    let values = vec![1.0f32; csr.nnz()];
+    Csr::from_raw(nrows, ncols, row_ptr, col_idx, values)
+        .expect("rebuilding validated CSR with same structure")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_edges_appear_both_ways() {
+        let g = Graph::from_undirected_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(g.adjacency().get(0, 1), Some(1.0));
+        assert_eq!(g.adjacency().get(1, 0), Some(1.0));
+        assert_eq!(g.adjacency().get(3, 2), Some(1.0));
+        assert_eq!(g.edges(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged_with_unit_weight() {
+        let g = Graph::from_directed_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.edges(), 1);
+        assert_eq!(g.adjacency().get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn self_loop_in_undirected_list_stored_once() {
+        let g = Graph::from_undirected_edges(2, &[(1, 1)]);
+        assert_eq!(g.edges(), 1);
+        assert_eq!(g.adjacency().get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn normalized_adjacency_has_self_loops() {
+        let g = Graph::from_undirected_edges(3, &[(0, 1)]);
+        let a_hat = g.normalized_adjacency().unwrap();
+        for i in 0..3 {
+            assert!(a_hat.get(i, i).is_some(), "missing self loop at {i}");
+        }
+    }
+
+    #[test]
+    fn random_features_are_reproducible_and_in_range() {
+        let g = Graph::from_undirected_edges(5, &[(0, 1)]);
+        let f1 = g.random_features(8, 99);
+        let f2 = g.random_features(8, 99);
+        assert_eq!(f1, f2);
+        assert_eq!(f1.shape(), (5, 8));
+        assert!(f1.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_adjacency_panics() {
+        Graph::from_adjacency(Csr::empty(2, 3));
+    }
+}

@@ -1,0 +1,319 @@
+//! Graph serialization: whitespace edge lists and Matrix Market files.
+//!
+//! OGB distributes graphs as edge lists and the sparse-matrix community
+//! uses Matrix Market; supporting both lets users feed *real* datasets to
+//! the kernels and the simulator instead of the synthetic twins.
+
+use crate::graph_type::Graph;
+use sparse::{Coo, Csr};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced by the graph readers.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The Matrix Market header was missing or unsupported.
+    BadHeader {
+        /// The offending header line.
+        header: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            ReadError::BadHeader { header } => {
+                write!(f, "unsupported matrix market header: {header}")
+            }
+        }
+    }
+}
+
+impl Error for ReadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list (`u v` per line, `#` comments).
+/// Vertex count is `max id + 1` unless `vertices` pins it.
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on malformed lines or underlying I/O failures.
+pub fn read_edge_list<R: BufRead>(reader: R, vertices: Option<usize>) -> Result<Graph, ReadError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_id = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<usize, ReadError> {
+            tok.ok_or_else(|| ReadError::Parse {
+                line: idx + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse()
+            .map_err(|e| ReadError::Parse {
+                line: idx + 1,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        let u = parse(it.next(), "source vertex")?;
+        let v = parse(it.next(), "target vertex")?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
+        return Err(ReadError::Parse {
+            line: 0,
+            message: format!("edge ({u},{v}) exceeds declared vertex count {n}"),
+        });
+    }
+    Ok(Graph::from_directed_edges(n, &edges))
+}
+
+/// Writes the graph as a whitespace edge list with a size comment.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# vertices={} edges={}",
+        graph.vertices(),
+        graph.edges()
+    )?;
+    for (u, v, _) in graph.adjacency().iter() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a Matrix Market `coordinate` file into a CSR matrix. Supports the
+/// `general` and `symmetric` qualifiers with `real`, `integer` or `pattern`
+/// values (pattern entries get weight 1).
+///
+/// # Errors
+///
+/// Returns [`ReadError`] on malformed headers/lines or I/O failures.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, ReadError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (_, header) = lines.next().ok_or_else(|| ReadError::BadHeader {
+        header: "<empty file>".to_string(),
+    })?;
+    let header = header?;
+    let lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    if tokens.len() < 5
+        || tokens[0] != "%%matrixmarket"
+        || tokens[1] != "matrix"
+        || tokens[2] != "coordinate"
+    {
+        return Err(ReadError::BadHeader { header });
+    }
+    let pattern = tokens[3] == "pattern";
+    let symmetric = tokens[4] == "symmetric";
+    if !matches!(tokens[3], "real" | "integer" | "pattern") || !matches!(tokens[4], "general" | "symmetric") {
+        return Err(ReadError::BadHeader { header });
+    }
+
+    // Size line (after comments), then entries.
+    let mut coo: Option<Coo> = None;
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        let parse_usize = |s: &str, what: &str| -> Result<usize, ReadError> {
+            s.parse().map_err(|e| ReadError::Parse {
+                line: idx + 1,
+                message: format!("bad {what}: {e}"),
+            })
+        };
+        match &mut coo {
+            None => {
+                if fields.len() != 3 {
+                    return Err(ReadError::Parse {
+                        line: idx + 1,
+                        message: "size line must have 3 fields".to_string(),
+                    });
+                }
+                let rows = parse_usize(fields[0], "row count")?;
+                let cols = parse_usize(fields[1], "column count")?;
+                let nnz = parse_usize(fields[2], "nnz count")?;
+                coo = Some(Coo::with_capacity(rows, cols, nnz));
+            }
+            Some(coo) => {
+                let expected = if pattern { 2 } else { 3 };
+                if fields.len() < expected {
+                    return Err(ReadError::Parse {
+                        line: idx + 1,
+                        message: format!("entry needs {expected} fields"),
+                    });
+                }
+                // Matrix Market is 1-indexed.
+                let r = parse_usize(fields[0], "row index")?;
+                let c = parse_usize(fields[1], "column index")?;
+                if r == 0 || c == 0 {
+                    return Err(ReadError::Parse {
+                        line: idx + 1,
+                        message: "indices are 1-based".to_string(),
+                    });
+                }
+                let value: f32 = if pattern {
+                    1.0
+                } else {
+                    fields[2].parse().map_err(|e| ReadError::Parse {
+                        line: idx + 1,
+                        message: format!("bad value: {e}"),
+                    })?
+                };
+                coo.try_push(r - 1, c - 1, value).map_err(|e| ReadError::Parse {
+                    line: idx + 1,
+                    message: e.to_string(),
+                })?;
+                if symmetric && r != c {
+                    coo.try_push(c - 1, r - 1, value).map_err(|e| ReadError::Parse {
+                        line: idx + 1,
+                        message: e.to_string(),
+                    })?;
+                }
+            }
+        }
+    }
+    let coo = coo.ok_or(ReadError::BadHeader {
+        header: "missing size line".to_string(),
+    })?;
+    Ok(Csr::from_coo(&coo))
+}
+
+/// Writes a CSR matrix as Matrix Market `coordinate real general`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_matrix_market<W: Write>(csr: &Csr, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "{} {} {}", csr.nrows(), csr.ncols(), csr.nnz())?;
+    for (r, c, v) in csr.iter() {
+        writeln!(writer, "{} {} {}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_round_trips() {
+        let g = Graph::from_directed_edges(4, &[(0, 1), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf), Some(4)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_infers_size() {
+        let text = "# a comment\n0 1\n\n5 2\n";
+        let g = read_edge_list(Cursor::new(text), None).unwrap();
+        assert_eq!(g.vertices(), 6);
+        assert_eq!(g.edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list(Cursor::new("0 x\n"), None).unwrap_err();
+        assert!(matches!(err, ReadError::Parse { line: 1, .. }));
+        let err = read_edge_list(Cursor::new("7\n"), None).unwrap_err();
+        assert!(matches!(err, ReadError::Parse { .. }));
+    }
+
+    #[test]
+    fn edge_list_rejects_edges_beyond_declared_size() {
+        let err = read_edge_list(Cursor::new("0 9\n"), Some(3)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn matrix_market_round_trips() {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 1, 1.5);
+        coo.push(2, 3, -2.0);
+        let csr = Csr::from_coo(&coo);
+        let mut buf = Vec::new();
+        write_matrix_market(&csr, &mut buf).unwrap();
+        let back = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors_entries() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 2\n\
+                    2 1 5.0\n\
+                    3 3 1.0\n";
+        let csr = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(csr.get(1, 0), Some(5.0));
+        assert_eq!(csr.get(0, 1), Some(5.0));
+        assert_eq!(csr.get(2, 2), Some(1.0));
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn matrix_market_pattern_defaults_to_one() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let csr = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(csr.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_header() {
+        let err = read_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n"))
+            .unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader { .. }));
+        let err = read_matrix_market(Cursor::new("hello\n")).unwrap_err();
+        assert!(matches!(err, ReadError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("1-based"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Graphs, synthetic generators, and the OGB dataset catalog.
+//!
+//! This crate supplies every input graph the reproduction needs:
+//!
+//! * [`Graph`] — an adjacency-CSR wrapper with GCN-normalization helpers,
+//! * [`rmat`] — the R-MAT recursive generator (the paper uses SNAP's RMAT for
+//!   its Figure 2 scale/density sweeps and the `power-16`/`power-22` graphs
+//!   of Figure 9),
+//! * [`generators`] — Erdős–Rényi and regular-degree generators,
+//! * [`datasets`] — the Open Graph Benchmark catalog of Table I, with exact
+//!   published `|V|`/`|E|` for the analytical models and *scaled* synthetic
+//!   materialization for functional/simulated runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use graph::{Graph, rmat::RmatConfig};
+//!
+//! let g = Graph::rmat(&RmatConfig::power_law(10, 8), 42);
+//! assert_eq!(g.vertices(), 1024);
+//! assert!(g.edges() > 0);
+//! let a_hat = g.normalized_adjacency().unwrap();
+//! assert_eq!(a_hat.nrows(), 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod datasets;
+pub mod generators;
+pub mod graph_type;
+pub mod io;
+pub mod rmat;
+pub mod sampling;
+
+pub use datasets::{DatasetStats, OgbDataset};
+pub use graph_type::Graph;
+pub use rmat::RmatConfig;
+pub use sampling::Subgraph;

@@ -1,0 +1,117 @@
+//! Strategy selection for SpMM execution.
+
+use matrix::{DenseMatrix, MatrixError};
+use sparse::Csr;
+
+/// Which SpMM algorithm to run, and with how many threads.
+///
+/// # Examples
+///
+/// ```
+/// use kernels::SpmmStrategy;
+/// use sparse::{Coo, Csr};
+/// use matrix::DenseMatrix;
+///
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 1, 1.0);
+/// let a = Csr::from_coo(&coo);
+/// let h = DenseMatrix::identity(2);
+/// let out = SpmmStrategy::Sequential.run(&a, &h).unwrap();
+/// assert_eq!(out.row(0), &[0.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpmmStrategy {
+    /// Single-threaded reference (Algorithm 1).
+    Sequential,
+    /// Vertex-parallel with dynamic load balancing across `threads` workers.
+    VertexParallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+    /// Edge-parallel (Algorithm 2) across `threads` workers.
+    EdgeParallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+impl SpmmStrategy {
+    /// Runs the selected algorithm: `out = a * h`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying kernel's shape/thread-count errors.
+    pub fn run(self, a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+        match self {
+            SpmmStrategy::Sequential => crate::spmm::spmm_sequential(a, h),
+            SpmmStrategy::VertexParallel { threads } => {
+                crate::spmm::spmm_vertex_parallel(a, h, threads)
+            }
+            SpmmStrategy::EdgeParallel { threads } => {
+                crate::spmm::spmm_edge_parallel(a, h, threads)
+            }
+        }
+    }
+
+    /// Thread count this strategy will use.
+    pub fn threads(self) -> usize {
+        match self {
+            SpmmStrategy::Sequential => 1,
+            SpmmStrategy::VertexParallel { threads } | SpmmStrategy::EdgeParallel { threads } => {
+                threads
+            }
+        }
+    }
+}
+
+impl Default for SpmmStrategy {
+    fn default() -> Self {
+        SpmmStrategy::VertexParallel {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+impl std::fmt::Display for SpmmStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmmStrategy::Sequential => write!(f, "sequential"),
+            SpmmStrategy::VertexParallel { threads } => write!(f, "vertex-parallel x{threads}"),
+            SpmmStrategy::EdgeParallel { threads } => write!(f, "edge-parallel x{threads}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::Coo;
+
+    #[test]
+    fn all_strategies_agree() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        let a = Csr::from_coo(&coo);
+        let h = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let expected = SpmmStrategy::Sequential.run(&a, &h).unwrap();
+        for strategy in [
+            SpmmStrategy::VertexParallel { threads: 3 },
+            SpmmStrategy::EdgeParallel { threads: 3 },
+        ] {
+            assert_eq!(strategy.run(&a, &h).unwrap(), expected, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn default_uses_available_parallelism() {
+        assert!(SpmmStrategy::default().threads() >= 1);
+    }
+
+    #[test]
+    fn display_includes_thread_count() {
+        let s = SpmmStrategy::EdgeParallel { threads: 8 };
+        assert_eq!(s.to_string(), "edge-parallel x8");
+    }
+}

@@ -1,0 +1,43 @@
+//! Executable SpMM kernels and the fused GCN layer.
+//!
+//! Section II-C of the paper describes two parallelization strategies for
+//! SpMM — *vertex-parallel* (rows of the output distributed across threads)
+//! and *edge-parallel* (non-zeros distributed across threads, Algorithm 2) —
+//! and Section V-A notes that on CPUs the vertex-parallel variant with
+//! dynamic load balancing wins because atomics are expensive, while PIUMA's
+//! cheap remote atomics favour edge-parallel. This crate implements both so
+//! the trade-off can be measured on real hardware:
+//!
+//! * [`spmm::spmm_sequential`] — single-threaded reference,
+//! * [`spmm::spmm_vertex_parallel`] — work-stealing row chunks, no atomics,
+//! * [`spmm::spmm_edge_parallel`] — equal edge shares, binary search for the
+//!   starting row, atomic accumulation into shared output (Algorithm 2),
+//! * [`fused::gcn_layer_fused`] — aggregation + update + activation in one
+//!   call, the building block `gcn` uses.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparse::{Coo, Csr};
+//! use matrix::DenseMatrix;
+//! use kernels::spmm::{spmm_sequential, spmm_vertex_parallel};
+//!
+//! let mut coo = Coo::new(2, 2);
+//! coo.push(0, 1, 2.0);
+//! let a = Csr::from_coo(&coo);
+//! let h = DenseMatrix::from_rows(&[&[1.0, 1.0], &[3.0, 4.0]]).unwrap();
+//! let seq = spmm_sequential(&a, &h).unwrap();
+//! let par = spmm_vertex_parallel(&a, &h, 4).unwrap();
+//! assert_eq!(seq, par);
+//! assert_eq!(seq.row(0), &[6.0, 8.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod fused;
+pub mod spmm;
+pub mod tiled;
+
+pub use engine::SpmmStrategy;

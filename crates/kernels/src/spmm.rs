@@ -1,0 +1,394 @@
+//! SpMM kernel implementations (Algorithm 1 and Algorithm 2 of the paper).
+
+use matrix::{DenseMatrix, MatrixError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use sparse::Csr;
+
+/// Row-chunk size handed to a worker at a time by the vertex-parallel
+/// kernel's dynamic scheduler. Small enough to balance power-law rows,
+/// large enough to amortize the queue pop.
+const VERTEX_CHUNK: usize = 64;
+
+fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> {
+    if a.ncols() != h.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: h.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Sequential SpMM reference: `out = A * H` (Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.ncols() != h.rows()`.
+pub fn spmm_sequential(a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+    check("spmm_sequential", a, h)?;
+    let k = h.cols();
+    let mut out = DenseMatrix::zeros(a.nrows(), k);
+    for u in 0..a.nrows() {
+        let row_out = out.row_mut(u);
+        for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+            let feat = h.row(v as usize);
+            for j in 0..k {
+                row_out[j] += w * feat[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Vertex-parallel SpMM with dynamic load balancing.
+///
+/// Output rows are split into [`VERTEX_CHUNK`]-row chunks; workers pull
+/// chunks from a shared queue (the moral equivalent of OpenMP
+/// `schedule(dynamic)`, which Section V-A reports as the fastest CPU
+/// configuration). Each chunk is owned exclusively by one worker, so no
+/// atomics touch the output.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_vertex_parallel(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+) -> Result<DenseMatrix, MatrixError> {
+    check("spmm_vertex_parallel", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let n = a.nrows();
+    let k = h.cols();
+    let mut out = DenseMatrix::zeros(n, k);
+    if threads == 1 || n == 0 {
+        return spmm_sequential(a, h);
+    }
+
+    // Pre-split the output into chunk slices; workers pop (first_row, slice)
+    // pairs. Exclusive ownership of each slice makes this safe without
+    // atomics.
+    let mut work: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.div_ceil(VERTEX_CHUNK));
+    for (i, slice) in out.as_mut_slice().chunks_mut(VERTEX_CHUNK * k).enumerate() {
+        work.push((i * VERTEX_CHUNK, slice));
+    }
+    work.reverse(); // pop() hands chunks out in ascending row order
+    let queue = Mutex::new(work);
+
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((first_row, slice)) = item else {
+                    break;
+                };
+                let rows_here = slice.len() / k;
+                for r in 0..rows_here {
+                    let u = first_row + r;
+                    let row_out = &mut slice[r * k..(r + 1) * k];
+                    for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+                        let feat = h.row(v as usize);
+                        for j in 0..k {
+                            row_out[j] += w * feat[j];
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("spmm worker panicked");
+    Ok(out)
+}
+
+/// Edge-parallel SpMM (Algorithm 2 of the paper).
+///
+/// The `|E|` non-zeros are split into `threads` equal shares. Each worker
+/// binary-searches `row_ptr` for the row containing its first edge, then
+/// walks its share accumulating into a local `K`-wide buffer, flushing the
+/// buffer with atomic adds whenever it crosses a row boundary. Rows split
+/// across workers are updated correctly because *all* flushes are atomic.
+///
+/// This is the strategy PIUMA's cheap remote atomics make attractive; on
+/// CPUs the atomic traffic makes it slower than vertex-parallel, which is
+/// exactly the contrast the paper draws.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_edge_parallel(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+) -> Result<DenseMatrix, MatrixError> {
+    check("spmm_edge_parallel", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let n = a.nrows();
+    let k = h.cols();
+    let nnz = a.nnz();
+    if threads == 1 || nnz == 0 {
+        return spmm_sequential(a, h);
+    }
+
+    // Shared output as atomics (f32 bit-packed into AtomicU32).
+    let out_atomic: Vec<AtomicU32> = (0..n * k).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let threads = threads.min(nnz);
+
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let out_ref = &out_atomic;
+            s.spawn(move |_| {
+                let start = t * nnz / threads;
+                let end = (t + 1) * nnz / threads;
+                if start >= end {
+                    return;
+                }
+                // Binary search: first row u with row_ptr[u+1] > start.
+                let row_ptr = a.row_ptr();
+                let mut u = row_ptr.partition_point(|&p| p <= start);
+                u = u.saturating_sub(1);
+                while row_ptr[u + 1] <= start {
+                    u += 1;
+                }
+
+                let cols = a.col_idx();
+                let vals = a.values();
+                let mut acc = vec![0.0f32; k];
+                for e in start..end {
+                    while e >= row_ptr[u + 1] {
+                        flush_row(out_ref, u, k, &mut acc);
+                        u += 1;
+                    }
+                    let v = cols[e] as usize;
+                    let w = vals[e];
+                    let feat = h.row(v);
+                    for j in 0..k {
+                        acc[j] += w * feat[j];
+                    }
+                }
+                flush_row(out_ref, u, k, &mut acc);
+            });
+        }
+    })
+    .expect("spmm worker panicked");
+
+    let data: Vec<f32> = out_atomic
+        .into_iter()
+        .map(|x| f32::from_bits(x.into_inner()))
+        .collect();
+    Ok(DenseMatrix::from_vec(n, k, data).expect("shape matches by construction"))
+}
+
+/// Atomically adds the accumulation buffer into output row `u` and clears it.
+fn flush_row(out: &[AtomicU32], u: usize, k: usize, acc: &mut [f32]) {
+    let base = u * k;
+    for (j, a) in acc.iter_mut().enumerate() {
+        if *a != 0.0 {
+            atomic_add_f32(&out[base + j], *a);
+            *a = 0.0;
+        }
+    }
+}
+
+/// Lock-free `f32` add via compare-exchange on the bit pattern.
+fn atomic_add_f32(cell: &AtomicU32, add: f32) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f32::from_bits(cur) + add).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// A dynamic work counter that mirrors the paper's "dynamic load balancing
+/// using OpenMP": exposed for benchmarks that want to measure scheduler
+/// overhead separately.
+#[derive(Debug, Default)]
+pub struct DynamicCounter {
+    next: AtomicUsize,
+}
+
+impl DynamicCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims the next chunk of `chunk` items below `limit`, returning the
+    /// claimed half-open range, or `None` when the work is exhausted.
+    pub fn claim(&self, chunk: usize, limit: usize) -> Option<(usize, usize)> {
+        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= limit {
+            return None;
+        }
+        Some((start, (start + chunk).min(limit)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparse::Coo;
+
+    fn random_csr(rng: &mut StdRng, n: usize, m: usize, nnz: usize) -> Csr {
+        let mut coo = Coo::new(n, m);
+        for _ in 0..nnz {
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..m),
+                rng.gen_range(-1.0..1.0),
+            );
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn random_dense(rng: &mut StdRng, r: usize, c: usize) -> DenseMatrix {
+        let data = (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(r, c, data).unwrap()
+    }
+
+    #[test]
+    fn sequential_matches_dense_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_csr(&mut rng, 20, 15, 60);
+        let h = random_dense(&mut rng, 15, 7);
+        let sparse_result = spmm_sequential(&a, &h).unwrap();
+        let dense_result = a.to_dense().matmul(&h).unwrap();
+        assert!(sparse_result.max_abs_diff(&dense_result) < 1e-4);
+    }
+
+    #[test]
+    fn vertex_parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_csr(&mut rng, 300, 300, 3000);
+        let h = random_dense(&mut rng, 300, 16);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for threads in [1, 2, 4, 7, 32] {
+            let got = spmm_vertex_parallel(&a, &h, threads).unwrap();
+            assert!(
+                reference.max_abs_diff(&got) < 1e-4,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_csr(&mut rng, 200, 200, 2500);
+        let h = random_dense(&mut rng, 200, 9);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for threads in [1, 2, 3, 8, 16] {
+            let got = spmm_edge_parallel(&a, &h, threads).unwrap();
+            assert!(
+                reference.max_abs_diff(&got) < 1e-3,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_parallel_handles_empty_rows_and_skew() {
+        // A star graph: row 0 has all edges, remaining rows are empty, which
+        // stresses the binary search and row-advance logic.
+        let mut coo = Coo::new(64, 64);
+        for v in 1..64 {
+            coo.push(0, v, 1.0);
+        }
+        coo.push(63, 0, 2.0);
+        let a = Csr::from_coo(&coo);
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = random_dense(&mut rng, 64, 5);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for threads in [2, 5, 13] {
+            let got = spmm_edge_parallel(&a, &h, threads).unwrap();
+            assert!(reference.max_abs_diff(&got) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_edges_is_fine() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(1, 2, 1.5);
+        let a = Csr::from_coo(&coo);
+        let h = DenseMatrix::filled(4, 3, 1.0);
+        let got = spmm_edge_parallel(&a, &h, 64).unwrap();
+        assert_eq!(got.row(1), &[1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Csr::empty(3, 4);
+        let h = DenseMatrix::zeros(5, 2);
+        assert!(spmm_sequential(&a, &h).is_err());
+        assert!(spmm_vertex_parallel(&a, &h, 2).is_err());
+        assert!(spmm_edge_parallel(&a, &h, 2).is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let a = Csr::empty(2, 2);
+        let h = DenseMatrix::zeros(2, 2);
+        assert!(matches!(
+            spmm_vertex_parallel(&a, &h, 0),
+            Err(MatrixError::ZeroThreads)
+        ));
+        assert!(matches!(
+            spmm_edge_parallel(&a, &h, 0),
+            Err(MatrixError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_gives_zero_output() {
+        let a = Csr::empty(3, 3);
+        let h = DenseMatrix::filled(3, 4, 2.0);
+        for result in [
+            spmm_sequential(&a, &h).unwrap(),
+            spmm_vertex_parallel(&a, &h, 4).unwrap(),
+            spmm_edge_parallel(&a, &h, 4).unwrap(),
+        ] {
+            assert!(result.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn atomic_add_accumulates_under_contention() {
+        let cell = AtomicU32::new(0f32.to_bits());
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        atomic_add_f32(&cell, 1.0);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(f32::from_bits(cell.into_inner()), 8000.0);
+    }
+
+    #[test]
+    fn dynamic_counter_covers_range_exactly_once() {
+        let counter = DynamicCounter::new();
+        let mut seen = [false; 100];
+        while let Some((s, e)) = counter.claim(7, 100) {
+            for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!std::mem::replace(slot, true), "item {i} claimed twice");
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

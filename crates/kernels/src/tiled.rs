@@ -1,0 +1,207 @@
+//! Feature-tiled SpMM: cache blocking over the embedding dimension.
+//!
+//! At large K the paper's CPU baseline degrades because each random feature
+//! row is a cache-line burst that evicts other rows (Section III-C). A
+//! standard mitigation — used by Graphite [9] and GE-SpMM [11] — is to tile
+//! the *feature* dimension: process the sparse structure once per K-tile,
+//! so the working set per pass shrinks from `|V| * K` to `|V| * T` floats.
+//! The trade-off is re-reading the CSR arrays once per tile; tiling wins
+//! when features dominate traffic (K large) and loses when the CSR re-reads
+//! dominate (K small) — a crossover the benches expose.
+
+use matrix::{DenseMatrix, MatrixError};
+use sparse::Csr;
+
+/// Default feature-tile width in elements (256 floats = 1 KB per row: small
+/// enough that tens of thousands of hot rows fit in an L2 slice).
+pub const DEFAULT_TILE: usize = 256;
+
+fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> {
+    if a.ncols() != h.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: h.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Sequential feature-tiled SpMM: `out = A * H`, processed in K-tiles of
+/// width `tile`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch; a zero
+/// `tile` is promoted to [`DEFAULT_TILE`].
+pub fn spmm_feature_tiled(
+    a: &Csr,
+    h: &DenseMatrix,
+    tile: usize,
+) -> Result<DenseMatrix, MatrixError> {
+    check("spmm_feature_tiled", a, h)?;
+    let k = h.cols();
+    let tile = if tile == 0 { DEFAULT_TILE } else { tile };
+    let mut out = DenseMatrix::zeros(a.nrows(), k);
+    let mut t0 = 0;
+    while t0 < k {
+        let t1 = (t0 + tile).min(k);
+        for u in 0..a.nrows() {
+            let row_out = &mut out.row_mut(u)[t0..t1];
+            for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+                let feat = &h.row(v as usize)[t0..t1];
+                for (o, f) in row_out.iter_mut().zip(feat) {
+                    *o += w * f;
+                }
+            }
+        }
+        t0 = t1;
+    }
+    Ok(out)
+}
+
+/// Parallel feature-tiled SpMM: each worker owns a disjoint K-tile of the
+/// output, so all threads share the sparse structure reads but never write
+/// the same cache lines. Complements the row-parallel kernels when `K >>
+/// thread count` — and is the layout GE-SpMM's coalesced row caching
+/// exploits on GPUs.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_feature_parallel(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+) -> Result<DenseMatrix, MatrixError> {
+    check("spmm_feature_parallel", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let n = a.nrows();
+    let k = h.cols();
+    if threads == 1 || k == 0 || n == 0 {
+        return spmm_feature_tiled(a, h, 0);
+    }
+    let threads = threads.min(k);
+    let tile = k.div_ceil(threads);
+
+    // Column tiles cannot be handed out as &mut slices of a row-major
+    // matrix, so each worker accumulates into its own (n x tile) buffer and
+    // the buffers are interleaved afterwards.
+    let mut buffers: Vec<DenseMatrix> = Vec::with_capacity(threads);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move |_| {
+                    let t0 = t * tile;
+                    let t1 = ((t + 1) * tile).min(k);
+                    let width = t1 - t0;
+                    let mut local = DenseMatrix::zeros(n, width);
+                    for u in 0..n {
+                        let row_out = local.row_mut(u);
+                        for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+                            let feat = &h.row(v as usize)[t0..t1];
+                            for (o, f) in row_out.iter_mut().zip(feat) {
+                                *o += w * f;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            buffers.push(handle.join().expect("tile worker panicked"));
+        }
+    })
+    .expect("spmm worker panicked");
+
+    let mut out = DenseMatrix::zeros(n, k);
+    for (t, local) in buffers.iter().enumerate() {
+        let t0 = t * tile;
+        for u in 0..n {
+            let src = local.row(u);
+            out.row_mut(u)[t0..t0 + src.len()].copy_from_slice(src);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmm::spmm_sequential;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparse::Coo;
+
+    fn random_inputs(n: usize, nnz: usize, k: usize, seed: u64) -> (Csr, DenseMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, n);
+        for _ in 0..nnz {
+            coo.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
+        }
+        let data = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (Csr::from_coo(&coo), DenseMatrix::from_vec(n, k, data).unwrap())
+    }
+
+    #[test]
+    fn tiled_matches_reference_for_many_tile_sizes() {
+        let (a, h) = random_inputs(60, 500, 37, 1);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for tile in [1, 2, 7, 16, 37, 64, 0] {
+            let got = spmm_feature_tiled(&a, &h, tile).unwrap();
+            assert!(
+                reference.max_abs_diff(&got) < 1e-4,
+                "tile={tile} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn feature_parallel_matches_reference() {
+        let (a, h) = random_inputs(80, 900, 48, 2);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for threads in [1, 2, 3, 5, 48, 100] {
+            let got = spmm_feature_parallel(&a, &h, threads).unwrap();
+            assert!(
+                reference.max_abs_diff(&got) < 1e-4,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn narrow_k_is_handled() {
+        let (a, h) = random_inputs(20, 60, 1, 3);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        assert!(
+            reference
+                .max_abs_diff(&spmm_feature_parallel(&a, &h, 8).unwrap())
+                < 1e-5
+        );
+    }
+
+    #[test]
+    fn shape_and_thread_errors_are_reported() {
+        let a = Csr::empty(3, 3);
+        let h = DenseMatrix::zeros(4, 2);
+        assert!(spmm_feature_tiled(&a, &h, 4).is_err());
+        assert!(spmm_feature_parallel(&a, &h, 2).is_err());
+        let h = DenseMatrix::zeros(3, 2);
+        assert!(matches!(
+            spmm_feature_parallel(&a, &h, 0),
+            Err(MatrixError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_give_zero_output() {
+        let a = Csr::empty(4, 4);
+        let h = DenseMatrix::zeros(4, 0);
+        let out = spmm_feature_parallel(&a, &h, 3).unwrap();
+        assert_eq!(out.shape(), (4, 0));
+    }
+}

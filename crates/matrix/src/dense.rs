@@ -1,0 +1,480 @@
+//! The [`DenseMatrix`] type: a row-major `f32` matrix.
+
+use crate::activation::Activation;
+use crate::error::MatrixError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32` values.
+///
+/// Rows are stored contiguously, which matches the access pattern of SpMM
+/// (which streams whole feature rows) and GEMM (which walks rows of the
+/// left operand).
+///
+/// # Examples
+///
+/// ```
+/// use matrix::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 3);
+/// m[(0, 1)] = 5.0;
+/// assert_eq!(m.row(0), &[0.0, 5.0, 0.0]);
+/// assert_eq!(m.shape(), (2, 3));
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major backing vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::BufferSize`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::BufferSize {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::RaggedRows`] if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(MatrixError::RaggedRows {
+                    expected: ncols,
+                    row: i,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Borrows the row-major backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Multiplies `self * rhs` using the blocked GEMM kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if
+    /// `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        crate::gemm::matmul_blocked(self, rhs)
+    }
+
+    /// Applies an activation function element-wise, in place.
+    pub fn apply_activation(&mut self, act: Activation) {
+        act.apply_in_place(&mut self.data);
+    }
+
+    /// Adds `bias[j]` to every element of column `j`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if
+    /// `bias.len() != self.cols()`.
+    pub fn add_row_bias(&mut self, bias: &[f32]) -> Result<()> {
+        if bias.len() != self.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add_row_bias",
+                lhs: (self.rows, self.cols),
+                rhs: (1, bias.len()),
+            });
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales every element by `factor`, in place.
+    pub fn scale(&mut self, factor: f32) {
+        for x in &mut self.data {
+            *x *= factor;
+        }
+    }
+
+    /// Element-wise (Hadamard) product with `other`, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if the shapes differ.
+    pub fn hadamard(&mut self, other: &DenseMatrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "hadamard",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x *= y;
+        }
+        Ok(())
+    }
+
+    /// Adds `factor * other` element-wise, in place (the AXPY of SGD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &DenseMatrix, factor: f32) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add_scaled",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (x, y) in self.data.iter_mut().zip(&other.data) {
+            *x += factor * y;
+        }
+        Ok(())
+    }
+
+    /// Sum of every column as a vector of length `cols` (bias gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (s, x) in sums.iter_mut().zip(row) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    ///
+    /// Returns `f32::INFINITY` when the shapes differ, so that a shape
+    /// mismatch can never masquerade as numerical agreement.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        if self.shape() != other.shape() {
+            return f32::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm (`sqrt(sum of squares)`).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// True when every element is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f32;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        const MAX_SHOWN: usize = 8;
+        for i in 0..self.rows.min(MAX_SHOWN) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(MAX_SHOWN) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(i, j)])?;
+            }
+            if self.cols > MAX_SHOWN {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > MAX_SHOWN {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for DenseMatrix {
+    fn default() -> Self {
+        DenseMatrix::zeros(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_contents() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let id = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&id).unwrap(), a);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_buffer() {
+        let err = DenseMatrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::BufferSize {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let err = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, MatrixError::RaggedRows { row: 1, .. }));
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn row_accessors_agree_with_indexing() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m[(1, 0)], 7.0);
+        assert_eq!(m.row(1), &[7.0, 0.0]);
+    }
+
+    #[test]
+    fn add_row_bias_applies_per_column() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.add_row_bias(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_bias_rejects_wrong_length() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert!(m.add_row_bias(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::zeros(2, 3);
+        assert_eq!(a.max_abs_diff(&b), f32::INFINITY);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_gap() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[1.5, 0.0]]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 4.0]]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iter_rows_yields_every_row() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f32]> = a.iter_rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty_and_truncated() {
+        let big = DenseMatrix::zeros(20, 20);
+        let dbg = format!("{:?}", big);
+        assert!(dbg.contains("DenseMatrix 20x20"));
+        assert!(dbg.contains("..."));
+    }
+
+    #[test]
+    fn scale_multiplies_all_elements() {
+        let mut a = DenseMatrix::filled(2, 2, 2.0);
+        a.scale(0.5);
+        assert!(a.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn hadamard_multiplies_elementwise() {
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[2.0, 0.5], &[0.0, -1.0]]).unwrap();
+        a.hadamard(&b).unwrap();
+        assert_eq!(a, DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, -4.0]]).unwrap());
+        assert!(a.hadamard(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = DenseMatrix::filled(2, 2, 1.0);
+        let g = DenseMatrix::filled(2, 2, 2.0);
+        a.add_scaled(&g, -0.25).unwrap();
+        assert!(a.as_slice().iter().all(|&x| x == 0.5));
+        assert!(a.add_scaled(&DenseMatrix::zeros(1, 1), 1.0).is_err());
+    }
+
+    #[test]
+    fn column_sums_reduce_rows() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = DenseMatrix::zeros(1, 2);
+        assert!(a.all_finite());
+        a[(0, 1)] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

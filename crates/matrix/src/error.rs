@@ -1,0 +1,87 @@
+//! Error types for dense-matrix operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by dense-matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The provided backing buffer does not match `rows * cols`.
+    BufferSize {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Actual element count supplied.
+        actual: usize,
+    },
+    /// Row slices of unequal length were supplied to `from_rows`.
+    RaggedRows {
+        /// Length of the first row, which sets the expected width.
+        expected: usize,
+        /// Index of the offending row.
+        row: usize,
+        /// Its length.
+        actual: usize,
+    },
+    /// A thread count of zero was requested for a parallel kernel.
+    ZeroThreads,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::BufferSize { expected, actual } => write!(
+                f,
+                "buffer size mismatch: expected {expected} elements, got {actual}"
+            ),
+            MatrixError::RaggedRows {
+                expected,
+                row,
+                actual,
+            } => write!(
+                f,
+                "ragged rows: row {row} has {actual} elements, expected {expected}"
+            ),
+            MatrixError::ZeroThreads => write!(f, "parallel kernel requires at least one thread"),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatrixError>();
+    }
+}

@@ -1,0 +1,276 @@
+//! Dense GEMM kernels: naive reference, cache-blocked, and multi-threaded.
+//!
+//! The GCN "update" phase is `H * W` where `H` is `|V| x K_in` (tall and
+//! skinny) and `W` is `K_in x K_out` (small). All kernels here compute
+//! `C = A * B` for arbitrary conforming shapes; the blocked and parallel
+//! variants are tuned for the tall-skinny case.
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use crate::Result;
+
+/// Cache-block edge (elements) used by [`matmul_blocked`]. 64 `f32` = 256 B
+/// per row block keeps three blocks of typical GCN operand widths in L1.
+const BLOCK: usize = 64;
+
+fn check_shapes(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
+    if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Naive triple-loop GEMM. The correctness reference for everything else.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_shapes("matmul_naive", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[(i, p)];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            let crow = c.row_mut(i);
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Cache-blocked GEMM using ikj loop order over `BLOCK`-sized tiles.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_blocked(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    check_shapes("matmul_blocked", a, b)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    gemm_into(a, b, c.as_mut_slice(), 0, m, k, n);
+    Ok(c)
+}
+
+/// Writes `A[row_start..row_end] * B` into `c_rows` (row-major,
+/// `(row_end-row_start) * n` elements). Shared by the blocked and parallel
+/// kernels.
+fn gemm_into(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    c_rows: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(c_rows.len(), (row_end - row_start) * n);
+    for pb in (0..k).step_by(BLOCK) {
+        let pe = (pb + BLOCK).min(k);
+        for i in row_start..row_end {
+            let arow = a.row(i);
+            let crow = &mut c_rows[(i - row_start) * n..(i - row_start + 1) * n];
+            for (p, &aip) in arow.iter().enumerate().take(pe).skip(pb) {
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = b.row(p);
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Multi-threaded GEMM that partitions rows of `A` across `threads` workers
+/// using `crossbeam::scope`. Each worker owns a disjoint slice of `C`, so no
+/// synchronization is needed beyond the final join.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    check_shapes("matmul_parallel", a, b)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    let threads = threads.min(m.max(1));
+    if threads <= 1 || m == 0 {
+        gemm_into(a, b, c.as_mut_slice(), 0, m, k, n);
+        return Ok(c);
+    }
+
+    let rows_per = m.div_ceil(threads);
+    let mut chunks: Vec<&mut [f32]> = c.as_mut_slice().chunks_mut(rows_per * n).collect();
+    crossbeam::scope(|s| {
+        for (t, chunk) in chunks.drain(..).enumerate() {
+            let row_start = t * rows_per;
+            let row_end = (row_start + rows_per).min(m);
+            s.spawn(move |_| {
+                gemm_into(a, b, chunk, row_start, row_end, k, n);
+            });
+        }
+    })
+    .expect("gemm worker panicked");
+    Ok(c)
+}
+
+/// Computes `A^T * B` without materializing the transpose: for each row
+/// `p` of `A` and `B`, accumulates the outer-product contribution
+/// `A[p, :]^T * B[p, :]`. This walks both operands row-major — exactly the
+/// weight-gradient computation `dW = (A_hat H)^T dZ` of GCN training,
+/// where an explicit transpose would double the traffic.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.rows() != b.rows()`.
+pub fn matmul_at(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    if a.rows() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "matmul_at",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (rows, m) = a.shape();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    for p in 0..rows {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (cij, &bpj) in crow.iter_mut().zip(brow) {
+                *cij += aip * bpj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// FLOP count of a GEMM with these operand shapes (`2 * m * k * n`).
+pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> DenseMatrix {
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn naive_matches_hand_example() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = matmul_naive(&a, &b).unwrap();
+        let expected = DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 129, 33), (100, 17, 200)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let c0 = matmul_naive(&a, &b).unwrap();
+            let c1 = matmul_blocked(&a, &b).unwrap();
+            assert!(c0.max_abs_diff(&c1) < 1e-4, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive_for_various_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_matrix(&mut rng, 97, 43);
+        let b = random_matrix(&mut rng, 43, 21);
+        let reference = matmul_naive(&a, &b).unwrap();
+        for threads in [1, 2, 3, 8, 200] {
+            let c = matmul_parallel(&a, &b, threads).unwrap();
+            assert!(
+                reference.max_abs_diff(&c) < 1e-4,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_by_all_kernels() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(matmul_naive(&a, &b).is_err());
+        assert!(matmul_blocked(&a, &b).is_err());
+        assert!(matmul_parallel(&a, &b, 2).is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let a = DenseMatrix::zeros(2, 2);
+        let b = DenseMatrix::zeros(2, 2);
+        assert_eq!(
+            matmul_parallel(&a, &b, 0).unwrap_err(),
+            MatrixError::ZeroThreads
+        );
+    }
+
+    #[test]
+    fn empty_matrices_multiply_to_empty() {
+        let a = DenseMatrix::zeros(0, 3);
+        let b = DenseMatrix::zeros(3, 4);
+        let c = matmul_parallel(&a, &b, 4).unwrap();
+        assert_eq!(c.shape(), (0, 4));
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &(rows, m, n) in &[(1usize, 1usize, 1usize), (13, 7, 5), (64, 32, 48)] {
+            let a = random_matrix(&mut rng, rows, m);
+            let b = random_matrix(&mut rng, rows, n);
+            let direct = matmul_at(&a, &b).unwrap();
+            let explicit = a.transpose().matmul(&b).unwrap();
+            assert!(
+                direct.max_abs_diff(&explicit) < 1e-4,
+                "shape ({rows},{m},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_at_rejects_mismatched_row_counts() {
+        let a = DenseMatrix::zeros(3, 2);
+        let b = DenseMatrix::zeros(4, 2);
+        assert!(matmul_at(&a, &b).is_err());
+    }
+
+    #[test]
+    fn gemm_flop_count_matches_formula() {
+        assert_eq!(gemm_flops(10, 20, 30), 12000.0);
+    }
+}

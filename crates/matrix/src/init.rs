@@ -1,0 +1,110 @@
+//! Weight-initialization schemes for dense matrices.
+
+use crate::dense::DenseMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Random weight-initialization scheme used when constructing GCN layers.
+///
+/// # Examples
+///
+/// ```
+/// use matrix::WeightInit;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let w = WeightInit::Glorot.build(16, 8, &mut rng);
+/// assert_eq!(w.shape(), (16, 8));
+/// assert!(w.all_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum WeightInit {
+    /// Glorot / Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    #[default]
+    Glorot,
+    /// Uniform on a caller-specified symmetric interval `U(-scale, scale)`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        scale: f32,
+    },
+    /// All weights set to a constant; useful for deterministic tests.
+    Constant {
+        /// The constant value.
+        value: f32,
+    },
+}
+
+impl WeightInit {
+    /// Builds a `fan_in x fan_out` weight matrix with this scheme.
+    pub fn build<R: Rng + ?Sized>(self, fan_in: usize, fan_out: usize, rng: &mut R) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(fan_in, fan_out);
+        match self {
+            WeightInit::Glorot => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                for x in m.as_mut_slice() {
+                    *x = rng.gen_range(-a..=a);
+                }
+            }
+            WeightInit::Uniform { scale } => {
+                for x in m.as_mut_slice() {
+                    *x = rng.gen_range(-scale..=scale);
+                }
+            }
+            WeightInit::Constant { value } => {
+                for x in m.as_mut_slice() {
+                    *x = value;
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn glorot_stays_in_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = WeightInit::Glorot.build(100, 50, &mut rng);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a + 1e-6));
+    }
+
+    #[test]
+    fn glorot_is_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = WeightInit::Glorot.build(10, 10, &mut rng);
+        let distinct = w
+            .as_slice()
+            .iter()
+            .filter(|&&x| x != w.as_slice()[0])
+            .count();
+        assert!(distinct > 0, "all weights identical");
+    }
+
+    #[test]
+    fn constant_fills_uniformly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = WeightInit::Constant { value: 0.25 }.build(4, 4, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x == 0.25));
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = WeightInit::Uniform { scale: 0.1 }.build(30, 30, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= 0.1));
+    }
+
+    #[test]
+    fn seeded_builds_are_reproducible() {
+        let w1 = WeightInit::Glorot.build(8, 8, &mut StdRng::seed_from_u64(9));
+        let w2 = WeightInit::Glorot.build(8, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(w1, w2);
+    }
+}

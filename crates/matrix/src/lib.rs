@@ -1,0 +1,42 @@
+//! Dense row-major matrices and the kernels that operate on them.
+//!
+//! This crate is the "update phase" substrate of the GCN reproduction: a GCN
+//! layer computes `H' = sigma(A_hat * H * W)` and everything after the sparse
+//! aggregation — the dense multiply by `W`, the bias add and the activation —
+//! lives here.
+//!
+//! The centerpiece is [`DenseMatrix`], a row-major `f32` matrix, together
+//! with three GEMM implementations of increasing sophistication:
+//!
+//! * [`gemm::matmul_naive`] — triple loop, the correctness reference,
+//! * [`gemm::matmul_blocked`] — cache-blocked ikj ordering,
+//! * [`gemm::matmul_parallel`] — row-partitioned multi-threaded GEMM built on
+//!   `crossbeam::scope`.
+//!
+//! # Examples
+//!
+//! ```
+//! use matrix::DenseMatrix;
+//!
+//! let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+//! let b = DenseMatrix::identity(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c, a);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod dense;
+pub mod error;
+pub mod gemm;
+pub mod init;
+
+pub use activation::Activation;
+pub use dense::DenseMatrix;
+pub use error::MatrixError;
+pub use init::WeightInit;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -1,0 +1,151 @@
+//! A whole GCN layer simulated on PIUMA: aggregation (DMA SpMM), update
+//! (dense MM), and glue (elementwise activation stream), each timed by the
+//! event-driven machine.
+//!
+//! The paper's Figure 10 composes *measured SpMM* with *modelled Dense MM*;
+//! this module lets the reproduction compose two *simulated* kernels
+//! instead, on scaled graph twins — an end-to-end consistency check of the
+//! analytical path used for the full-size datasets.
+
+use crate::dense_sim::{simulate_dense_mm, DenseSimResult, GemmShape};
+use crate::runner::{SpmmSimResult, SpmmSimulation};
+use crate::variant::SpmmVariant;
+use piuma_sim::{MachineConfig, SimError};
+use sparse::Csr;
+
+/// Simulated phase times of one GCN layer on PIUMA, in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayerSim {
+    /// The aggregation (SpMM) run.
+    pub spmm: SpmmSimResult,
+    /// The update (dense MM) run.
+    pub dense: DenseSimResult,
+    /// Glue time: one elementwise DMA pass over the layer output at
+    /// aggregate bandwidth (computed analytically — a pure stream has no
+    /// interesting dynamics to simulate).
+    pub glue_ns: f64,
+}
+
+impl GcnLayerSim {
+    /// Total layer time (phases run back to back, as in the paper's
+    /// unfused execution).
+    pub fn total_ns(&self) -> f64 {
+        self.spmm.sim.total_ns + self.dense.sim.total_ns + self.glue_ns
+    }
+
+    /// Fraction of layer time in the sparse aggregation.
+    pub fn spmm_fraction(&self) -> f64 {
+        self.spmm.sim.total_ns / self.total_ns()
+    }
+
+    /// Fraction of layer time in the dense update.
+    pub fn dense_fraction(&self) -> f64 {
+        self.dense.sim.total_ns / self.total_ns()
+    }
+}
+
+/// Simulates one GCN layer (`H' = relu(A_hat H W)`) on `config`:
+/// aggregation over `a` at width `k_in`, update `k_in -> k_out`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from either kernel.
+pub fn simulate_gcn_layer(
+    config: &MachineConfig,
+    a: &Csr,
+    k_in: usize,
+    k_out: usize,
+) -> Result<GcnLayerSim, SimError> {
+    let spmm = SpmmSimulation::new(config.clone(), SpmmVariant::Dma).run(a, k_in)?;
+    let dense = simulate_dense_mm(
+        config,
+        GemmShape {
+            rows: a.nrows(),
+            k_in,
+            k_out,
+        },
+    )?;
+    // Glue: read + write of the output activation at aggregate bandwidth.
+    let glue_bytes = 2.0 * (a.nrows() * k_out * 4) as f64;
+    let glue_ns = glue_bytes / config.aggregate_bandwidth_gbps();
+    Ok(GcnLayerSim { spmm, dense, glue_ns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::Coo;
+
+    fn twin(n: usize, deg: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = 0xFEEDusize;
+        for u in 0..n {
+            for _ in 0..deg {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                coo.push(u, (state >> 33) % n, 1.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn dense_share_grows_with_k_in_simulation_too() {
+        // The simulated composition must show Fig. 10's trend on a twin:
+        // dense pressure rises with the embedding dimension.
+        let cfg = MachineConfig::node(8);
+        let a = twin(1 << 12, 8);
+        let small = simulate_gcn_layer(&cfg, &a, 8, 8).unwrap();
+        let large = simulate_gcn_layer(&cfg, &a, 256, 256).unwrap();
+        assert!(
+            large.dense_fraction() > small.dense_fraction(),
+            "dense share {:.2} -> {:.2}",
+            small.dense_fraction(),
+            large.dense_fraction()
+        );
+        assert!(small.spmm_fraction() > 0.5, "small K should be SpMM-bound");
+    }
+
+    #[test]
+    fn simulation_agrees_with_analytic_composition() {
+        // The simulated layer and the analytic PiumaModel composition (same
+        // machine size) must agree on the dense share within ~15 points on
+        // a sparse twin at K=256 — the consistency the full-size figures
+        // rely on.
+        let cfg = MachineConfig::node(8);
+        let a = twin(1 << 12, 6);
+
+        let sim = simulate_gcn_layer(&cfg, &a, 256, 256).unwrap();
+
+        let traffic = analytic::SpmmTraffic::compute(
+            a.nrows(),
+            a.nnz(),
+            256,
+            analytic::ElementSizes::default(),
+        );
+        let bw = cfg.aggregate_bandwidth_gbps() * 0.85 * 1e9;
+        let spmm_model_ns = traffic.time_seconds(bw, bw) * 1e9;
+        let dense_model = crate::dense_model::PiumaDenseModel::default();
+        let dense_model_ns =
+            dense_model.time_ns(&cfg, 2.0 * a.nrows() as f64 * 256.0 * 256.0);
+        let model_dense_share = dense_model_ns / (dense_model_ns + spmm_model_ns);
+
+        assert!(
+            (sim.dense_fraction() - model_dense_share).abs() < 0.15,
+            "sim {:.2} vs model {:.2}",
+            sim.dense_fraction(),
+            model_dense_share
+        );
+    }
+
+    #[test]
+    fn layer_totals_are_positive_and_composed() {
+        let cfg = MachineConfig::node(2);
+        let a = twin(1 << 10, 8);
+        let layer = simulate_gcn_layer(&cfg, &a, 32, 16).unwrap();
+        assert!(layer.total_ns() > layer.spmm.sim.total_ns);
+        assert!(layer.total_ns() > layer.dense.sim.total_ns);
+        assert!((layer.spmm_fraction() + layer.dense_fraction()) < 1.0);
+    }
+}

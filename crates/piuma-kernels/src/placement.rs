@@ -1,0 +1,118 @@
+//! DGAS data placement: which DRAM slice holds which array element.
+//!
+//! PIUMA distributes shared arrays across all DRAM slices of the machine
+//! (block-cyclic in hardware). At the granularity this simulator works at,
+//! what matters is that (a) accesses spread uniformly over slices and
+//! (b) the mapping is deterministic. Rows and cache lines map to slices by
+//! simple modular placement.
+
+use serde::{Deserialize, Serialize};
+
+/// Placement of the SpMM operands over `slices` DRAM slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    slices: usize,
+    /// Edges per non-zero cache line (line bytes / 8-byte column+value pair).
+    pub edges_per_nnz_line: usize,
+    /// Row-pointer entries per cache line (line bytes / 8-byte pointer).
+    pub rows_per_ptr_line: usize,
+}
+
+impl Placement {
+    /// Builds the placement for a machine with `slices` DRAM slices and the
+    /// given cache-line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is zero or the line is smaller than 8 bytes.
+    pub fn new(slices: usize, cache_line_bytes: usize) -> Self {
+        assert!(slices > 0, "need at least one slice");
+        assert!(cache_line_bytes >= 8, "cache line must hold one element");
+        Placement {
+            slices,
+            edges_per_nnz_line: cache_line_bytes / 8,
+            rows_per_ptr_line: cache_line_bytes / 8,
+        }
+    }
+
+    /// Number of slices.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Slice holding the feature row of vertex `v`.
+    pub fn feature_slice(&self, v: usize) -> usize {
+        // Multiplicative scrambling avoids pathological stride alignment
+        // between vertex ids and slice count.
+        scramble(v) % self.slices
+    }
+
+    /// Slice holding the output row of vertex `u`.
+    pub fn output_slice(&self, u: usize) -> usize {
+        scramble(u.wrapping_add(0x9e37)) % self.slices
+    }
+
+    /// Slice holding the non-zero (column/value) line containing edge `e`.
+    pub fn nnz_slice(&self, e: usize) -> usize {
+        scramble(e / self.edges_per_nnz_line) % self.slices
+    }
+
+    /// Slice holding the row-pointer line containing row `r`.
+    pub fn row_ptr_slice(&self, r: usize) -> usize {
+        scramble(r / self.rows_per_ptr_line) % self.slices
+    }
+}
+
+/// Cheap deterministic integer scrambler (splitmix-style avalanche).
+fn scramble(x: usize) -> usize {
+    let mut z = x.wrapping_mul(0x9E3779B97F4A7C15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_slices_are_reachable_and_balanced() {
+        let p = Placement::new(8, 64);
+        let mut counts = [0usize; 8];
+        for v in 0..8000 {
+            counts[p.feature_slice(v)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (800..1200).contains(&c),
+                "slice {s} got {c} of 8000 accesses"
+            );
+        }
+    }
+
+    #[test]
+    fn single_slice_maps_everything_to_zero() {
+        let p = Placement::new(1, 64);
+        assert_eq!(p.feature_slice(123), 0);
+        assert_eq!(p.nnz_slice(456), 0);
+        assert_eq!(p.output_slice(7), 0);
+        assert_eq!(p.row_ptr_slice(9), 0);
+    }
+
+    #[test]
+    fn nnz_lines_group_adjacent_edges() {
+        let p = Placement::new(4, 64);
+        assert_eq!(p.edges_per_nnz_line, 8);
+        // Edges in the same line map to the same slice.
+        assert_eq!(p.nnz_slice(0), p.nnz_slice(7));
+        // Mapping is deterministic.
+        assert_eq!(p.nnz_slice(8), p.nnz_slice(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_is_rejected() {
+        Placement::new(0, 64);
+    }
+}

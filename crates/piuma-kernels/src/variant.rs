@@ -1,0 +1,43 @@
+//! Kernel variant selection.
+
+use serde::{Deserialize, Serialize};
+
+/// Which SpMM implementation to simulate (Section IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpmmVariant {
+    /// Pipeline-issued loads with 8-wide loop unrolling; every memory access
+    /// blocks its thread.
+    LoopUnrolled,
+    /// DMA-offloaded feature movement; the pipeline only reads non-zeros and
+    /// enqueues descriptors.
+    Dma,
+    /// DMA-offloaded, but *vertex*-parallel: whole rows are assigned to
+    /// threads (no atomics, no binary search), exposing the load-imbalance
+    /// cost Section II-C attributes to this strategy on power-law graphs.
+    DmaVertexParallel,
+}
+
+impl std::fmt::Display for SpmmVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmmVariant::LoopUnrolled => f.write_str("loop-unrolled"),
+            SpmmVariant::Dma => f.write_str("dma"),
+            SpmmVariant::DmaVertexParallel => f.write_str("dma-vertex-parallel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_match_paper_labels() {
+        assert_eq!(SpmmVariant::Dma.to_string(), "dma");
+        assert_eq!(
+            SpmmVariant::DmaVertexParallel.to_string(),
+            "dma-vertex-parallel"
+        );
+        assert_eq!(SpmmVariant::LoopUnrolled.to_string(), "loop-unrolled");
+    }
+}

@@ -1,0 +1,253 @@
+//! Random walks on PIUMA — the latency-bound workload of Section VI.
+//!
+//! The paper's Discussion: neighbour-sampling GNNs (PinSAGE/GraphSAGE) rest
+//! on random walks, "known to be latency bound, and PIUMA being latency
+//! optimized has been shown to greatly accelerate random-walk over standard
+//! CPUs". A walk step is two *dependent* memory accesses (row pointer, then
+//! a random neighbour) with no spatial locality, so per-walk latency cannot
+//! be hidden — only *throughput* across many concurrent walkers can, and
+//! that is exactly what 16-thread MTPs provide.
+
+use crate::placement::Placement;
+use piuma_sim::program::{Op, OpTag, Program};
+use piuma_sim::{MachineConfig, SimError, SimResult, Simulator, ThreadSpec};
+use sparse::Csr;
+use std::sync::Arc;
+
+/// One walker: a chain of dependent row-pointer / neighbour loads.
+struct WalkProgram {
+    csr: Arc<Csr>,
+    placement: Placement,
+    current: usize,
+    steps_left: usize,
+    rng_state: u64,
+    phase: WalkPhase,
+}
+
+enum WalkPhase {
+    LoadRowPtr,
+    LoadNeighbor,
+}
+
+impl WalkProgram {
+    fn new(csr: Arc<Csr>, placement: Placement, start: usize, steps: usize, seed: u64) -> Self {
+        WalkProgram {
+            csr,
+            placement,
+            current: start,
+            steps_left: steps,
+            rng_state: seed | 1,
+            phase: WalkPhase::LoadRowPtr,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — cheap, deterministic, good enough for load spreading.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+impl Program for WalkProgram {
+    fn next_op(&mut self) -> Option<Op> {
+        if self.steps_left == 0 {
+            return None;
+        }
+        match self.phase {
+            WalkPhase::LoadRowPtr => {
+                self.phase = WalkPhase::LoadNeighbor;
+                Some(Op::Load {
+                    slice: self.placement.row_ptr_slice(self.current),
+                    bytes: 16.0, // row_ptr[u] and row_ptr[u+1]
+                    tag: OpTag::RowPtrRead,
+                })
+            }
+            WalkPhase::LoadNeighbor => {
+                self.phase = WalkPhase::LoadRowPtr;
+                self.steps_left -= 1;
+                let degree = self.csr.row_nnz(self.current);
+                let pick = (self.next_u64() as usize) % degree.max(1);
+                let slice = self
+                    .placement
+                    .nnz_slice(self.csr.row_ptr()[self.current] + pick);
+                // Advance the walk (sinks restart at a random vertex, as
+                // PageRank-style walkers do).
+                let restart = (self.next_u64() as usize) % self.csr.nrows().max(1);
+                self.current = if degree == 0 {
+                    restart
+                } else {
+                    self.csr.row_cols(self.current)[pick] as usize
+                };
+                Some(Op::Load {
+                    slice,
+                    bytes: 4.0,
+                    tag: OpTag::NnzRead,
+                })
+            }
+        }
+    }
+}
+
+/// Result of a random-walk simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalkSimResult {
+    /// Raw simulator output.
+    pub sim: SimResult,
+    /// Total steps taken across all walkers.
+    pub total_steps: usize,
+    /// Achieved throughput in million steps per second.
+    pub msteps_per_second: f64,
+}
+
+/// Simulates `walkers` concurrent random walks of `steps` steps each.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn simulate_random_walks(
+    config: &MachineConfig,
+    a: &Csr,
+    walkers: usize,
+    steps: usize,
+) -> Result<WalkSimResult, SimError> {
+    config.assert_valid();
+    let placement = Placement::new(config.total_slices(), config.cache_line_bytes);
+    let csr = Arc::new(a.clone());
+    let walkers = walkers.max(1);
+    let specs: Vec<ThreadSpec> = (0..walkers)
+        .map(|w| {
+            let start = (w * 2654435761) % a.nrows().max(1);
+            ThreadSpec::on_core(
+                w % config.cores,
+                Box::new(WalkProgram::new(
+                    csr.clone(),
+                    placement,
+                    start,
+                    steps,
+                    w as u64 + 1,
+                )),
+            )
+        })
+        .collect();
+    let sim = Simulator::new(config.clone()).run(specs)?;
+    let total_steps = walkers * steps;
+    let msteps = if sim.total_ns > 0.0 {
+        total_steps as f64 / sim.total_ns * 1e3
+    } else {
+        0.0
+    };
+    Ok(WalkSimResult {
+        sim,
+        total_steps,
+        msteps_per_second: msteps,
+    })
+}
+
+/// A first-order CPU random-walk throughput model for comparison: each core
+/// sustains `mlp` outstanding dependent chains... but a *single* walk chain
+/// is strictly serial, so a core running `chains` independent walkers
+/// interleaved in software sustains at most `mlp` in flight. Throughput =
+/// `cores * mlp / latency` steps/ns, with two accesses per step.
+pub fn cpu_walk_msteps_per_second(cores: usize, mlp: f64, dram_latency_ns: f64) -> f64 {
+    (cores as f64 * mlp / (2.0 * dram_latency_ns)) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::Coo;
+
+    fn twin(n: usize, deg: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        let mut state = 0xABCDusize;
+        for u in 0..n {
+            for _ in 0..deg {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                coo.push(u, (state >> 33) % n, 1.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn walks_are_latency_bound_not_bandwidth_bound() {
+        let cfg = MachineConfig::node(4);
+        let a = twin(1 << 12, 8);
+        let r = simulate_random_walks(&cfg, &a, cfg.total_threads(), 64).unwrap();
+        // 20 bytes per step: bandwidth is nowhere near the limit.
+        assert!(r.sim.dram_utilization < 0.3, "dram {:.2}", r.sim.dram_utilization);
+        assert!(r.msteps_per_second > 0.0);
+    }
+
+    #[test]
+    fn more_walkers_hide_more_latency() {
+        let cfg = MachineConfig::node(4);
+        let a = twin(1 << 12, 8);
+        let few = simulate_random_walks(&cfg, &a, 16, 64).unwrap();
+        let many = simulate_random_walks(&cfg, &a, cfg.total_threads(), 64).unwrap();
+        assert!(
+            many.msteps_per_second > few.msteps_per_second * 4.0,
+            "few {:.1} vs many {:.1} Msteps/s",
+            few.msteps_per_second,
+            many.msteps_per_second
+        );
+    }
+
+    #[test]
+    fn piuma_walk_throughput_beats_cpu_model() {
+        // An 8-core PIUMA die with 512 hardware threads vs one 40-core
+        // Xeon socket. Dependent random loads limit a CPU core to its
+        // miss-buffer depth (~8 chains in practice once walker state
+        // management is paid) at a loaded latency of ~120 ns; the die's
+        // thread count wins despite its slower clock (paper: "greatly
+        // accelerate random-walk over standard CPUs").
+        let cfg = MachineConfig::node(8);
+        let a = twin(1 << 13, 8);
+        let piuma = simulate_random_walks(&cfg, &a, cfg.total_threads(), 64).unwrap();
+        let cpu = cpu_walk_msteps_per_second(40, 8.0, 120.0);
+        assert!(
+            piuma.msteps_per_second > cpu,
+            "piuma {:.1} vs cpu {:.1} Msteps/s",
+            piuma.msteps_per_second,
+            cpu
+        );
+    }
+
+    #[test]
+    fn per_walk_latency_is_not_hidden() {
+        // A SINGLE walker's time is ~steps x 2 x latency regardless of the
+        // machine: dependent chains do not parallelize.
+        let cfg = MachineConfig::single_core();
+        let a = twin(1 << 10, 8);
+        let steps = 128;
+        let r = simulate_random_walks(&cfg, &a, 1, steps).unwrap();
+        let lower_bound = steps as f64 * 2.0 * cfg.dram_latency_ns;
+        assert!(
+            r.sim.total_ns >= lower_bound,
+            "walk {} ns vs serial floor {} ns",
+            r.sim.total_ns,
+            lower_bound
+        );
+    }
+
+    #[test]
+    fn sinks_restart_instead_of_hanging() {
+        // A graph with an absorbing vertex (no out-edges): walks must still
+        // complete all steps.
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 3, 1.0); // 3 is a sink
+        coo.push(1, 3, 1.0);
+        coo.push(2, 3, 1.0);
+        let a = Csr::from_coo(&coo);
+        let cfg = MachineConfig::single_core();
+        let r = simulate_random_walks(&cfg, &a, 4, 32).unwrap();
+        assert_eq!(r.total_steps, 128);
+        assert!(r.sim.total_ns > 0.0);
+    }
+}

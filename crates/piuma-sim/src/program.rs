@@ -1,0 +1,216 @@
+//! Thread programs: the instruction streams the simulator executes.
+
+use std::fmt;
+
+/// Category tag attached to every operation, used for the execution-time
+/// breakdowns of Figures 7 (bottom) and 8 (right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpTag {
+    /// Reads of the sparse matrix's non-zero arrays (column indices and
+    /// values) — the "NNZ reads" whose latency the paper identifies as the
+    /// critical path at small embedding dimensions.
+    NnzRead,
+    /// Reads of the row-pointer array.
+    RowPtrRead,
+    /// Reads of dense feature rows.
+    FeatureRead,
+    /// Writes of output rows.
+    OutputWrite,
+    /// Scratch-local DMA arithmetic (buffer init / copy-add).
+    DmaCompute,
+    /// Pipeline arithmetic (MAC loops, address generation).
+    Compute,
+    /// Remote atomic updates.
+    Atomic,
+    /// Anything else.
+    Other,
+}
+
+impl OpTag {
+    /// All tags, in display order.
+    pub const ALL: [OpTag; 8] = [
+        OpTag::NnzRead,
+        OpTag::RowPtrRead,
+        OpTag::FeatureRead,
+        OpTag::OutputWrite,
+        OpTag::DmaCompute,
+        OpTag::Compute,
+        OpTag::Atomic,
+        OpTag::Other,
+    ];
+}
+
+impl fmt::Display for OpTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpTag::NnzRead => "nnz_read",
+            OpTag::RowPtrRead => "row_ptr_read",
+            OpTag::FeatureRead => "feature_read",
+            OpTag::OutputWrite => "output_write",
+            OpTag::DmaCompute => "dma_compute",
+            OpTag::Compute => "compute",
+            OpTag::Atomic => "atomic",
+            OpTag::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One operation of a thread program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Occupy the pipeline for `cycles` clock cycles (ALU work).
+    Compute {
+        /// Pipeline cycles consumed.
+        cycles: f64,
+    },
+    /// Blocking load of `bytes` from DRAM slice `slice`. The thread stalls
+    /// until the data returns (PIUMA MTP threads have a single in-flight
+    /// instruction — "stall-on-use" collapses to stall-on-issue here).
+    Load {
+        /// Destination DRAM slice (global index).
+        slice: usize,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// Stats category.
+        tag: OpTag,
+    },
+    /// Posted store of `bytes` to slice `slice`: consumes slice bandwidth
+    /// but does not stall the thread.
+    Store {
+        /// Destination DRAM slice (global index).
+        slice: usize,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// Stats category.
+        tag: OpTag,
+    },
+    /// Enqueue a transfer on the issuing core's DMA engine. The engine
+    /// serializes issue; the thread continues immediately unless its
+    /// descriptor window is full. `read_slice`/`write_slice` of `None` mean
+    /// the corresponding side touches only the core-local scratchpad.
+    Dma {
+        /// DRAM slice read by the transfer, if any.
+        read_slice: Option<usize>,
+        /// DRAM slice written by the transfer, if any.
+        write_slice: Option<usize>,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// Stats category.
+        tag: OpTag,
+    },
+    /// Block until all DMA transfers previously issued by this thread have
+    /// completed.
+    DmaWait,
+    /// Block until every live thread in the machine reaches a barrier.
+    /// Implemented by the global collectives offload engine, so it costs a
+    /// fixed latency beyond the rendezvous itself.
+    Barrier,
+    /// Remote atomic read-modify-write of `bytes` at slice `slice`,
+    /// executed by the memory-side offload engine; blocks for the round
+    /// trip but consumes no pipeline time at the remote side.
+    Atomic {
+        /// Target DRAM slice (global index).
+        slice: usize,
+        /// Payload size in bytes.
+        bytes: f64,
+        /// Stats category.
+        tag: OpTag,
+    },
+}
+
+/// A lazy stream of operations executed by one simulated thread.
+///
+/// Programs are pulled one [`Op`] at a time; returning `None` terminates
+/// the thread. Implementations are typically small state machines over a
+/// shared, read-only graph.
+pub trait Program: Send {
+    /// Produces the next operation, or `None` when the thread is done.
+    fn next_op(&mut self) -> Option<Op>;
+}
+
+/// A program backed by a pre-built vector of operations. Convenient for
+/// tests and micro-experiments.
+#[derive(Debug, Clone)]
+pub struct VecProgram {
+    ops: std::vec::IntoIter<Op>,
+}
+
+impl VecProgram {
+    /// Wraps a vector of operations.
+    pub fn new(ops: Vec<Op>) -> Self {
+        VecProgram {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl Program for VecProgram {
+    fn next_op(&mut self) -> Option<Op> {
+        self.ops.next()
+    }
+}
+
+/// A program assembled from a closure, for ad-hoc generated streams.
+pub struct FnProgram<F: FnMut() -> Option<Op> + Send> {
+    f: F,
+}
+
+impl<F: FnMut() -> Option<Op> + Send> FnProgram<F> {
+    /// Wraps a generator closure.
+    pub fn new(f: F) -> Self {
+        FnProgram { f }
+    }
+}
+
+impl<F: FnMut() -> Option<Op> + Send> Program for FnProgram<F> {
+    fn next_op(&mut self) -> Option<Op> {
+        (self.f)()
+    }
+}
+
+impl<F: FnMut() -> Option<Op> + Send> fmt::Debug for FnProgram<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProgram").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_program_yields_in_order_then_ends() {
+        let mut p = VecProgram::new(vec![
+            Op::Compute { cycles: 1.0 },
+            Op::DmaWait,
+        ]);
+        assert_eq!(p.next_op(), Some(Op::Compute { cycles: 1.0 }));
+        assert_eq!(p.next_op(), Some(Op::DmaWait));
+        assert_eq!(p.next_op(), None);
+    }
+
+    #[test]
+    fn fn_program_supports_stateful_generation() {
+        let mut remaining = 3;
+        let mut p = FnProgram::new(move || {
+            if remaining == 0 {
+                None
+            } else {
+                remaining -= 1;
+                Some(Op::Compute { cycles: 2.0 })
+            }
+        });
+        let mut count = 0;
+        while p.next_op().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn tags_have_stable_display_names() {
+        assert_eq!(OpTag::NnzRead.to_string(), "nnz_read");
+        assert_eq!(OpTag::ALL.len(), 8);
+    }
+}

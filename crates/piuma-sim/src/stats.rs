@@ -1,0 +1,199 @@
+//! Simulation results: timing, traffic, and per-category breakdowns.
+
+use crate::program::OpTag;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Accumulated statistics for one [`OpTag`] category.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TagStats {
+    /// Operations executed.
+    pub count: u64,
+    /// Bytes moved to/from DRAM.
+    pub bytes: f64,
+    /// Thread-time attributed to the category: stall time for blocking
+    /// operations, engine occupancy for DMA transfers, pipeline time for
+    /// compute.
+    pub time_ns: f64,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock of the simulated kernel in nanoseconds (the time at which
+    /// every thread finished and every outstanding transfer drained).
+    pub total_ns: f64,
+    /// Total bytes read from DRAM.
+    pub bytes_read: f64,
+    /// Total bytes written to DRAM.
+    pub bytes_written: f64,
+    /// Per-category statistics.
+    pub breakdown: BTreeMap<OpTag, TagStats>,
+    /// Mean utilization of the DRAM slice channels over the run.
+    pub dram_utilization: f64,
+    /// Mean utilization of the DMA engines over the run.
+    pub dma_utilization: f64,
+    /// Mean utilization of the MTP issue pipelines over the run.
+    pub pipeline_utilization: f64,
+    /// Number of simulated threads.
+    pub threads: usize,
+    /// Per-thread finish times (ns), indexed by thread id — the raw
+    /// material for load-imbalance analysis.
+    pub thread_finish_ns: Vec<f64>,
+}
+
+impl SimResult {
+    /// Achieved DRAM bandwidth in GB/s over the run.
+    pub fn achieved_bandwidth_gbps(&self) -> f64 {
+        if self.total_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.bytes_read + self.bytes_written) / self.total_ns
+    }
+
+    /// Throughput in GFLOP/s given the kernel's FLOP count.
+    pub fn gflops(&self, flops: f64) -> f64 {
+        if self.total_ns <= 0.0 {
+            return 0.0;
+        }
+        flops / self.total_ns
+    }
+
+    /// Load imbalance: latest thread finish over the mean finish (1.0 for
+    /// perfectly balanced work, larger when stragglers dominate — the
+    /// vertex-parallel failure mode of Section II-C).
+    pub fn load_imbalance(&self) -> f64 {
+        if self.thread_finish_ns.is_empty() {
+            return 1.0;
+        }
+        let max = self.thread_finish_ns.iter().copied().fold(0.0, f64::max);
+        let mean: f64 =
+            self.thread_finish_ns.iter().sum::<f64>() / self.thread_finish_ns.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Fraction of per-category time attributed to `tag` (0 when nothing
+    /// was recorded).
+    pub fn time_fraction(&self, tag: OpTag) -> f64 {
+        let total: f64 = self.breakdown.values().map(|s| s.time_ns).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.breakdown.get(&tag).map_or(0.0, |s| s.time_ns) / total
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SimResult: {:.1} us, {:.2} GB read, {:.2} GB written, {:.1} GB/s achieved",
+            self.total_ns / 1e3,
+            self.bytes_read / 1e9,
+            self.bytes_written / 1e9,
+            self.achieved_bandwidth_gbps()
+        )?;
+        writeln!(
+            f,
+            "  utilization: dram {:.0}%, dma {:.0}%, pipelines {:.0}%",
+            self.dram_utilization * 100.0,
+            self.dma_utilization * 100.0,
+            self.pipeline_utilization * 100.0
+        )?;
+        for (tag, s) in &self.breakdown {
+            writeln!(
+                f,
+                "  {:>13}: {:>10} ops, {:>12.0} bytes, {:>12.0} ns",
+                tag.to_string(),
+                s.count,
+                s.bytes,
+                s.time_ns
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        let mut breakdown = BTreeMap::new();
+        breakdown.insert(
+            OpTag::NnzRead,
+            TagStats {
+                count: 10,
+                bytes: 640.0,
+                time_ns: 300.0,
+            },
+        );
+        breakdown.insert(
+            OpTag::FeatureRead,
+            TagStats {
+                count: 10,
+                bytes: 10240.0,
+                time_ns: 700.0,
+            },
+        );
+        SimResult {
+            total_ns: 1000.0,
+            bytes_read: 10880.0,
+            bytes_written: 0.0,
+            breakdown,
+            dram_utilization: 0.5,
+            dma_utilization: 0.4,
+            pipeline_utilization: 0.1,
+            threads: 4,
+            thread_finish_ns: vec![900.0, 1000.0, 950.0, 1000.0],
+        }
+    }
+
+    #[test]
+    fn achieved_bandwidth_is_bytes_over_time() {
+        let r = sample();
+        assert!((r.achieved_bandwidth_gbps() - 10.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gflops_divides_by_time() {
+        let r = sample();
+        assert!((r.gflops(2_000.0) - 2.0).abs() < 1e-12);
+        let zero = SimResult {
+            total_ns: 0.0,
+            ..sample()
+        };
+        assert_eq!(zero.gflops(100.0), 0.0);
+    }
+
+    #[test]
+    fn time_fractions_sum_to_one() {
+        let r = sample();
+        let total: f64 = OpTag::ALL.iter().map(|&t| r.time_fraction(t)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((r.time_fraction(OpTag::NnzRead) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_is_max_over_mean() {
+        let r = sample();
+        let mean = (900.0 + 1000.0 + 950.0 + 1000.0) / 4.0;
+        assert!((r.load_imbalance() - 1000.0 / mean).abs() < 1e-12);
+        let empty = SimResult {
+            thread_finish_ns: Vec::new(),
+            ..sample()
+        };
+        assert_eq!(empty.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = sample().to_string();
+        assert!(text.contains("nnz_read"));
+        assert!(text.contains("GB/s"));
+    }
+}

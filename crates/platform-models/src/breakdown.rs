@@ -1,0 +1,178 @@
+//! The per-phase execution-time breakdown shared by all platform models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Add;
+
+/// An execution phase of GCN inference, as categorized by the paper's
+/// breakdown figures (Figs. 3, 4, and 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Sparse aggregation (`A_hat * H`).
+    Spmm,
+    /// Dense update (`(..) * W`).
+    Dense,
+    /// Activations, bias, framework wrappers ("Glue Code").
+    Glue,
+    /// Host-to-device data movement (GPU only).
+    Offload,
+    /// Host-side neighbourhood sampling when the graph does not fit on the
+    /// device (GPU only).
+    Sampling,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Spmm,
+        Phase::Dense,
+        Phase::Glue,
+        Phase::Offload,
+        Phase::Sampling,
+    ];
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Spmm => "spmm",
+            Phase::Dense => "dense_mm",
+            Phase::Glue => "glue",
+            Phase::Offload => "offload",
+            Phase::Sampling => "sampling",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-phase execution time of one GCN inference, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GcnPhaseTimes {
+    /// Sparse aggregation time.
+    pub spmm_ns: f64,
+    /// Dense update time.
+    pub dense_ns: f64,
+    /// Glue-code time.
+    pub glue_ns: f64,
+    /// Offload time (zero on non-GPU platforms).
+    pub offload_ns: f64,
+    /// Sampling time (zero unless the GPU falls back to sampling).
+    pub sampling_ns: f64,
+}
+
+impl GcnPhaseTimes {
+    /// Total execution time.
+    pub fn total_ns(&self) -> f64 {
+        self.spmm_ns + self.dense_ns + self.glue_ns + self.offload_ns + self.sampling_ns
+    }
+
+    /// Time of one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Spmm => self.spmm_ns,
+            Phase::Dense => self.dense_ns,
+            Phase::Glue => self.glue_ns,
+            Phase::Offload => self.offload_ns,
+            Phase::Sampling => self.sampling_ns,
+        }
+    }
+
+    /// Fraction of total time spent in `phase` (0 if the total is zero).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let t = self.total_ns();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.get(phase) / t
+    }
+
+    /// Speedup of this breakdown relative to `baseline`
+    /// (`baseline.total / self.total`).
+    pub fn speedup_over(&self, baseline: &GcnPhaseTimes) -> f64 {
+        let t = self.total_ns();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        baseline.total_ns() / t
+    }
+}
+
+impl Add for GcnPhaseTimes {
+    type Output = GcnPhaseTimes;
+
+    fn add(self, rhs: GcnPhaseTimes) -> GcnPhaseTimes {
+        GcnPhaseTimes {
+            spmm_ns: self.spmm_ns + rhs.spmm_ns,
+            dense_ns: self.dense_ns + rhs.dense_ns,
+            glue_ns: self.glue_ns + rhs.glue_ns,
+            offload_ns: self.offload_ns + rhs.offload_ns,
+            sampling_ns: self.sampling_ns + rhs.sampling_ns,
+        }
+    }
+}
+
+impl fmt::Display for GcnPhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {:.3} ms (", self.total_ns() / 1e6)?;
+        let mut first = true;
+        for phase in Phase::ALL {
+            let frac = self.fraction(phase);
+            if frac > 0.0005 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{phase} {:.0}%", frac * 100.0)?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GcnPhaseTimes {
+        GcnPhaseTimes {
+            spmm_ns: 600.0,
+            dense_ns: 300.0,
+            glue_ns: 100.0,
+            offload_ns: 0.0,
+            sampling_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn total_and_fractions_are_consistent() {
+        let t = sample();
+        assert_eq!(t.total_ns(), 1000.0);
+        assert!((t.fraction(Phase::Spmm) - 0.6).abs() < 1e-12);
+        let s: f64 = Phase::ALL.iter().map(|&p| t.fraction(p)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let fast = sample();
+        let slow = GcnPhaseTimes {
+            spmm_ns: 2000.0,
+            ..Default::default()
+        };
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_is_elementwise() {
+        let t = sample() + sample();
+        assert_eq!(t.spmm_ns, 1200.0);
+        assert_eq!(t.total_ns(), 2000.0);
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let text = sample().to_string();
+        assert!(text.contains("spmm 60%"));
+        assert!(!text.contains("sampling"));
+    }
+}

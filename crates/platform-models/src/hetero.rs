@@ -1,0 +1,168 @@
+//! Heterogeneous SoC: PIUMA dies plus dense-compute accelerator tiles.
+//!
+//! Section VI of the paper proposes "a heterogeneous SoC combining PIUMA
+//! dies with dense compute accelerators that can improve the dense matrix
+//! multiplication performance", noting that "the ratio of PIUMA dies to
+//! dense units will largely depend on the application requirements". This
+//! module makes that proposal quantitative: a fixed tile budget is split
+//! between PIUMA dies (bandwidth + sparse throughput) and systolic dense
+//! tiles (GEMM throughput), and [`HeterogeneousSoc::best_split`] finds the
+//! ratio that minimizes GCN time for a given workload.
+
+use crate::breakdown::GcnPhaseTimes;
+use crate::piuma::PiumaModel;
+use analytic::workload::GcnWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Cores contributed by one PIUMA die tile (one 8-core die).
+const CORES_PER_DIE: usize = 8;
+
+/// A tiled SoC: `total_tiles` sockets filled with either a PIUMA die or a
+/// dense accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousSoc {
+    /// Total tile budget on the package.
+    pub total_tiles: usize,
+    /// Tiles spent on dense accelerators (the rest are PIUMA dies).
+    pub dense_tiles: usize,
+    /// Sustained GEMM throughput of one dense tile, in GFLOP/s. The default
+    /// (4 TFLOP/s) is a small systolic array — a fraction of one A100.
+    pub dense_tile_gflops: f64,
+    /// Baseline PIUMA model providing per-die bandwidth and dense rates.
+    pub piuma: PiumaModel,
+}
+
+impl HeterogeneousSoc {
+    /// A homogeneous all-PIUMA package of `total_tiles` dies.
+    pub fn all_piuma(total_tiles: usize) -> Self {
+        HeterogeneousSoc {
+            total_tiles,
+            dense_tiles: 0,
+            dense_tile_gflops: 4000.0,
+            piuma: PiumaModel::default(),
+        }
+    }
+
+    /// Returns a copy with `dense_tiles` tiles converted to accelerators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense_tiles >= total_tiles` (at least one PIUMA die must
+    /// remain — something has to run the sparse phase).
+    pub fn with_dense_tiles(&self, dense_tiles: usize) -> Self {
+        assert!(
+            dense_tiles < self.total_tiles,
+            "need at least one PIUMA die"
+        );
+        HeterogeneousSoc {
+            dense_tiles,
+            ..self.clone()
+        }
+    }
+
+    /// PIUMA dies on the package.
+    pub fn piuma_tiles(&self) -> usize {
+        self.total_tiles - self.dense_tiles
+    }
+
+    /// The PIUMA side of the package as a [`PiumaModel`] of the right size.
+    fn piuma_side(&self) -> PiumaModel {
+        let mut m = PiumaModel::with_cores(self.piuma_tiles() * CORES_PER_DIE);
+        m.dma_efficiency = self.piuma.dma_efficiency;
+        m.dense = self.piuma.dense;
+        m
+    }
+
+    /// GCN phase times on this package: SpMM and glue run on the PIUMA
+    /// dies; the dense update runs on PIUMA *and* accelerator tiles
+    /// combined (the accelerators read operands over the same DGAS).
+    pub fn gcn_times(&self, workload: &GcnWorkload) -> GcnPhaseTimes {
+        let piuma = self.piuma_side();
+        let mut t = GcnPhaseTimes::default();
+        let accel_flops = self.dense_tiles as f64 * self.dense_tile_gflops * 1e9;
+        let piuma_dense_flops = piuma.dense.node_flops_per_second(&piuma.machine);
+        for layer in workload.layers() {
+            t.spmm_ns += piuma.spmm_time_ns(layer);
+            t.glue_ns += piuma.glue_time_ns(layer);
+            // Dense work splits across both engines; it remains bounded by
+            // the DGAS bandwidth exactly as on the homogeneous node.
+            let compute_ns = layer.dense_flops() / (piuma_dense_flops + accel_flops) * 1e9;
+            let bytes_ns = layer.dense_bytes(4) / piuma.machine.aggregate_bandwidth_gbps();
+            t.dense_ns += compute_ns.max(bytes_ns);
+        }
+        t
+    }
+
+    /// Finds the dense-tile count (0..total_tiles-1) minimizing GCN time
+    /// for `workload`, returning `(dense_tiles, times)`.
+    pub fn best_split(&self, workload: &GcnWorkload) -> (usize, GcnPhaseTimes) {
+        (0..self.total_tiles)
+            .map(|d| (d, self.with_dense_tiles(d).gcn_times(workload)))
+            .min_by(|a, b| a.1.total_ns().total_cmp(&b.1.total_ns()))
+            .expect("at least one split exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::OgbDataset;
+
+    fn workload(d: OgbDataset, hidden: usize) -> GcnWorkload {
+        let s = d.stats();
+        GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, hidden, s.output_dim)
+    }
+
+    #[test]
+    fn dense_tiles_help_dense_bound_workloads() {
+        // arxiv at K=256 is >70% Dense MM on the homogeneous node (Fig. 10);
+        // converting a die to an accelerator must cut total time.
+        let soc = HeterogeneousSoc::all_piuma(4);
+        let w = workload(OgbDataset::Arxiv, 256);
+        let homo = soc.gcn_times(&w).total_ns();
+        let hetero = soc.with_dense_tiles(1).gcn_times(&w).total_ns();
+        assert!(
+            hetero < homo,
+            "1 dense tile should help arxiv@256: {hetero:.0} vs {homo:.0}"
+        );
+    }
+
+    #[test]
+    fn dense_tiles_hurt_sparse_bound_workloads() {
+        // ddi at K=8 is SpMM-bound; giving up bandwidth for dense compute
+        // must cost time.
+        let soc = HeterogeneousSoc::all_piuma(4);
+        let w = workload(OgbDataset::Ddi, 8);
+        let homo = soc.gcn_times(&w).total_ns();
+        let hetero = soc.with_dense_tiles(2).gcn_times(&w).total_ns();
+        assert!(hetero > homo);
+    }
+
+    #[test]
+    fn best_split_depends_on_embedding_dimension() {
+        // The paper: "the ratio ... will largely depend on the application
+        // requirements". Small K wants all dies; large K wants accelerators.
+        let soc = HeterogeneousSoc::all_piuma(4);
+        let (small_k, _) = soc.best_split(&workload(OgbDataset::Products, 8));
+        let (large_k, _) = soc.best_split(&workload(OgbDataset::Mag, 256));
+        assert!(large_k > small_k, "K=256 split {large_k} vs K=8 split {small_k}");
+    }
+
+    #[test]
+    fn best_split_is_never_worse_than_homogeneous() {
+        let soc = HeterogeneousSoc::all_piuma(4);
+        for d in [OgbDataset::Arxiv, OgbDataset::Products, OgbDataset::Papers] {
+            for k in [8usize, 256] {
+                let w = workload(d, k);
+                let (_, best) = soc.best_split(&w);
+                assert!(best.total_ns() <= soc.gcn_times(&w).total_ns() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PIUMA die")]
+    fn all_dense_is_rejected() {
+        HeterogeneousSoc::all_piuma(2).with_dense_tiles(2);
+    }
+}

@@ -1,0 +1,40 @@
+//! End-to-end GCN timing models for the paper's three platforms.
+//!
+//! Sections III and V of the paper break GCN execution time into phases —
+//! SpMM, Dense MM, Glue Code, plus Offload and Sampling on GPU — and compare
+//! a dual-socket Xeon 8380, an NVIDIA A100, and a PIUMA node. The real
+//! machines are not available here, so each platform is a *calibrated
+//! analytical model* over the shared [`analytic::workload::GcnWorkload`]
+//! accounting:
+//!
+//! * [`xeon::XeonModel`] — cache-aware SpMM traffic over a STREAM-like
+//!   bandwidth curve (including the hyper-threading dip past 80 threads),
+//!   an AVX-512 GEMM roofline, and per-kernel framework overhead;
+//! * [`gpu::GpuModel`] — PCIe offload volume, HBM-bound SpMM, FP32-peak
+//!   Dense MM, and the host-side full-neighbourhood sampling cliff when the
+//!   graph exceeds device memory;
+//! * [`piuma::PiumaModel`] — the Eq. 1–5 bandwidth model at the node's
+//!   aggregate bandwidth degraded by the measured DMA-kernel efficiency,
+//!   plus the calibrated dense throughput of
+//!   [`piuma_kernels::dense_model::PiumaDenseModel`].
+//!
+//! Calibration constants are documented on each field; the reproduction
+//! targets the paper's *relative* results (who wins, by what factor, where
+//! the crossovers sit), not absolute milliseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod distributed;
+pub mod gpu;
+pub mod hetero;
+pub mod piuma;
+pub mod xeon;
+
+pub use breakdown::{GcnPhaseTimes, Phase};
+pub use distributed::DistributedXeonModel;
+pub use gpu::GpuModel;
+pub use hetero::HeterogeneousSoc;
+pub use piuma::PiumaModel;
+pub use xeon::XeonModel;

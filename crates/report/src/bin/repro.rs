@@ -1,0 +1,80 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--full] [--out DIR]
+//! repro all [--full] [--out DIR]
+//! repro --list
+//! ```
+
+use report::experiments::{Experiment, Fidelity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: repro <experiment>... [--full] [--out DIR]\n\
+     \n\
+     experiments: table1 fig2..fig10 ext_multinode ext_hetero ext_distributed ablation | all\n\
+     --full      run simulator experiments at full fidelity (slower)\n\
+     --out DIR   also write CSV files under DIR\n\
+     --list      list available experiments"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut fidelity = Fidelity::Quick;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => fidelity = Fidelity::Full,
+            "--out" => {
+                i += 1;
+                let Some(dir) = args.get(i) else {
+                    eprintln!("--out requires a directory\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--list" => {
+                for e in Experiment::ALL {
+                    println!("{}", e.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "all" => experiments.extend(Experiment::ALL),
+            name => match Experiment::from_name(name) {
+                Some(e) => experiments.push(e),
+                None => {
+                    eprintln!("unknown experiment '{name}'\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+        i += 1;
+    }
+
+    if experiments.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    for e in experiments {
+        eprintln!("[repro] running {} ({fidelity:?})...", e.name());
+        let output = e.run(fidelity);
+        println!("{output}");
+        if let Some(dir) = &out_dir {
+            if let Err(err) = output.write_csv_files(dir) {
+                eprintln!("failed to write CSVs for {}: {err}", e.name());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote {} CSV file(s) under {}", output.csv_files.len(), dir.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,110 @@
+//! Minimal ASCII charts for terminal-rendered figures.
+
+/// Renders a horizontal bar chart. Each entry is `(label, value)`; bars are
+/// scaled to `width` characters against the maximum value.
+///
+/// # Examples
+///
+/// ```
+/// let chart = report::chart::bar_chart(
+///     &[("a".to_string(), 2.0), ("b".to_string(), 4.0)],
+///     20,
+/// );
+/// assert!(chart.contains('#'));
+/// ```
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let n = ((value / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{:>label_w$} | {:<width$} {:.3}\n",
+            label,
+            "#".repeat(n),
+            value,
+            label_w = label_w,
+            width = width
+        ));
+    }
+    out
+}
+
+/// Renders a stacked horizontal bar per entry, where each entry carries a
+/// label and per-segment fractions (0..1) with one glyph per segment kind.
+/// Used for the execution-time-breakdown figures.
+pub fn stacked_bar_chart(
+    entries: &[(String, Vec<f64>)],
+    glyphs: &[char],
+    width: usize,
+) -> String {
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, fractions) in entries {
+        assert_eq!(
+            fractions.len(),
+            glyphs.len(),
+            "fraction count must match glyph count"
+        );
+        let mut bar = String::new();
+        for (frac, glyph) in fractions.iter().zip(glyphs) {
+            let n = (frac * width as f64).round().max(0.0) as usize;
+            bar.extend(std::iter::repeat_n(*glyph, n));
+        }
+        out.push_str(&format!("{:>label_w$} | {bar}\n", label, label_w = label_w));
+    }
+    out
+}
+
+/// Renders a sparkline-style series of `(x, y)` pairs as rows of `y` scaled
+/// into `width` columns — a quick visual for sweeps.
+pub fn series(points: &[(f64, f64)], width: usize) -> String {
+    let entries: Vec<(String, f64)> = points
+        .iter()
+        .map(|(x, y)| (format!("{x:.0}"), *y))
+        .collect();
+    bar_chart(&entries, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let chart = bar_chart(&[("x".into(), 1.0), ("y".into(), 2.0)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 5);
+        assert_eq!(hashes(lines[1]), 10);
+    }
+
+    #[test]
+    fn stacked_bars_use_all_glyphs() {
+        let chart = stacked_bar_chart(
+            &[("row".into(), vec![0.5, 0.5])],
+            &['S', 'D'],
+            10,
+        );
+        assert!(chart.contains("SSSSS"));
+        assert!(chart.contains("DDDDD"));
+    }
+
+    #[test]
+    #[should_panic(expected = "glyph count")]
+    fn mismatched_glyphs_panic() {
+        stacked_bar_chart(&[("r".into(), vec![1.0])], &['a', 'b'], 4);
+    }
+
+    #[test]
+    fn series_formats_x_labels() {
+        let s = series(&[(45.0, 1.0), (90.0, 2.0)], 8);
+        assert!(s.contains("45"));
+        assert!(s.contains("90"));
+    }
+
+    #[test]
+    fn empty_input_renders_empty() {
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+}

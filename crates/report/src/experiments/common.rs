@@ -1,0 +1,67 @@
+//! Shared helpers for the experiment modules.
+
+use super::Fidelity;
+use analytic::workload::GcnWorkload;
+use graph::OgbDataset;
+use sparse::Csr;
+
+/// The hidden-dimension sweep the paper uses ("8 to 256 on orders of 2",
+/// thinned to powers of 4 plus the endpoints for readable tables).
+pub const K_SWEEP: [usize; 6] = [8, 16, 32, 64, 128, 256];
+
+/// The three embedding dimensions the PIUMA studies highlight.
+pub const K_PIUMA: [usize; 3] = [8, 64, 256];
+
+/// Builds the paper's 3-layer GCN workload for a dataset at a hidden dim.
+pub fn dataset_workload(d: OgbDataset, hidden: usize) -> GcnWorkload {
+    let s = d.stats();
+    GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, hidden, s.output_dim)
+}
+
+/// Materializes the scaled synthetic twin used by simulator experiments.
+/// `Quick` caps at 2^12 vertices, `Full` at 2^15 (enough edges per thread
+/// that a 32-core machine's startup costs amortize away).
+pub fn scaled_twin(d: OgbDataset, fidelity: Fidelity) -> Csr {
+    let max_v = match fidelity {
+        Fidelity::Quick => 1 << 12,
+        Fidelity::Full => 1 << 15,
+    };
+    d.materialize_scaled(max_v, 0xC0FFEE).into_adjacency()
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats nanoseconds as engineering-friendly milliseconds.
+pub fn ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_uses_dataset_dims() {
+        let w = dataset_workload(OgbDataset::Arxiv, 64);
+        assert_eq!(w.layers().len(), 3);
+        assert_eq!(w.layers()[0].k_in, 128);
+        assert_eq!(w.layers()[2].k_out, 40);
+        assert_eq!(w.layers()[0].vertices, 169_343);
+    }
+
+    #[test]
+    fn quick_twin_is_small() {
+        let twin = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        assert!(twin.nrows() <= 1 << 12);
+        assert!(twin.nnz() > 0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(ms(2_500_000.0), "2.500");
+    }
+}

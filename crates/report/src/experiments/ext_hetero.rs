@@ -1,0 +1,71 @@
+//! Extension — the heterogeneous SoC of Section VI: sweep the ratio of
+//! PIUMA dies to dense-accelerator tiles per workload.
+
+use super::common::{dataset_workload, ms};
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use platform_models::HeterogeneousSoc;
+
+/// Total tile budget of the swept package (4 dies' worth of silicon).
+pub const TILES: usize = 4;
+
+/// Regenerates the heterogeneous-SoC design sweep.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("ext_hetero");
+    let soc = HeterogeneousSoc::all_piuma(TILES);
+
+    let mut table = TextTable::new(vec![
+        "dataset", "K", "dense_tiles", "total_ms", "best?",
+    ]);
+    for d in [
+        OgbDataset::Ddi,
+        OgbDataset::Arxiv,
+        OgbDataset::Products,
+        OgbDataset::Papers,
+    ] {
+        for k in [8usize, 64, 256] {
+            let w = dataset_workload(d, k);
+            let (best, _) = soc.best_split(&w);
+            for dense_tiles in 0..TILES {
+                let t = soc.with_dense_tiles(dense_tiles).gcn_times(&w);
+                table.row(vec![
+                    d.to_string(),
+                    k.to_string(),
+                    dense_tiles.to_string(),
+                    ms(t.total_ns()),
+                    if dense_tiles == best { "*".into() } else { String::new() },
+                ]);
+            }
+        }
+    }
+    out.csv("sweep.csv", table.to_csv());
+    out.section(
+        "Heterogeneous SoC: PIUMA dies vs dense tiles (Section VI proposal)",
+        &table,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_ratio_shifts_with_workload() {
+        let soc = HeterogeneousSoc::all_piuma(TILES);
+        // Sparse-heavy: keep the dies. Dense-heavy: trade some away.
+        let (ddi8, _) = soc.best_split(&dataset_workload(OgbDataset::Ddi, 8));
+        let (mag256, _) = soc.best_split(&dataset_workload(OgbDataset::Mag, 256));
+        assert_eq!(ddi8, 0);
+        assert!(mag256 >= 1);
+    }
+
+    #[test]
+    fn output_marks_exactly_one_best_per_cell() {
+        let out = run();
+        let body = &out.sections[0].1;
+        let stars = body.matches('*').count();
+        // 4 datasets x 3 K values = 12 sweeps, one star each.
+        assert_eq!(stars, 12);
+    }
+}

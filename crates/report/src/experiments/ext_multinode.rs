@@ -1,0 +1,96 @@
+//! Extension — multi-node PIUMA scaling (Section II-D / Key Takeaway 1 of
+//! Section V-A: "As the number of nodes in a PIUMA system increases, the
+//! DGAS memory capacity and effective bandwidth increase proportionally").
+//!
+//! We strong-scale the DMA SpMM kernel from 1 to 8 nodes of 8 cores each,
+//! with cross-node accesses paying the optical-link latency, and check that
+//! the latency-tolerant design keeps scaling near-linear anyway.
+
+use super::common::scaled_twin;
+use super::Fidelity;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::{SpmmSimulation, SpmmVariant};
+use piuma_sim::MachineConfig;
+
+/// Node counts swept (8 cores per node).
+pub const NODES: [usize; 4] = [1, 2, 4, 8];
+/// Cores per node.
+pub const CORES_PER_NODE: usize = 8;
+
+/// Runs the sweep; returns `(nodes, gflops, parallel_efficiency)`.
+pub fn sweep(fidelity: Fidelity, k: usize) -> Vec<(usize, f64, f64)> {
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for &nodes in &NODES {
+        let cfg = MachineConfig::multi_node(nodes, CORES_PER_NODE);
+        let gf = SpmmSimulation::new(cfg, SpmmVariant::Dma)
+            .run(&a, k)
+            .expect("in-range placement")
+            .gflops;
+        if nodes == 1 {
+            base = gf;
+        }
+        rows.push((nodes, gf, gf / (base * nodes as f64)));
+    }
+    rows
+}
+
+/// Regenerates the multi-node scaling study.
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("ext_multinode");
+    let mut table = TextTable::new(vec!["nodes", "cores", "K", "gflops", "efficiency"]);
+    for k in [8usize, 256] {
+        for (nodes, gf, eff) in sweep(fidelity, k) {
+            table.row(vec![
+                nodes.to_string(),
+                (nodes * CORES_PER_NODE).to_string(),
+                k.to_string(),
+                format!("{gf:.2}"),
+                format!("{eff:.2}"),
+            ]);
+        }
+    }
+    out.csv("scaling.csv", table.to_csv());
+    out.section(
+        "Multi-node PIUMA strong scaling (DMA SpMM, 8 cores/node, optical links)",
+        &table,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_node_scaling_stays_strong_at_k256() {
+        // The whole point of the DGAS + latency-tolerance design: adding
+        // nodes keeps helping even though every cross-node access pays
+        // ~300 ns extra.
+        let rows = sweep(Fidelity::Quick, 256);
+        let (nodes, _, eff) = rows[rows.len() - 1];
+        assert_eq!(nodes, 8);
+        assert!(eff > 0.5, "8-node efficiency {eff:.2}");
+        // Throughput itself must be monotone in node count.
+        for w in rows.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn cross_node_latency_costs_something() {
+        // Same total cores, more nodes -> more optical hops -> no faster.
+        let a = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        let single = SpmmSimulation::new(MachineConfig::node(8), SpmmVariant::Dma)
+            .run(&a, 64)
+            .unwrap()
+            .gflops;
+        let split = SpmmSimulation::new(MachineConfig::multi_node(4, 2), SpmmVariant::Dma)
+            .run(&a, 64)
+            .unwrap()
+            .gflops;
+        assert!(split <= single * 1.02, "split {split:.1} vs single {single:.1}");
+    }
+}

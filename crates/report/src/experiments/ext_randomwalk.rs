@@ -1,0 +1,79 @@
+//! Extension — random-walk throughput (Section VI: "The random-walk
+//! algorithm is known to be latency bound, and PIUMA being latency
+//! optimized, has been shown to greatly accelerate random-walk over
+//! standard CPUs").
+
+use super::common::scaled_twin;
+use super::Fidelity;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::walk_sim::{cpu_walk_msteps_per_second, simulate_random_walks};
+use piuma_sim::MachineConfig;
+
+/// Walker counts swept on the 8-core die.
+pub const WALKERS: [usize; 4] = [16, 64, 256, 512];
+/// Walk length per walker.
+pub const STEPS: usize = 64;
+
+/// Regenerates the random-walk study.
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("ext_randomwalk");
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let cfg = MachineConfig::node(8);
+
+    let mut table = TextTable::new(vec![
+        "walkers",
+        "msteps_per_s",
+        "dram_util",
+        "per_walk_us",
+    ]);
+    for &w in &WALKERS {
+        let r = simulate_random_walks(&cfg, &a, w, STEPS).expect("in-range placement");
+        table.row(vec![
+            w.to_string(),
+            format!("{:.1}", r.msteps_per_second),
+            format!("{:.2}", r.sim.dram_utilization),
+            format!("{:.2}", r.sim.total_ns / 1e3),
+        ]);
+    }
+    out.csv("walkers.csv", table.to_csv());
+    out.section(
+        "Random-walk throughput vs concurrent walkers (8-core die)",
+        &table,
+    );
+
+    let mut cmp = TextTable::new(vec!["system", "msteps_per_s"]);
+    let piuma = simulate_random_walks(&cfg, &a, cfg.total_threads(), STEPS)
+        .expect("in-range placement");
+    cmp.row(vec![
+        "piuma 8-core die (512 thr)".into(),
+        format!("{:.1}", piuma.msteps_per_second),
+    ]);
+    cmp.row(vec![
+        "xeon socket model (40c, mlp 8, 120 ns)".into(),
+        format!("{:.1}", cpu_walk_msteps_per_second(40, 8.0, 120.0)),
+    ]);
+    out.csv("comparison.csv", cmp.to_csv());
+    out.section("Die-vs-socket walk throughput", &cmp);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_grows_with_walkers_and_beats_cpu() {
+        let out = run(Fidelity::Quick);
+        let csv = &out.csv_files[0].1;
+        let rates: Vec<f64> = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(rates.len(), WALKERS.len());
+        for w in rates.windows(2) {
+            assert!(w[1] > w[0], "throughput must grow with walkers: {rates:?}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 10 — GCN execution-time breakdown on PIUMA, complementing the
+//! CPU (Fig. 3) and GPU (Fig. 4) breakdowns.
+
+use super::common::{dataset_workload, ms, pct, scaled_twin, K_SWEEP};
+use super::Fidelity;
+use crate::chart::stacked_bar_chart;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::gcn_sim::simulate_gcn_layer;
+use piuma_sim::MachineConfig;
+use platform_models::{Phase, PiumaModel};
+
+/// Regenerates the Figure 10 sweep.
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig10");
+    let model = PiumaModel::default();
+
+    let mut table = TextTable::new(vec![
+        "dataset", "K", "spmm%", "dense%", "glue%", "total_ms",
+    ]);
+    let mut bars: Vec<(String, Vec<f64>)> = Vec::new();
+    for d in OgbDataset::TABLE1 {
+        for k in K_SWEEP {
+            let t = model.gcn_times(&dataset_workload(d, k));
+            table.row(vec![
+                d.to_string(),
+                k.to_string(),
+                pct(t.fraction(Phase::Spmm)),
+                pct(t.fraction(Phase::Dense)),
+                pct(t.fraction(Phase::Glue)),
+                ms(t.total_ns()),
+            ]);
+            if k == 256 {
+                bars.push((
+                    d.to_string(),
+                    vec![
+                        t.fraction(Phase::Spmm),
+                        t.fraction(Phase::Dense),
+                        t.fraction(Phase::Glue),
+                    ],
+                ));
+            }
+        }
+    }
+    out.csv("breakdown.csv", table.to_csv());
+    out.section("PIUMA GCN execution-time breakdown (32-core node model)", &table);
+    out.section(
+        "K=256 shares (S = SpMM, D = Dense MM, G = Glue)",
+        stacked_bar_chart(&bars, &['S', 'D', 'G'], 50),
+    );
+
+    // Consistency check: the same breakdown measured by the event-driven
+    // simulator on a scaled twin (one hidden layer, 8-core die).
+    let twin = scaled_twin(OgbDataset::Products, fidelity);
+    let cfg = MachineConfig::node(8);
+    let mut sim_table = TextTable::new(vec!["K", "sim_spmm%", "sim_dense%"]);
+    for k in [8usize, 64, 256] {
+        let layer = simulate_gcn_layer(&cfg, &twin, k, k).expect("in-range placement");
+        sim_table.row(vec![
+            k.to_string(),
+            pct(layer.spmm_fraction()),
+            pct(layer.dense_fraction()),
+        ]);
+    }
+    out.csv("simulated.csv", sim_table.to_csv());
+    out.section(
+        "Simulator cross-check: hidden-layer breakdown on a scaled products twin",
+        &sim_table,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_frac(d: OgbDataset, k: usize) -> f64 {
+        PiumaModel::default()
+            .gcn_times(&dataset_workload(d, k))
+            .fraction(Phase::Dense)
+    }
+
+    #[test]
+    fn dense_share_grows_with_k_everywhere() {
+        // Key takeaway 2: increasing K shifts pressure from SpMM to Dense.
+        for d in OgbDataset::TABLE1 {
+            assert!(
+                dense_frac(d, 256) > dense_frac(d, 8),
+                "{d}: {:.2} -> {:.2}",
+                dense_frac(d, 8),
+                dense_frac(d, 256)
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_citation_graphs_are_dense_dominated_at_256() {
+        for d in [
+            OgbDataset::Arxiv,
+            OgbDataset::Collab,
+            OgbDataset::Mag,
+            OgbDataset::Citation2,
+        ] {
+            assert!(dense_frac(d, 256) > 0.65, "{d}: {:.2}", dense_frac(d, 256));
+        }
+    }
+
+    #[test]
+    fn products_lands_near_the_paper_band_at_256() {
+        // Paper: ppa/products show 50-60% Dense MM at K=256 on PIUMA.
+        let f = dense_frac(OgbDataset::Products, 256);
+        assert!((0.4..0.75).contains(&f), "products dense share {f:.2}");
+    }
+}

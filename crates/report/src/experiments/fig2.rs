@@ -1,0 +1,115 @@
+//! Figure 2 — SpMM time share as a function of graph scale and density.
+//!
+//! The paper sweeps RMAT graphs of uniform degree over (|V|, density) and
+//! contours the fraction of a K=256 GCN layer's time spent in SpMM on CPU.
+//! We evaluate the same grid through the calibrated Xeon model and annotate
+//! the OGB datasets' coordinates.
+
+use super::common::pct;
+use crate::{ExperimentOutput, TextTable};
+use analytic::workload::GcnWorkload;
+use graph::OgbDataset;
+use platform_models::{Phase, XeonModel};
+
+/// Embedding dimension of the swept layer (in = out = 256 per the paper).
+const K: usize = 256;
+
+/// SpMM time fraction of a single K=256 GCN layer on the CPU model.
+pub fn spmm_fraction(vertices: usize, density: f64) -> f64 {
+    let edges = ((vertices as f64).powi(2) * density).round().max(1.0) as usize;
+    // A graph must have at least ~1 edge per vertex to be meaningful here.
+    let edges = edges.max(vertices);
+    let w = GcnWorkload::new(vertices, edges, &[K, K]);
+    let t = XeonModel::default().gcn_times_full(&w);
+    t.fraction(Phase::Spmm)
+}
+
+/// Regenerates the Figure 2 grid and dataset annotations.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig2");
+
+    let scales: Vec<u32> = (12..=26).step_by(2).collect();
+    let densities: Vec<f64> = (0..6).map(|i| 1e-7 * 10f64.powi(i)).collect();
+
+    let mut grid = TextTable::new(
+        std::iter::once("|V| \\ density".to_string())
+            .chain(densities.iter().map(|d| format!("{d:.0e}")))
+            .collect::<Vec<_>>(),
+    );
+    for &s in &scales {
+        let v = 1usize << s;
+        let mut row = vec![format!("2^{s}")];
+        for &d in &densities {
+            row.push(pct(spmm_fraction(v, d)));
+        }
+        grid.row(row);
+    }
+    out.csv("grid.csv", grid.to_csv());
+    out.section(
+        "SpMM share of a K=256 GCN layer on CPU over (scale, density)",
+        &grid,
+    );
+
+    let mut annot = TextTable::new(vec!["dataset", "|V|", "density", "spmm_share"]);
+    for d in OgbDataset::TABLE1 {
+        let s = d.stats();
+        annot.row(vec![
+            s.name.to_string(),
+            s.vertices.to_string(),
+            format!("{:.2e}", s.density()),
+            pct(spmm_fraction(s.vertices, s.density())),
+        ]);
+    }
+    out.csv("datasets.csv", annot.to_csv());
+    out.section("OGB dataset coordinates on the contour map", &annot);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_grows_with_density_at_fixed_scale() {
+        // Paper: "for a given graph scale, the fraction of execution time
+        // spent in SpMM increases with the graph density".
+        let v = 1 << 18;
+        assert!(spmm_fraction(v, 1e-4) > spmm_fraction(v, 1e-6));
+    }
+
+    #[test]
+    fn share_grows_with_scale_at_fixed_density() {
+        // Paper: non-zeros grow quadratically with |V| at fixed density,
+        // Dense MM only linearly.
+        let d = 1e-5;
+        assert!(spmm_fraction(1 << 22, d) > spmm_fraction(1 << 14, d));
+    }
+
+    #[test]
+    fn arxiv_and_collab_sit_below_sixty_percent() {
+        // Paper: "arxiv and collab are expected to spend less than 60%
+        // execution time in SpMM for a layer with embedding dimension 256".
+        for d in [OgbDataset::Arxiv, OgbDataset::Collab] {
+            let s = d.stats();
+            let f = spmm_fraction(s.vertices, s.density());
+            assert!(f < 0.60, "{}: {f:.2}", s.name);
+        }
+    }
+
+    #[test]
+    fn dense_datasets_sit_high() {
+        // proteins and products should benefit more from PIUMA.
+        for d in [OgbDataset::Proteins, OgbDataset::Products] {
+            let s = d.stats();
+            let f = spmm_fraction(s.vertices, s.density());
+            assert!(f > 0.60, "{}: {f:.2}", s.name);
+        }
+    }
+
+    #[test]
+    fn output_has_grid_and_annotations() {
+        let out = run();
+        assert_eq!(out.sections.len(), 2);
+        assert_eq!(out.csv_files.len(), 2);
+    }
+}

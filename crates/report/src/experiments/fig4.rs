@@ -1,0 +1,110 @@
+//! Figure 4 — GPU execution-time breakdown (A100 model).
+
+use super::common::{dataset_workload, ms, pct, K_SWEEP};
+use crate::chart::stacked_bar_chart;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use platform_models::{GpuModel, Phase};
+
+/// Regenerates the Figure 4 sweep: per (dataset, K), the relative share of
+/// Offload / SpMM / Dense / Glue / Sampling on the A100 model.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig4");
+    let model = GpuModel::default();
+
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "K",
+        "offload%",
+        "spmm%",
+        "dense%",
+        "glue%",
+        "sampling%",
+        "total_ms",
+    ]);
+    let mut bars: Vec<(String, Vec<f64>)> = Vec::new();
+    for d in OgbDataset::TABLE1 {
+        for k in K_SWEEP {
+            let t = model.gcn_times(&dataset_workload(d, k));
+            table.row(vec![
+                d.to_string(),
+                k.to_string(),
+                pct(t.fraction(Phase::Offload)),
+                pct(t.fraction(Phase::Spmm)),
+                pct(t.fraction(Phase::Dense)),
+                pct(t.fraction(Phase::Glue)),
+                pct(t.fraction(Phase::Sampling)),
+                ms(t.total_ns()),
+            ]);
+            if k == 256 {
+                bars.push((
+                    d.to_string(),
+                    vec![
+                        t.fraction(Phase::Offload),
+                        t.fraction(Phase::Spmm),
+                        t.fraction(Phase::Dense),
+                        t.fraction(Phase::Sampling),
+                    ],
+                ));
+            }
+        }
+    }
+    out.csv("breakdown.csv", table.to_csv());
+    out.section("GPU GCN execution-time breakdown (A100-40GB model)", &table);
+    out.section(
+        "K=256 shares (O = Offload, S = SpMM, D = Dense, H = Host sampling)",
+        stacked_bar_chart(&bars, &['O', 'S', 'D', 'H'], 50),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(d: OgbDataset, k: usize) -> platform_models::GcnPhaseTimes {
+        GpuModel::default().gcn_times(&dataset_workload(d, k))
+    }
+
+    #[test]
+    fn offload_dominates_fitting_graphs() {
+        // Paper: "the clear performance bottleneck for GPU was the offload
+        // time" for graphs that fit on the device.
+        for d in [OgbDataset::Arxiv, OgbDataset::Collab, OgbDataset::Products] {
+            let t = times(d, 8);
+            assert!(
+                t.fraction(Phase::Offload) > 0.5,
+                "{d}: offload {:.2}",
+                t.fraction(Phase::Offload)
+            );
+        }
+    }
+
+    #[test]
+    fn papers_is_sampling_bound() {
+        let t = times(OgbDataset::Papers, 64);
+        assert!(t.fraction(Phase::Sampling) > 0.75);
+        assert!(t.fraction(Phase::Sampling) + t.fraction(Phase::Offload) > 0.9);
+    }
+
+    #[test]
+    fn compute_share_rises_with_k() {
+        let compute = |k| {
+            let t = times(OgbDataset::Products, k);
+            t.fraction(Phase::Spmm) + t.fraction(Phase::Dense)
+        };
+        assert!(compute(256) > compute(8));
+    }
+
+    #[test]
+    fn only_papers_samples() {
+        for d in OgbDataset::TABLE1 {
+            let t = times(d, 64);
+            if d == OgbDataset::Papers {
+                assert!(t.sampling_ns > 0.0);
+            } else {
+                assert_eq!(t.sampling_ns, 0.0, "{d} should fit on the GPU");
+            }
+        }
+    }
+}

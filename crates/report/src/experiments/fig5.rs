@@ -1,0 +1,146 @@
+//! Figure 5 — SpMM algorithms on PIUMA versus the bandwidth model:
+//! strong scaling of the DMA and loop-unrolled kernels, normalized to
+//! single-core DMA performance.
+
+use super::common::scaled_twin;
+use super::Fidelity;
+use crate::chart::bar_chart;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::{SpmmSimulation, SpmmVariant};
+use piuma_sim::MachineConfig;
+
+/// Core counts swept (the paper shows 1–32).
+pub const CORES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Core count.
+    pub cores: usize,
+    /// Embedding dimension.
+    pub k: usize,
+    /// DMA-kernel throughput (GFLOP/s).
+    pub dma_gflops: f64,
+    /// Loop-unrolled throughput (GFLOP/s).
+    pub unrolled_gflops: f64,
+    /// Analytical-model throughput (GFLOP/s).
+    pub model_gflops: f64,
+}
+
+/// Runs the sweep on a scaled `products` twin for the given dimensions.
+pub fn sweep(fidelity: Fidelity, ks: &[usize]) -> Vec<Point> {
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let mut points = Vec::new();
+    for &k in ks {
+        for cores in CORES {
+            let cfg = MachineConfig::node(cores);
+            let dma = SpmmSimulation::new(cfg.clone(), SpmmVariant::Dma)
+                .run(&a, k)
+                .expect("placement is in-range by construction");
+            let unrolled = SpmmSimulation::new(cfg, SpmmVariant::LoopUnrolled)
+                .run(&a, k)
+                .expect("placement is in-range by construction");
+            points.push(Point {
+                cores,
+                k,
+                dma_gflops: dma.gflops,
+                unrolled_gflops: unrolled.gflops,
+                model_gflops: dma.model_gflops,
+            });
+        }
+    }
+    points
+}
+
+/// Regenerates Figure 5.
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig5");
+    let ks: &[usize] = match fidelity {
+        Fidelity::Quick => &[256],
+        Fidelity::Full => &[8, 64, 256],
+    };
+    let points = sweep(fidelity, ks);
+    let base = points
+        .iter()
+        .find(|p| p.cores == 1 && p.k == *ks.last().expect("non-empty sweep"))
+        .expect("single-core point exists")
+        .dma_gflops;
+
+    let mut table = TextTable::new(vec![
+        "K",
+        "cores",
+        "dma_norm",
+        "unrolled_norm",
+        "model_norm",
+        "dma_gflops",
+        "unrolled_gflops",
+        "model_gflops",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.k.to_string(),
+            p.cores.to_string(),
+            format!("{:.2}", p.dma_gflops / base),
+            format!("{:.2}", p.unrolled_gflops / base),
+            format!("{:.2}", p.model_gflops / base),
+            format!("{:.2}", p.dma_gflops),
+            format!("{:.2}", p.unrolled_gflops),
+            format!("{:.2}", p.model_gflops),
+        ]);
+    }
+    out.csv("scaling.csv", table.to_csv());
+    out.section(
+        "SpMM strong scaling on PIUMA (normalized to 1-core DMA)",
+        &table,
+    );
+
+    let k_main = *ks.last().expect("non-empty sweep");
+    let bars: Vec<(String, f64)> = points
+        .iter()
+        .filter(|p| p.k == k_main)
+        .flat_map(|p| {
+            [
+                (format!("{}c dma", p.cores), p.dma_gflops / base),
+                (format!("{}c unrolled", p.cores), p.unrolled_gflops / base),
+                (format!("{}c model", p.cores), p.model_gflops / base),
+            ]
+        })
+        .collect();
+    out.section(&format!("K={k_main} normalized throughput"), bar_chart(&bars, 40));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_tracks_model_and_unrolled_falls_behind() {
+        let points = sweep(Fidelity::Quick, &[64]);
+        let at = |cores: usize| points.iter().find(|p| p.cores == cores).unwrap();
+        // Fig. 5: DMA stays within ~85% of the model through mid scale,
+        // while loop unrolling collapses past 8 cores.
+        assert!(at(8).dma_gflops / at(8).model_gflops > 0.75);
+        let dma_32 = at(32).dma_gflops / at(32).model_gflops;
+        let unrolled_32 = at(32).unrolled_gflops / at(32).model_gflops;
+        assert!(
+            dma_32 > unrolled_32 + 0.15,
+            "dma {dma_32:.2} vs unrolled {unrolled_32:.2} at 32 cores"
+        );
+        assert!(unrolled_32 < 0.5, "unrolled at 32 cores: {unrolled_32:.2}");
+    }
+
+    #[test]
+    fn dma_scales_monotonically() {
+        let points = sweep(Fidelity::Quick, &[64]);
+        for w in points.windows(2) {
+            assert!(
+                w[1].dma_gflops > w[0].dma_gflops,
+                "DMA throughput dropped from {} to {} cores",
+                w[0].cores,
+                w[1].cores
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Figure 6 — DRAM bandwidth and latency sensitivity of the DMA SpMM
+//! kernel on 2/4/8-core PIUMA systems at K = 8 and 256.
+
+use super::common::scaled_twin;
+use super::Fidelity;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::{SpmmSimulation, SpmmVariant};
+use piuma_sim::MachineConfig;
+use sparse::Csr;
+
+/// Core counts of the paper's Figure 6.
+pub const CORES: [usize; 3] = [2, 4, 8];
+/// Bandwidth multipliers applied to the per-slice default. The sweep stops
+/// at 2x: beyond that the DMA engines' streaming rate (not the network or
+/// the slices) becomes the binding resource in our model.
+pub const BW_SCALE: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+/// DRAM latencies swept (ns), 45 to 720 as in the paper.
+pub const LATENCIES: [f64; 5] = [45.0, 90.0, 180.0, 360.0, 720.0];
+
+fn gflops(a: &Csr, cfg: MachineConfig, k: usize) -> f64 {
+    SpmmSimulation::new(cfg, SpmmVariant::Dma)
+        .run(a, k)
+        .expect("in-range placement")
+        .gflops
+}
+
+/// Bandwidth sweep: returns `(cores, k, bw_scale, gflops)` points.
+pub fn bandwidth_sweep(a: &Csr, ks: &[usize]) -> Vec<(usize, usize, f64, f64)> {
+    let mut points = Vec::new();
+    for &cores in &CORES {
+        for &k in ks {
+            for &scale in &BW_SCALE {
+                let base = MachineConfig::node(cores);
+                let cfg = base.with_dram_bandwidth_gbps(base.dram_bandwidth_gbps * scale);
+                points.push((cores, k, scale, gflops(a, cfg, k)));
+            }
+        }
+    }
+    points
+}
+
+/// Latency sweep: returns `(cores, k, latency_ns, gflops)` points.
+pub fn latency_sweep(a: &Csr, ks: &[usize]) -> Vec<(usize, usize, f64, f64)> {
+    let mut points = Vec::new();
+    for &cores in &CORES {
+        for &k in ks {
+            for &lat in &LATENCIES {
+                let cfg = MachineConfig::node(cores).with_dram_latency_ns(lat);
+                points.push((cores, k, lat, gflops(a, cfg, k)));
+            }
+        }
+    }
+    points
+}
+
+/// Regenerates Figure 6 (top: bandwidth sweep, bottom: latency sweep).
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig6");
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let ks: &[usize] = &[8, 256];
+
+    let mut bw_table = TextTable::new(vec!["cores", "K", "bw_scale", "gflops", "vs_1x"]);
+    let bw_points = bandwidth_sweep(&a, ks);
+    for &(cores, k, scale, gf) in &bw_points {
+        let base = bw_points
+            .iter()
+            .find(|&&(c, kk, s, _)| c == cores && kk == k && s == 1.0)
+            .expect("1x point exists")
+            .3;
+        bw_table.row(vec![
+            cores.to_string(),
+            k.to_string(),
+            format!("{scale:.2}"),
+            format!("{gf:.2}"),
+            format!("{:.2}", gf / base),
+        ]);
+    }
+    out.csv("bandwidth.csv", bw_table.to_csv());
+    out.section("Top: DRAM bandwidth sweep (DMA SpMM, 16 thr/MTP)", &bw_table);
+
+    let mut lat_table = TextTable::new(vec!["cores", "K", "latency_ns", "gflops", "vs_45ns"]);
+    let lat_points = latency_sweep(&a, ks);
+    for &(cores, k, lat, gf) in &lat_points {
+        let base = lat_points
+            .iter()
+            .find(|&&(c, kk, l, _)| c == cores && kk == k && l == 45.0)
+            .expect("45ns point exists")
+            .3;
+        lat_table.row(vec![
+            cores.to_string(),
+            k.to_string(),
+            format!("{lat:.0}"),
+            format!("{gf:.2}"),
+            format!("{:.2}", gf / base),
+        ]);
+    }
+    out.csv("latency.csv", lat_table.to_csv());
+    out.section("Bottom: DRAM latency sweep (DMA SpMM, 16 thr/MTP)", &lat_table);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn twin() -> Csr {
+        scaled_twin(OgbDataset::Products, Fidelity::Quick)
+    }
+
+    #[test]
+    fn throughput_scales_near_linearly_with_bandwidth() {
+        // Fig. 6 top: "system performance scales linearly as the available
+        // bandwidth of a single DRAM slice increases".
+        let a = twin();
+        let points = bandwidth_sweep(&a, &[256]);
+        for &cores in &CORES {
+            let gf = |s: f64| {
+                points
+                    .iter()
+                    .find(|&&(c, _, sc, _)| c == cores && sc == s)
+                    .unwrap()
+                    .3
+            };
+            let ratio = gf(2.0) / gf(1.0);
+            assert!(
+                (1.6..=2.15).contains(&ratio),
+                "{cores} cores: 2x bandwidth gave {ratio:.2}x"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_insensitive_to_360ns_with_full_threads() {
+        // Fig. 6 bottom: flat response up to 360 ns DRAM latency.
+        let a = twin();
+        let points = latency_sweep(&a, &[256]);
+        for &cores in &CORES {
+            let gf = |l: f64| {
+                points
+                    .iter()
+                    .find(|&&(c, _, lat, _)| c == cores && lat == l)
+                    .unwrap()
+                    .3
+            };
+            let retained = gf(360.0) / gf(45.0);
+            assert!(
+                retained > 0.85,
+                "{cores} cores: {:.0}% retained at 360 ns",
+                retained * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_latency_eventually_hurts_small_k() {
+        // 720 ns at K=8 approaches the per-thread issue limit.
+        let a = twin();
+        let points = latency_sweep(&a, &[8]);
+        let gf = |l: f64| {
+            points
+                .iter()
+                .find(|&&(c, _, lat, _)| c == 8 && lat == l)
+                .unwrap()
+                .3
+        };
+        assert!(gf(720.0) < gf(45.0));
+    }
+}

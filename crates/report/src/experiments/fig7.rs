@@ -1,0 +1,158 @@
+//! Figure 7 — consequences of MTP thread count on latency insensitivity,
+//! and the execution-time breakdown at K = 8.
+
+use super::common::{pct, scaled_twin};
+use super::Fidelity;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::{SpmmSimulation, SpmmVariant};
+use piuma_sim::program::OpTag;
+use piuma_sim::MachineConfig;
+use sparse::Csr;
+
+/// Threads-per-MTP sweep (default hardware maximum is 16).
+pub const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+/// DRAM latencies swept (ns).
+pub const LATENCIES: [f64; 5] = [45.0, 90.0, 180.0, 360.0, 720.0];
+/// The experiment runs on one 8-core die, as in the paper.
+pub const CORES: usize = 8;
+
+/// Sweep result: `(threads_per_mtp, k, latency_ns, gflops)`.
+pub fn sweep(a: &Csr, ks: &[usize]) -> Vec<(usize, usize, f64, f64)> {
+    let mut points = Vec::new();
+    for &tpm in &THREADS {
+        for &k in ks {
+            for &lat in &LATENCIES {
+                let cfg = MachineConfig::node(CORES)
+                    .with_threads_per_mtp(tpm)
+                    .with_dram_latency_ns(lat);
+                let gf = SpmmSimulation::new(cfg, SpmmVariant::Dma)
+                    .run(a, k)
+                    .expect("in-range placement")
+                    .gflops;
+                points.push((tpm, k, lat, gf));
+            }
+        }
+    }
+    points
+}
+
+/// Regenerates Figure 7: the thread/latency sweep (top) and the K=8
+/// execution-time breakdown (bottom).
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig7");
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let ks = [8usize, 256];
+    let points = sweep(&a, &ks);
+
+    let mut table = TextTable::new(vec!["thr/MTP", "K", "latency_ns", "gflops", "vs_45ns"]);
+    for &(tpm, k, lat, gf) in &points {
+        let base = points
+            .iter()
+            .find(|&&(t, kk, l, _)| t == tpm && kk == k && l == 45.0)
+            .expect("45ns point")
+            .3;
+        table.row(vec![
+            tpm.to_string(),
+            k.to_string(),
+            format!("{lat:.0}"),
+            format!("{gf:.2}"),
+            format!("{:.2}", gf / base),
+        ]);
+    }
+    out.csv("threads.csv", table.to_csv());
+    out.section(
+        "Latency tolerance vs threads per MTP (8-core die, DMA SpMM)",
+        &table,
+    );
+
+    // Bottom: breakdown for K = 8 across thread counts at default latency.
+    let mut bd = TextTable::new(vec![
+        "thr/MTP",
+        "nnz_read%",
+        "row_ptr%",
+        "dma_feature%",
+        "output%",
+        "compute%",
+    ]);
+    for &tpm in &THREADS {
+        let cfg = MachineConfig::node(CORES).with_threads_per_mtp(tpm);
+        let r = SpmmSimulation::new(cfg, SpmmVariant::Dma)
+            .run(&a, 8)
+            .expect("in-range placement");
+        bd.row(vec![
+            tpm.to_string(),
+            pct(r.sim.time_fraction(OpTag::NnzRead)),
+            pct(r.sim.time_fraction(OpTag::RowPtrRead)),
+            pct(r.sim.time_fraction(OpTag::FeatureRead)),
+            pct(r.sim.time_fraction(OpTag::OutputWrite)),
+            pct(r.sim.time_fraction(OpTag::Compute)),
+        ]);
+    }
+    out.csv("breakdown_k8.csv", bd.to_csv());
+    out.section("Execution-time breakdown for K=8", &bd);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_loses_latency_tolerance_at_small_k() {
+        // Fig. 7: "when the number of threads is reduced, the latency
+        // insensitivity property is lost for smaller embedding dimensions".
+        let a = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        let points = sweep(&a, &[8]);
+        let retained = |tpm: usize| {
+            let at = |l: f64| {
+                points
+                    .iter()
+                    .find(|&&(t, _, lat, _)| t == tpm && lat == l)
+                    .unwrap()
+                    .3
+            };
+            at(360.0) / at(45.0)
+        };
+        assert!(
+            retained(1) < retained(16) - 0.2,
+            "1 thread retains {:.2}, 16 threads retain {:.2}",
+            retained(1),
+            retained(16)
+        );
+    }
+
+    #[test]
+    fn single_thread_keeps_tolerance_at_large_k() {
+        // Fig. 7: "...while it is retained for higher embedding dimensions".
+        let a = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        let points = sweep(&a, &[256]);
+        let at = |l: f64| {
+            points
+                .iter()
+                .find(|&&(t, _, lat, _)| t == 1 && lat == l)
+                .unwrap()
+                .3
+        };
+        assert!(
+            at(360.0) / at(45.0) > 0.75,
+            "K=256 single-thread retention {:.2}",
+            at(360.0) / at(45.0)
+        );
+    }
+
+    #[test]
+    fn nnz_share_shrinks_with_more_threads_overlap() {
+        // More threads -> more overlap of NNZ stalls with DMA work; the
+        // total time shrinks even though per-op stalls are unchanged.
+        let a = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        let gf = |tpm: usize| {
+            let cfg = MachineConfig::node(CORES).with_threads_per_mtp(tpm);
+            SpmmSimulation::new(cfg, SpmmVariant::Dma)
+                .run(&a, 8)
+                .unwrap()
+                .gflops
+        };
+        assert!(gf(16) > gf(1) * 1.5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Figure 8 — strong scaling of SpMM on PIUMA versus Xeon on `products`:
+//! system bandwidth comparison (left), SpMM throughput comparison (middle),
+//! and the 16-core PIUMA execution-time breakdown (right).
+
+use super::common::{dataset_workload, pct, scaled_twin};
+use super::Fidelity;
+use crate::{ExperimentOutput, TextTable};
+use graph::OgbDataset;
+use piuma_kernels::{SpmmSimulation, SpmmVariant};
+use piuma_sim::program::OpTag;
+use piuma_sim::MachineConfig;
+use platform_models::XeonModel;
+
+/// PIUMA core counts swept.
+pub const PIUMA_CORES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// CPU thread counts swept (beyond 80 physical cores = hyper-threading).
+pub const CPU_THREADS: [usize; 7] = [1, 4, 16, 40, 80, 120, 160];
+
+/// Left panel: `(label, bandwidth GB/s)` for both systems.
+pub fn bandwidth_comparison() -> Vec<(String, f64)> {
+    let xeon = XeonModel::default();
+    let mut rows = Vec::new();
+    for &t in &CPU_THREADS {
+        rows.push((format!("xeon {t}t"), xeon.stream_bandwidth_gbps(t)));
+    }
+    for &c in &PIUMA_CORES {
+        rows.push((
+            format!("piuma {c}c"),
+            MachineConfig::node(c).aggregate_bandwidth_gbps(),
+        ));
+    }
+    rows
+}
+
+/// A `(parallelism, GFLOP/s)` scaling curve.
+pub type ScalingCurve = Vec<(usize, f64)>;
+
+/// Middle panel: SpMM throughput on `products` at K = 256, in GFLOP/s:
+/// simulated PIUMA (scaled twin) and the CPU model (full-size graph),
+/// both normalized later against single-core PIUMA.
+pub fn spmm_comparison(fidelity: Fidelity) -> (ScalingCurve, ScalingCurve) {
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let k = 256;
+    let piuma: ScalingCurve = PIUMA_CORES
+        .iter()
+        .map(|&c| {
+            let gf = SpmmSimulation::new(MachineConfig::node(c), SpmmVariant::Dma)
+                .run(&a, k)
+                .expect("in-range placement")
+                .gflops;
+            (c, gf)
+        })
+        .collect();
+
+    // CPU: model the middle (hidden) layer of the full-size graph and
+    // convert time to throughput, then rescale to the twin's FLOP count so
+    // the two curves share units.
+    let xeon = XeonModel::default();
+    let layer = dataset_workload(OgbDataset::Products, k).layers()[1];
+    let flops = 2.0 * layer.edges as f64 * k as f64;
+    let cpu: ScalingCurve = CPU_THREADS
+        .iter()
+        .map(|&t| (t, flops / xeon.spmm_time_ns(&layer, t)))
+        .collect();
+    (piuma, cpu)
+}
+
+/// Regenerates Figure 8.
+pub fn run(fidelity: Fidelity) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig8");
+
+    let mut bw = TextTable::new(vec!["system", "bandwidth_gbps"]);
+    for (label, gbps) in bandwidth_comparison() {
+        bw.row(vec![label, format!("{gbps:.0}")]);
+    }
+    out.csv("bandwidth.csv", bw.to_csv());
+    out.section("Left: system memory bandwidth comparison", &bw);
+
+    let (piuma, cpu) = spmm_comparison(fidelity);
+    let base = piuma[0].1;
+    let mut mid = TextTable::new(vec!["system", "parallelism", "gflops", "norm_to_1c_piuma"]);
+    for &(c, gf) in &piuma {
+        mid.row(vec![
+            "piuma".into(),
+            format!("{c} cores"),
+            format!("{gf:.2}"),
+            format!("{:.2}", gf / base),
+        ]);
+    }
+    for &(t, gf) in &cpu {
+        mid.row(vec![
+            "xeon".into(),
+            format!("{t} threads"),
+            format!("{gf:.2}"),
+            format!("{:.2}", gf / base),
+        ]);
+    }
+    out.csv("spmm_scaling.csv", mid.to_csv());
+    out.section(
+        "Middle: SpMM strong scaling on products, K=256 (normalized to 1-core PIUMA)",
+        &mid,
+    );
+
+    // Right: 16-core PIUMA execution-time breakdown across K.
+    let a = scaled_twin(OgbDataset::Products, fidelity);
+    let mut right = TextTable::new(vec![
+        "K",
+        "nnz_read%",
+        "row_ptr%",
+        "dma_feature%",
+        "output%",
+    ]);
+    for k in [8usize, 64, 256] {
+        let r = SpmmSimulation::new(MachineConfig::node(16), SpmmVariant::Dma)
+            .run(&a, k)
+            .expect("in-range placement");
+        right.row(vec![
+            k.to_string(),
+            pct(r.sim.time_fraction(OpTag::NnzRead)),
+            pct(r.sim.time_fraction(OpTag::RowPtrRead)),
+            pct(r.sim.time_fraction(OpTag::FeatureRead)),
+            pct(r.sim.time_fraction(OpTag::OutputWrite)),
+        ]);
+    }
+    out.csv("breakdown.csv", right.to_csv());
+    out.section("Right: 16-core PIUMA SpMM time breakdown", &right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piuma_bandwidth_passes_xeon_past_16_cores() {
+        // Fig. 8 left: "the memory bandwidth of PIUMA exceeds CPU after
+        // ~16 cores"; the CPU curve dips past 80 threads.
+        let rows = bandwidth_comparison();
+        let get = |label: &str| rows.iter().find(|(l, _)| l == label).unwrap().1;
+        assert!(get("piuma 8c") < get("xeon 80t"));
+        assert!(get("piuma 16c") >= get("xeon 80t") * 0.95);
+        assert!(get("piuma 32c") > get("xeon 80t"));
+        assert!(get("xeon 160t") < get("xeon 80t"));
+    }
+
+    #[test]
+    fn nnz_read_share_shrinks_with_k() {
+        // Fig. 8 right: "execution time attributed to reading non-zero
+        // values decreases as the embedding dimension increases".
+        let a = scaled_twin(OgbDataset::Products, Fidelity::Quick);
+        let nnz_share = |k: usize| {
+            SpmmSimulation::new(MachineConfig::node(16), SpmmVariant::Dma)
+                .run(&a, k)
+                .unwrap()
+                .sim
+                .time_fraction(OpTag::NnzRead)
+        };
+        let small = nnz_share(8);
+        let large = nnz_share(256);
+        assert!(
+            large < small,
+            "NNZ share should fall with K: {small:.2} -> {large:.2}"
+        );
+    }
+
+    #[test]
+    fn cpu_is_competitive_at_16_cores_but_loses_at_scale() {
+        // Fig. 8 middle: at ~16 cores the CPU (with its cache advantage on
+        // products) is at or above PIUMA; PIUMA pulls away with more cores.
+        let (piuma, cpu) = spmm_comparison(Fidelity::Quick);
+        let piuma_at = |c: usize| piuma.iter().find(|&&(x, _)| x == c).unwrap().1;
+        let cpu_full = cpu.iter().find(|&&(t, _)| t == 80).unwrap().1;
+        assert!(
+            piuma_at(32) > cpu_full,
+            "32-core PIUMA {} should beat full CPU {}",
+            piuma_at(32),
+            cpu_full
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 9 — single-node GCN and SpMM speedups of PIUMA and the A100
+//! against the dual-socket Xeon baseline, across datasets and embedding
+//! dimensions.
+
+use super::common::{dataset_workload, K_SWEEP};
+use crate::chart::bar_chart;
+use crate::{ExperimentOutput, TextTable};
+use analytic::workload::GcnWorkload;
+use graph::OgbDataset;
+use platform_models::{GpuModel, PiumaModel, XeonModel};
+
+/// Speedups for one `(dataset, K)` cell.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupPoint {
+    /// GCN speedup of PIUMA over the CPU baseline.
+    pub piuma_gcn: f64,
+    /// GCN speedup of the GPU over the CPU baseline.
+    pub gpu_gcn: f64,
+    /// SpMM-kernel-only speedup of PIUMA over CPU.
+    pub piuma_spmm: f64,
+    /// SpMM-kernel-only speedup of GPU over CPU.
+    pub gpu_spmm: f64,
+}
+
+/// Computes the Figure 9 speedups for one dataset and hidden dimension.
+pub fn speedups(d: OgbDataset, hidden: usize) -> SpeedupPoint {
+    let w: GcnWorkload = dataset_workload(d, hidden);
+    let xeon = XeonModel::default();
+    let gpu = GpuModel::default();
+    let piuma = PiumaModel::default();
+
+    let tx = xeon.gcn_times_full(&w);
+    let tg = gpu.gcn_times(&w);
+    let tp = piuma.gcn_times(&w);
+
+    let cpu_spmm: f64 = tx.spmm_ns;
+    let piuma_spmm: f64 = tp.spmm_ns;
+    // GPU SpMM-kernel speedup per the companion study compares on-device
+    // kernel time only.
+    let gpu_spmm: f64 = tg.spmm_ns;
+    SpeedupPoint {
+        piuma_gcn: tp.speedup_over(&tx),
+        gpu_gcn: tg.speedup_over(&tx),
+        piuma_spmm: cpu_spmm / piuma_spmm,
+        gpu_spmm: cpu_spmm / gpu_spmm,
+    }
+}
+
+/// Regenerates Figure 9.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("fig9");
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "K",
+        "piuma_gcn_x",
+        "gpu_gcn_x",
+        "piuma_spmm_x",
+        "gpu_spmm_x",
+    ]);
+    let mut bars: Vec<(String, f64)> = Vec::new();
+    for d in OgbDataset::FIGURE9 {
+        for k in K_SWEEP {
+            let s = speedups(d, k);
+            table.row(vec![
+                d.to_string(),
+                k.to_string(),
+                format!("{:.2}", s.piuma_gcn),
+                format!("{:.2}", s.gpu_gcn),
+                format!("{:.2}", s.piuma_spmm),
+                format!("{:.2}", s.gpu_spmm),
+            ]);
+            if k == 64 {
+                bars.push((format!("{d} piuma"), s.piuma_gcn));
+                bars.push((format!("{d} gpu"), s.gpu_gcn));
+            }
+        }
+    }
+    out.csv("speedups.csv", table.to_csv());
+    out.section(
+        "GCN and SpMM speedups vs dual-socket Xeon (single node each)",
+        &table,
+    );
+    out.section("GCN speedup at K=64 (bars)", bar_chart(&bars, 40));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piuma_gcn_always_beats_cpu() {
+        for d in OgbDataset::FIGURE9 {
+            for k in [8usize, 64, 256] {
+                let s = speedups(d, k);
+                assert!(s.piuma_gcn > 1.0, "{d} K={k}: {:.2}", s.piuma_gcn);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_loses_at_small_k_and_wins_at_large_k() {
+        // Fig. 9: "GPUs actually performed worse than CPUs for lower
+        // embedding dimensions due to the offloading overhead", while GPU
+        // speedup grows with K.
+        let low = speedups(OgbDataset::Products, 8);
+        let high = speedups(OgbDataset::Products, 256);
+        assert!(low.gpu_gcn < 1.0, "GPU at K=8: {:.2}", low.gpu_gcn);
+        assert!(high.gpu_gcn > low.gpu_gcn);
+        assert!(high.gpu_gcn > 1.0, "GPU at K=256: {:.2}", high.gpu_gcn);
+    }
+
+    #[test]
+    fn gpu_collapses_on_papers() {
+        // The sampling cliff: GPU far below CPU on the graph that does not
+        // fit in device memory.
+        for k in [8usize, 256] {
+            let s = speedups(OgbDataset::Papers, k);
+            assert!(s.gpu_gcn < 0.7, "papers K={k}: gpu {:.2}", s.gpu_gcn);
+        }
+    }
+
+    #[test]
+    fn piuma_speedup_shrinks_with_k_while_gpu_grows() {
+        let low = speedups(OgbDataset::Citation2, 8);
+        let high = speedups(OgbDataset::Citation2, 256);
+        assert!(low.piuma_gcn > high.piuma_gcn);
+        assert!(low.gpu_gcn < high.gpu_gcn);
+    }
+
+    #[test]
+    fn piuma_beats_gpu_on_low_locality_synthetic_graphs() {
+        // Fig. 9: PIUMA significantly outperforms GPU on SpMM for
+        // power-16 / power-22.
+        for d in [OgbDataset::Power16, OgbDataset::Power22] {
+            let s = speedups(d, 64);
+            assert!(
+                s.piuma_spmm > 1.0,
+                "{d}: piuma spmm speedup {:.2}",
+                s.piuma_spmm
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! The experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] produces an [`ExperimentOutput`]: a
+//! set of rendered text tables (printed to the terminal) and CSV files (for
+//! plotting). The `repro` binary drives them:
+//!
+//! ```text
+//! repro table1            # Table I
+//! repro fig5 --full       # Fig. 5 at full fidelity
+//! repro all --out results # everything, CSVs under results/
+//! ```
+//!
+//! The mapping from experiment id to paper figure is catalogued in
+//! `DESIGN.md`; expected-shape checks live in `EXPERIMENTS.md` and the
+//! workspace integration tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod output;
+pub mod table;
+
+pub use output::ExperimentOutput;
+pub use table::TextTable;

@@ -1,0 +1,91 @@
+//! Experiment output container and disk emission.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// The rendered result of one experiment: named text sections for the
+/// terminal plus named CSV files for plotting.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"fig5"`.
+    pub name: String,
+    /// `(section title, rendered text)` pairs, in display order.
+    pub sections: Vec<(String, String)>,
+    /// `(file name, csv content)` pairs.
+    pub csv_files: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output for the named experiment.
+    pub fn new(name: &str) -> Self {
+        ExperimentOutput {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Appends a rendered text section.
+    pub fn section(&mut self, title: &str, body: impl fmt::Display) -> &mut Self {
+        self.sections.push((title.to_string(), body.to_string()));
+        self
+    }
+
+    /// Appends a CSV file.
+    pub fn csv(&mut self, file_name: &str, content: String) -> &mut Self {
+        self.csv_files.push((file_name.to_string(), content));
+        self
+    }
+
+    /// Writes all CSV files under `dir` (created if needed), prefixed with
+    /// the experiment name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv_files(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, content) in &self.csv_files {
+            std::fs::write(dir.join(format!("{}_{}", self.name, name)), content)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ExperimentOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== {} ====", self.name)?;
+        for (title, body) in &self.sections {
+            writeln!(f, "\n-- {title} --")?;
+            writeln!(f, "{body}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_sections_in_order() {
+        let mut o = ExperimentOutput::new("figX");
+        o.section("first", "alpha").section("second", "beta");
+        let text = o.to_string();
+        let a = text.find("alpha").unwrap();
+        let b = text.find("beta").unwrap();
+        assert!(a < b);
+        assert!(text.contains("==== figX ===="));
+    }
+
+    #[test]
+    fn csv_files_are_written_with_prefix() {
+        let dir = std::env::temp_dir().join(format!("report-test-{}", std::process::id()));
+        let mut o = ExperimentOutput::new("t1");
+        o.csv("data.csv", "a,b\n1,2\n".to_string());
+        o.write_csv_files(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("t1_data.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,159 @@
+//! Compressed Sparse Column format.
+//!
+//! CSC is the transpose-view companion to [`Csr`]: columns are contiguous
+//! instead of rows. GCN aggregation itself wants CSR (it streams
+//! *in-edges* per output row), but backpropagation and pull-style analytics
+//! want fast access to *out*-edges — which is exactly a CSC view of the
+//! same matrix.
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in Compressed Sparse Column form.
+///
+/// Internally stored as the CSR of the transpose, which makes the
+/// `Csr <-> Csc` conversions exact and cheap to reason about.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::{Coo, Csr, Csc};
+///
+/// let mut coo = Coo::new(2, 3);
+/// coo.push(0, 2, 5.0);
+/// coo.push(1, 2, 7.0);
+/// let csc = Csc::from_csr(&Csr::from_coo(&coo));
+/// assert_eq!(csc.col_rows(2), &[0, 1]);
+/// assert_eq!(csc.col_values(2), &[5.0, 7.0]);
+/// assert_eq!(csc.col_rows(0), &[0u32; 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csc {
+    transposed: Csr,
+}
+
+impl Csc {
+    /// Builds the CSC form of a CSR matrix.
+    pub fn from_csr(csr: &Csr) -> Self {
+        Csc {
+            transposed: csr.transpose(),
+        }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> Csr {
+        self.transposed.transpose()
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.transposed.ncols()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.transposed.nrows()
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows(), self.ncols())
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.transposed.nnz()
+    }
+
+    /// Row indices of the non-zeros in column `j`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn col_rows(&self, j: usize) -> &[u32] {
+        self.transposed.row_cols(j)
+    }
+
+    /// Values of the non-zeros in column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn col_values(&self, j: usize) -> &[f32] {
+        self.transposed.row_values(j)
+    }
+
+    /// Non-zero count of column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.ncols()`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.transposed.row_nnz(j)
+    }
+
+    /// Looks up entry `(row, col)`; `None` for structural zeros.
+    pub fn get(&self, row: usize, col: usize) -> Option<f32> {
+        self.transposed.get(col, row)
+    }
+
+    /// Iterates `(row, col, value)` in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.transposed.iter().map(|(c, r, v)| (r, c, v))
+    }
+}
+
+impl From<&Csr> for Csc {
+    fn from(csr: &Csr) -> Self {
+        Csc::from_csr(csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr {
+        // [ 0 1 0 ]
+        // [ 2 0 3 ]
+        let mut coo = Coo::new(2, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 2, 3.0);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn round_trip_preserves_the_matrix() {
+        let csr = sample();
+        let csc = Csc::from_csr(&csr);
+        assert_eq!(csc.to_csr(), csr);
+        assert_eq!(csc.shape(), (2, 3));
+        assert_eq!(csc.nnz(), 3);
+    }
+
+    #[test]
+    fn column_access_matches_entries() {
+        let csc = Csc::from_csr(&sample());
+        assert_eq!(csc.col_rows(0), &[1]);
+        assert_eq!(csc.col_values(0), &[2.0]);
+        assert_eq!(csc.col_nnz(1), 1);
+        assert_eq!(csc.get(1, 2), Some(3.0));
+        assert_eq!(csc.get(0, 0), None);
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let csc = Csc::from_csr(&sample());
+        let triplets: Vec<_> = csc.iter().collect();
+        assert_eq!(triplets, vec![(1, 0, 2.0), (0, 1, 1.0), (1, 2, 3.0)]);
+    }
+
+    #[test]
+    fn from_ref_trait_works() {
+        let csr = sample();
+        let csc: Csc = (&csr).into();
+        assert_eq!(csc.nnz(), csr.nnz());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for sparse-matrix operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by sparse-matrix construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A coordinate was outside the declared matrix shape.
+    IndexOutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The offending column index.
+        col: usize,
+        /// Matrix shape as `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// Raw CSR arrays failed an invariant check.
+    InvalidCsr {
+        /// Which invariant was violated.
+        reason: String,
+    },
+    /// A sparse and a dense operand had incompatible shapes.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Sparse operand shape.
+        sparse: (usize, usize),
+        /// Dense operand shape.
+        dense: (usize, usize),
+    },
+    /// Normalization requires a square adjacency matrix.
+    NotSquare {
+        /// The actual shape.
+        shape: (usize, usize),
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {}x{} matrix",
+                shape.0, shape.1
+            ),
+            SparseError::InvalidCsr { reason } => write!(f, "invalid CSR structure: {reason}"),
+            SparseError::DimensionMismatch { op, sparse, dense } => write!(
+                f,
+                "dimension mismatch in {op}: sparse is {}x{}, dense is {}x{}",
+                sparse.0, sparse.1, dense.0, dense.1
+            ),
+            SparseError::NotSquare { shape } => {
+                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+        }
+    }
+}
+
+impl Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_coordinates() {
+        let e = SparseError::IndexOutOfBounds {
+            row: 9,
+            col: 4,
+            shape: (3, 3),
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('4') && s.contains("3x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

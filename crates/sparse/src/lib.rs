@@ -1,0 +1,47 @@
+//! Sparse matrix formats and graph-adjacency utilities.
+//!
+//! The aggregation phase of a GCN multiplies a sparse normalized adjacency
+//! matrix by a dense feature matrix (SpMM). This crate provides the sparse
+//! side of that story:
+//!
+//! * [`Coo`] — an edge-list / triplet builder format,
+//! * [`Csr`] — compressed sparse row, the execution format used by every
+//!   SpMM kernel in this workspace (and the format whose byte traffic the
+//!   paper's analytical model, Eq. 1, is written for),
+//! * [`norm`] — the symmetric GCN normalization
+//!   `A_hat = D^-1/2 (A + I) D^-1/2` from Kipf & Welling,
+//! * [`stats`] — degree/density statistics used by the characterization.
+//!
+//! # Examples
+//!
+//! ```
+//! use sparse::{Coo, Csr};
+//!
+//! let mut coo = Coo::new(3, 3);
+//! coo.push(0, 1, 1.0);
+//! coo.push(1, 2, 2.0);
+//! coo.push(0, 1, 0.5); // duplicate entries are summed on conversion
+//! let csr = Csr::from_coo(&coo);
+//! assert_eq!(csr.nnz(), 2);
+//! assert_eq!(csr.get(0, 1), Some(1.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod norm;
+pub mod ops;
+pub mod stats;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use error::SparseError;
+pub use stats::DegreeStats;
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,193 @@
+//! GCN adjacency normalization (Kipf & Welling).
+//!
+//! A GCN layer computes `H' = sigma(A_hat * H * W)` where
+//! `A_hat = D^-1/2 (A + I) D^-1/2`, `A` is the (unweighted) adjacency matrix
+//! with self loops added, and `D` its degree matrix. This module builds
+//! `A_hat` in CSR form.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Result;
+
+/// Normalization schemes for the adjacency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NormKind {
+    /// Symmetric GCN normalization `D^-1/2 (A + I) D^-1/2`.
+    #[default]
+    Symmetric,
+    /// Random-walk (row) normalization `D^-1 (A + I)`.
+    RandomWalk,
+    /// Self loops added but no degree scaling.
+    None,
+}
+
+/// Builds the normalized adjacency matrix `A_hat` from a square adjacency
+/// CSR. Self loops are always added (entries on the diagonal are merged with
+/// any pre-existing ones before scaling).
+///
+/// Edge values in the input are treated as weights; a plain 0/1 adjacency
+/// yields the textbook formula.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `adj` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::{Coo, Csr};
+/// use sparse::norm::{normalize, NormKind};
+///
+/// // A path graph 0 - 1: each vertex ends with degree 2 (1 edge + self loop).
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// let a_hat = normalize(&Csr::from_coo(&coo), NormKind::Symmetric).unwrap();
+/// assert!((a_hat.get(0, 0).unwrap() - 0.5).abs() < 1e-6);
+/// assert!((a_hat.get(0, 1).unwrap() - 0.5).abs() < 1e-6);
+/// ```
+pub fn normalize(adj: &Csr, kind: NormKind) -> Result<Csr> {
+    if adj.nrows() != adj.ncols() {
+        return Err(SparseError::NotSquare { shape: adj.shape() });
+    }
+    let n = adj.nrows();
+
+    // A + I
+    let mut coo = Coo::with_capacity(n, n, adj.nnz() + n);
+    for (r, c, v) in adj.iter() {
+        coo.push(r, c, v);
+    }
+    for i in 0..n {
+        coo.push(i, i, 1.0);
+    }
+    let with_loops = Csr::from_coo(&coo);
+
+    if kind == NormKind::None {
+        return Ok(with_loops);
+    }
+
+    // Weighted degree of A + I.
+    let mut degree = vec![0.0f64; n];
+    for (r, _, v) in with_loops.iter() {
+        degree[r] += v as f64;
+    }
+
+    let inv_sqrt: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let inv: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+        .collect();
+
+    let mut scaled = Coo::with_capacity(n, n, with_loops.nnz());
+    for (r, c, v) in with_loops.iter() {
+        let w = match kind {
+            NormKind::Symmetric => v as f64 * inv_sqrt[r] * inv_sqrt[c],
+            NormKind::RandomWalk => v as f64 * inv[r],
+            NormKind::None => unreachable!("handled above"),
+        };
+        scaled.push(r, c, w as f32);
+    }
+    Ok(Csr::from_coo(&scaled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        // 0 - 1 - 2 undirected path
+        let mut coo = Coo::new(3, 3);
+        for &(a, b) in &[(0usize, 1usize), (1, 2)] {
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn symmetric_norm_rows_of_regular_graph_sum_to_one() {
+        // A 4-cycle is 2-regular; with self loops every degree is 3 and the
+        // symmetric norm coincides with the random-walk norm, so rows sum to 1.
+        let mut coo = Coo::new(4, 4);
+        for &(a, b) in &[(0usize, 1usize), (1, 2), (2, 3), (3, 0)] {
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+        }
+        let a_hat = normalize(&Csr::from_coo(&coo), NormKind::Symmetric).unwrap();
+        for r in 0..4 {
+            let s: f32 = a_hat.row_values(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn symmetric_norm_matches_hand_computation_on_path() {
+        let a_hat = normalize(&path3(), NormKind::Symmetric).unwrap();
+        // Degrees with self loops: [2, 3, 2].
+        assert!((a_hat.get(0, 0).unwrap() - 0.5).abs() < 1e-6);
+        let expect_01 = 1.0 / (2.0f32 * 3.0).sqrt();
+        assert!((a_hat.get(0, 1).unwrap() - expect_01).abs() < 1e-6);
+        assert!((a_hat.get(1, 1).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_norm_is_symmetric() {
+        let a_hat = normalize(&path3(), NormKind::Symmetric).unwrap();
+        for (r, c, v) in a_hat.iter() {
+            let vt = a_hat.get(c, r).expect("symmetric entry");
+            assert!((v - vt).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_walk_rows_sum_to_one() {
+        let a_hat = normalize(&path3(), NormKind::RandomWalk).unwrap();
+        for r in 0..3 {
+            let s: f32 = a_hat.row_values(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn none_only_adds_self_loops() {
+        let a_hat = normalize(&path3(), NormKind::None).unwrap();
+        assert_eq!(a_hat.nnz(), path3().nnz() + 3);
+        assert_eq!(a_hat.get(2, 2), Some(1.0));
+        assert_eq!(a_hat.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn isolated_vertices_get_self_loop_weight_one() {
+        let adj = Csr::empty(2, 2);
+        let a_hat = normalize(&adj, NormKind::Symmetric).unwrap();
+        // Degree 1 (self loop only) -> weight 1/sqrt(1)/sqrt(1) = 1.
+        assert_eq!(a_hat.get(0, 0), Some(1.0));
+        assert_eq!(a_hat.get(1, 1), Some(1.0));
+        assert_eq!(a_hat.nnz(), 2);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let adj = Csr::empty(2, 3);
+        assert!(matches!(
+            normalize(&adj, NormKind::Symmetric),
+            Err(SparseError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn existing_self_loops_are_merged_not_duplicated() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a_hat = normalize(&Csr::from_coo(&coo), NormKind::None).unwrap();
+        // (0,0) exists once with merged weight 2.0 (existing 1.0 + added 1.0).
+        assert_eq!(a_hat.get(0, 0), Some(2.0));
+        assert_eq!(a_hat.nnz(), 4);
+    }
+}

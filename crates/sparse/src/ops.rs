@@ -1,0 +1,196 @@
+//! Additional sparse linear-algebra operations: SpMV and sparse sums.
+//!
+//! SpMM with `K = 1` degenerates to sparse matrix-vector multiplication —
+//! the kernel behind PageRank-style power iteration, another classic
+//! PIUMA workload. A dedicated SpMV avoids the dense-matrix scaffolding.
+
+use crate::csr::Csr;
+use crate::error::SparseError;
+use crate::Coo;
+use crate::Result;
+
+/// Sparse matrix-vector product `y = A * x`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if `x.len() != a.ncols()`.
+///
+/// # Examples
+///
+/// ```
+/// use sparse::{Coo, Csr};
+/// use sparse::ops::spmv;
+///
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 1, 2.0);
+/// coo.push(1, 0, 3.0);
+/// let a = Csr::from_coo(&coo);
+/// assert_eq!(spmv(&a, &[1.0, 10.0]).unwrap(), vec![20.0, 3.0]);
+/// ```
+pub fn spmv(a: &Csr, x: &[f32]) -> Result<Vec<f32>> {
+    if x.len() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            op: "spmv",
+            sparse: a.shape(),
+            dense: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0f32; a.nrows()];
+    for (u, out) in y.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+            acc += w * x[v as usize];
+        }
+        *out = acc;
+    }
+    Ok(y)
+}
+
+/// Element-wise sum of two sparse matrices (`a + b`).
+///
+/// # Errors
+///
+/// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+pub fn add(a: &Csr, b: &Csr) -> Result<Csr> {
+    if a.shape() != b.shape() {
+        return Err(SparseError::DimensionMismatch {
+            op: "add",
+            sparse: a.shape(),
+            dense: b.shape(),
+        });
+    }
+    let mut coo = Coo::with_capacity(a.nrows(), a.ncols(), a.nnz() + b.nnz());
+    for (r, c, v) in a.iter().chain(b.iter()) {
+        coo.push(r, c, v);
+    }
+    Ok(Csr::from_coo(&coo))
+}
+
+/// PageRank by power iteration over the random-walk matrix: returns the
+/// stationary distribution with damping `d` after `iterations` rounds.
+/// `a` is interpreted as a (directed) adjacency matrix; dangling vertices
+/// redistribute uniformly.
+///
+/// # Errors
+///
+/// Returns [`SparseError::NotSquare`] if `a` is not square.
+pub fn pagerank(a: &Csr, damping: f32, iterations: usize) -> Result<Vec<f32>> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::NotSquare { shape: a.shape() });
+    }
+    let n = a.nrows();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Column-stochastic walk matrix = transpose of row-normalized A.
+    let out_deg: Vec<f32> = (0..n).map(|u| a.row_nnz(u) as f32).collect();
+    let at = a.transpose();
+    let mut rank = vec![1.0 / n as f32; n];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f32; n];
+        // Mass from dangling vertices spreads uniformly.
+        let dangling: f32 = (0..n)
+            .filter(|&u| out_deg[u] == 0.0)
+            .map(|u| rank[u])
+            .sum();
+        let uniform = damping * dangling / n as f32;
+        for (v, nv) in next.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (&u, &w) in at.row_cols(v).iter().zip(at.row_values(v)) {
+                let u = u as usize;
+                // Weight of edge u->v relative to u's out-weight; for 0/1
+                // adjacencies this is 1/out_deg.
+                acc += rank[u] * w / out_deg[u].max(1.0);
+            }
+            *nv += damping * acc + uniform;
+        }
+        rank = next;
+    }
+    Ok(rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn spmv_matches_dense_product() {
+        let a = small();
+        let x = [1.0f32, 2.0, 3.0];
+        let y = spmv(&a, &x).unwrap();
+        let dense = a.to_dense();
+        for (u, &yu) in y.iter().enumerate() {
+            let expected: f32 = (0..3).map(|v| dense[(u, v)] * x[v]).sum();
+            assert!((yu - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spmv_rejects_wrong_length() {
+        assert!(spmv(&small(), &[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_merges_overlapping_entries() {
+        let a = small();
+        let b = small();
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.nnz(), a.nnz());
+        assert_eq!(c.get(1, 2), Some(4.0));
+        assert!(add(&a, &Csr::empty(2, 2)).is_err());
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favours_hubs() {
+        // Star: everything points at vertex 0.
+        let mut coo = Coo::new(5, 5);
+        for v in 1..5 {
+            coo.push(v, 0, 1.0);
+        }
+        coo.push(0, 1, 1.0); // one out-edge so 0 is not dangling
+        let a = Csr::from_coo(&coo);
+        let r = pagerank(&a, 0.85, 50).unwrap();
+        let total: f32 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "ranks sum to {total}");
+        for v in 2..5 {
+            assert!(r[0] > r[v], "hub must outrank leaf {v}");
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_vertices() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0); // 1 and 2 are dangling
+        let a = Csr::from_coo(&coo);
+        let r = pagerank(&a, 0.85, 30).unwrap();
+        let total: f32 = r.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3);
+        assert!(r.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pagerank_of_symmetric_cycle_is_uniform() {
+        let mut coo = Coo::new(4, 4);
+        for v in 0..4usize {
+            coo.push(v, (v + 1) % 4, 1.0);
+        }
+        let a = Csr::from_coo(&coo);
+        let r = pagerank(&a, 0.85, 60).unwrap();
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-4, "cycle rank {x}");
+        }
+    }
+
+    #[test]
+    fn pagerank_rejects_non_square() {
+        assert!(pagerank(&Csr::empty(2, 3), 0.85, 5).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Degree and density statistics for sparse matrices.
+//!
+//! The paper characterizes GCN behaviour as a function of graph *scale*
+//! (`|V|`) and *sparsity* (`|E| / |V|^2`); these statistics feed Figure 2's
+//! contour analysis and the dataset catalog.
+
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices (rows).
+    pub vertices: usize,
+    /// Number of edges (non-zeros).
+    pub edges: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Out-degree standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (`std_dev / mean`); 0 for regular graphs,
+    /// large for power-law graphs. Load imbalance of vertex-parallel SpMM
+    /// grows with this value.
+    pub cv: f64,
+    /// Density `|E| / |V|^2`.
+    pub density: f64,
+    /// Fraction of vertices with zero out-degree.
+    pub isolated_fraction: f64,
+}
+
+impl DegreeStats {
+    /// Computes out-degree statistics of a CSR matrix.
+    pub fn of(csr: &Csr) -> Self {
+        let n = csr.nrows();
+        let nnz = csr.nnz();
+        if n == 0 {
+            return DegreeStats {
+                vertices: 0,
+                edges: 0,
+                mean: 0.0,
+                max: 0,
+                min: 0,
+                std_dev: 0.0,
+                cv: 0.0,
+                density: 0.0,
+                isolated_fraction: 0.0,
+            };
+        }
+        let mut max = 0usize;
+        let mut min = usize::MAX;
+        let mut isolated = 0usize;
+        let mut sum_sq = 0.0f64;
+        for r in 0..n {
+            let d = csr.row_nnz(r);
+            max = max.max(d);
+            min = min.min(d);
+            if d == 0 {
+                isolated += 1;
+            }
+            sum_sq += (d as f64) * (d as f64);
+        }
+        let mean = nnz as f64 / n as f64;
+        let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+        let std_dev = var.sqrt();
+        DegreeStats {
+            vertices: n,
+            edges: nnz,
+            mean,
+            max,
+            min,
+            std_dev,
+            cv: if mean > 0.0 { std_dev / mean } else { 0.0 },
+            density: csr.density(),
+            isolated_fraction: isolated as f64 / n as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn regular_graph_has_zero_cv() {
+        // 3-cycle: every vertex has out-degree 1.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 0, 1.0);
+        let s = DegreeStats::of(&Csr::from_coo(&coo));
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.isolated_fraction, 0.0);
+    }
+
+    #[test]
+    fn star_graph_is_skewed() {
+        // Hub 0 points to 1..=4.
+        let mut coo = Coo::new(5, 5);
+        for i in 1..5 {
+            coo.push(0, i, 1.0);
+        }
+        let s = DegreeStats::of(&Csr::from_coo(&coo));
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 0);
+        assert!(s.cv > 1.0, "hub graph should have high cv, got {}", s.cv);
+        assert!((s.isolated_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zeroed_stats() {
+        let s = DegreeStats::of(&Csr::empty(0, 0));
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn density_matches_formula() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(2, 3, 1.0);
+        let s = DegreeStats::of(&Csr::from_coo(&coo));
+        assert!((s.density - 2.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Explore the paper's Discussion-section design space: multi-node PIUMA
+//! scaling over optical links, the heterogeneous SoC (PIUMA dies + dense
+//! tiles), and distributed CPU clusters as the alternative.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use piuma_gcn::platform_models::{DistributedXeonModel, HeterogeneousSoc};
+use piuma_gcn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Multi-node PIUMA: the DGAS scales bandwidth with node count. ---
+    println!("-- multi-node PIUMA, DMA SpMM on a products twin (K = 64) --");
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 12, 1)
+        .into_adjacency();
+    let mut base = 0.0;
+    for nodes in [1usize, 2, 4, 8] {
+        let cfg = MachineConfig::multi_node(nodes, 8);
+        let run = SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, 64)?;
+        if nodes == 1 {
+            base = run.gflops;
+        }
+        println!(
+            "{nodes} node(s) x 8 cores: {:8.2} GFLOP/s (efficiency {:.0}%)",
+            run.gflops,
+            run.gflops / (base * nodes as f64) * 100.0
+        );
+    }
+
+    // --- Heterogeneous SoC: how many tiles to spend on dense compute? ---
+    println!("\n-- heterogeneous SoC (4 tiles): best dense-tile count per workload --");
+    let soc = HeterogeneousSoc::all_piuma(4);
+    for d in [OgbDataset::Ddi, OgbDataset::Products, OgbDataset::Mag] {
+        for k in [8usize, 256] {
+            let s = d.stats();
+            let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, k, s.output_dim);
+            let (best, t) = soc.best_split(&w);
+            println!(
+                "{:>9} K={k:>3}: {best} dense tile(s) -> {:.2} ms ({})",
+                s.name,
+                t.total_ns() / 1e6,
+                t
+            );
+        }
+    }
+
+    // --- Distributed CPU: why the paper prefers a DGAS to MPI. ---
+    println!("\n-- scaling papers/K=64: MPI Xeon cluster vs PIUMA DGAS --");
+    let s = OgbDataset::Papers.stats();
+    let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, 64, s.output_dim);
+    for n in [1usize, 4, 16] {
+        let mpi = DistributedXeonModel::cluster(n);
+        let piuma = PiumaModel::with_cores(8 * n);
+        println!(
+            "{n:>2} node(s): xeon+mpi {:>9.1} ms (eff {:>3.0}%) | piuma-dgas {:>9.1} ms",
+            mpi.gcn_times(&w).total_ns() / 1e6,
+            mpi.parallel_efficiency(&w) * 100.0,
+            piuma.gcn_times(&w).total_ns() / 1e6,
+        );
+    }
+    Ok(())
+}

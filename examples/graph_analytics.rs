@@ -1,0 +1,49 @@
+//! Graph analytics beyond GCN: PageRank on the host, and the latency-bound
+//! random walks of Section VI on the simulated PIUMA machine.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use piuma_gcn::piuma_kernels::walk_sim::{cpu_walk_msteps_per_second, simulate_random_walks};
+use piuma_gcn::prelude::*;
+use piuma_gcn::sparse::ops::pagerank;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = OgbDataset::Products.materialize_scaled(1 << 12, 9);
+    println!(
+        "scaled products twin: {} vertices, {} edges",
+        g.vertices(),
+        g.edges()
+    );
+
+    // --- PageRank on the host (SpMV power iteration). ---
+    let ranks = pagerank(g.adjacency(), 0.85, 30)?;
+    let mut indexed: Vec<(usize, f32)> = ranks.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ntop-5 PageRank vertices:");
+    for (v, r) in indexed.iter().take(5) {
+        println!("  vertex {v:>5}: {:.5} (in-degree {})", r, g.adjacency().in_degrees()[*v]);
+    }
+    let total: f32 = ranks.iter().sum();
+    println!("rank mass: {total:.4} (should be ~1)");
+
+    // --- Random walks on PIUMA: throughput scales with walkers. ---
+    println!("\nrandom walks on an 8-core PIUMA die (64 steps each):");
+    let cfg = MachineConfig::node(8);
+    for walkers in [16usize, 128, 512] {
+        let r = simulate_random_walks(&cfg, g.adjacency(), walkers, 64)?;
+        println!(
+            "{walkers:>4} walkers: {:>8.1} Msteps/s (dram util {:>2.0}%)",
+            r.msteps_per_second,
+            r.sim.dram_utilization * 100.0
+        );
+    }
+    println!(
+        "xeon socket model: {:>8.1} Msteps/s (40 cores, 8 chains/core, 120 ns)",
+        cpu_walk_msteps_per_second(40, 8.0, 120.0)
+    );
+    println!("\nPer-walk latency cannot be hidden (each step is a dependent load);");
+    println!("PIUMA wins on walk *throughput* via raw hardware thread count.");
+    Ok(())
+}

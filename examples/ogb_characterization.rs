@@ -1,0 +1,74 @@
+//! The paper's core characterization, end to end: for each OGB dataset,
+//! where does GCN time go on CPU, GPU and PIUMA, and who wins?
+//!
+//! ```text
+//! cargo run --release --example ogb_characterization [dataset ...]
+//! ```
+//!
+//! With no arguments, all Table-I datasets are characterized.
+
+use piuma_gcn::prelude::*;
+
+fn characterize(d: OgbDataset) {
+    let s = d.stats();
+    println!(
+        "\n=== {} (|V| = {}, |E| = {}, density {:.1e}) ===",
+        s.name,
+        s.vertices,
+        s.edges,
+        s.density()
+    );
+
+    let cpu = XeonModel::default();
+    let gpu = GpuModel::default();
+    let piuma = PiumaModel::default();
+
+    println!("{:>5} {:>28} {:>10} {:>10} {:>10} {:>10}", "K", "cpu spmm/dense/glue", "cpu ms", "gpu ms", "piuma ms", "piuma x");
+    for k in [8usize, 32, 128, 256] {
+        let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, k, s.output_dim);
+        let tc = cpu.gcn_times_full(&w);
+        let tg = gpu.gcn_times(&w);
+        let tp = piuma.gcn_times(&w);
+        println!(
+            "{:>5} {:>9.0}%/{:>4.0}%/{:>4.0}% {:>13.2} {:>10.2} {:>10.2} {:>9.2}x",
+            k,
+            tc.fraction(Phase::Spmm) * 100.0,
+            tc.fraction(Phase::Dense) * 100.0,
+            tc.fraction(Phase::Glue) * 100.0,
+            tc.total_ns() / 1e6,
+            tg.total_ns() / 1e6,
+            tp.total_ns() / 1e6,
+            tp.speedup_over(&tc)
+        );
+    }
+
+    if !GpuModel::default().fits(&GcnWorkload::paper_model(
+        s.vertices,
+        s.edges,
+        s.input_dim,
+        256,
+        s.output_dim,
+    )) {
+        println!("note: does not fit in 40 GB GPU memory -> host sampling path");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let datasets: Vec<OgbDataset> = if args.is_empty() {
+        OgbDataset::TABLE1.to_vec()
+    } else {
+        args.iter()
+            .filter_map(|name| {
+                let d = OgbDataset::from_name(name);
+                if d.is_none() {
+                    eprintln!("unknown dataset '{name}' (see Table I names)");
+                }
+                d
+            })
+            .collect()
+    };
+    for d in datasets {
+        characterize(d);
+    }
+}

@@ -1,0 +1,59 @@
+//! Drive the PIUMA simulator through the paper's sensitivity studies on a
+//! scaled `products` twin: strong scaling, DRAM latency tolerance, and the
+//! threads-per-MTP sweep.
+//!
+//! ```text
+//! cargo run --release --example piuma_scaling
+//! ```
+
+use piuma_gcn::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 12, 1)
+        .into_adjacency();
+    println!(
+        "scaled products twin: {} vertices, {} edges",
+        a.nrows(),
+        a.nnz()
+    );
+
+    println!("\n-- strong scaling (K = 64), DMA vs loop-unrolled vs model --");
+    for cores in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = MachineConfig::node(cores);
+        let dma = SpmmSimulation::new(cfg.clone(), SpmmVariant::Dma).run(&a, 64)?;
+        let unrolled = SpmmSimulation::new(cfg, SpmmVariant::LoopUnrolled).run(&a, 64)?;
+        println!(
+            "{cores:>2} cores: dma {:>7.2} GF ({:>3.0}% of model) | unrolled {:>7.2} GF ({:>3.0}%)",
+            dma.gflops,
+            dma.model_fraction() * 100.0,
+            unrolled.gflops,
+            unrolled.model_fraction() * 100.0
+        );
+    }
+
+    println!("\n-- DRAM latency sweep on 8 cores (16 threads/MTP) --");
+    for k in [8usize, 256] {
+        for lat in [45.0f64, 90.0, 180.0, 360.0, 720.0] {
+            let cfg = MachineConfig::node(8).with_dram_latency_ns(lat);
+            let run = SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, k)?;
+            println!("K={k:>3} latency {lat:>4.0} ns: {:>7.2} GFLOP/s", run.gflops);
+        }
+    }
+
+    println!("\n-- threads/MTP sweep on 8 cores at 360 ns latency --");
+    for k in [8usize, 256] {
+        for tpm in [1usize, 4, 16] {
+            let cfg = MachineConfig::node(8)
+                .with_threads_per_mtp(tpm)
+                .with_dram_latency_ns(360.0);
+            let run = SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, k)?;
+            println!(
+                "K={k:>3} {tpm:>2} threads/MTP: {:>7.2} GFLOP/s (dram util {:>3.0}%)",
+                run.gflops,
+                run.sim.dram_utilization * 100.0
+            );
+        }
+    }
+    Ok(())
+}

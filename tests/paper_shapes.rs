@@ -1,0 +1,113 @@
+//! The paper's headline results, asserted as shapes. Each test corresponds
+//! to a numbered claim recorded in `EXPERIMENTS.md`.
+
+use piuma_gcn::prelude::*;
+use piuma_gcn::report::experiments::fig2;
+use piuma_gcn::report::experiments::fig5;
+use piuma_gcn::report::experiments::fig9;
+use piuma_gcn::report::experiments::Fidelity;
+
+/// Fig. 2: SpMM share rises with both scale and density, and the contours
+/// are monotone along both axes.
+#[test]
+fn fig2_contours_are_monotone() {
+    let scales = [1usize << 14, 1 << 18, 1 << 22];
+    let densities = [1e-6, 1e-5, 1e-4];
+    for &d in &densities {
+        let fr: Vec<f64> = scales.iter().map(|&v| fig2::spmm_fraction(v, d)).collect();
+        assert!(fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02, "scale axis: {fr:?}");
+    }
+    for &v in &scales {
+        let fr: Vec<f64> = densities.iter().map(|&d| fig2::spmm_fraction(v, d)).collect();
+        assert!(fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02, "density axis: {fr:?}");
+    }
+}
+
+/// Fig. 5: at 32 cores the DMA kernel stays within a factor ~2 of the
+/// bandwidth model while the loop-unrolled kernel collapses below 40%, and
+/// the curves separate past 8 cores.
+#[test]
+fn fig5_dma_scales_and_unrolled_collapses() {
+    let points = fig5::sweep(Fidelity::Quick, &[64]);
+    let at = |cores: usize| {
+        points
+            .iter()
+            .find(|p| p.cores == cores)
+            .expect("swept point")
+    };
+    let p8 = at(8);
+    let p32 = at(32);
+    assert!(p8.dma_gflops / p8.model_gflops > 0.75);
+    assert!(p32.unrolled_gflops / p32.model_gflops < 0.45);
+    assert!(p32.dma_gflops > p32.unrolled_gflops * 1.4);
+}
+
+/// Fig. 6: DMA SpMM throughput is linear in per-slice bandwidth and flat in
+/// DRAM latency up to 360 ns with the full 16 threads/MTP.
+#[test]
+fn fig6_bandwidth_linear_latency_flat() {
+    let a = OgbDataset::Products.materialize_scaled(1 << 12, 0xC0FFEE).into_adjacency();
+    let run = |cfg: MachineConfig| {
+        SpmmSimulation::new(cfg, SpmmVariant::Dma)
+            .run(&a, 256)
+            .unwrap()
+            .gflops
+    };
+    let base = MachineConfig::node(4);
+    let bw1 = run(base.clone());
+    let bw2 = run(base.with_dram_bandwidth_gbps(64.0));
+    assert!((bw2 / bw1 - 2.0).abs() < 0.25, "bandwidth doubling gave {:.2}x", bw2 / bw1);
+
+    let l45 = run(base.with_dram_latency_ns(45.0));
+    let l360 = run(base.with_dram_latency_ns(360.0));
+    assert!(l360 / l45 > 0.85, "latency tolerance {:.2}", l360 / l45);
+}
+
+/// Fig. 7: 16 threads/MTP tolerate high latency at K=8; a single thread
+/// does not, but keeps tolerance at K=256.
+#[test]
+fn fig7_thread_count_gates_latency_tolerance() {
+    let a = OgbDataset::Products.materialize_scaled(1 << 12, 0xC0FFEE).into_adjacency();
+    let run = |tpm: usize, lat: f64, k: usize| {
+        let cfg = MachineConfig::node(8)
+            .with_threads_per_mtp(tpm)
+            .with_dram_latency_ns(lat);
+        SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, k).unwrap().gflops
+    };
+    let retention_16 = run(16, 360.0, 8) / run(16, 45.0, 8);
+    let retention_1 = run(1, 360.0, 8) / run(1, 45.0, 8);
+    assert!(retention_16 > retention_1 + 0.2, "16t {retention_16:.2} vs 1t {retention_1:.2}");
+    let retention_1_k256 = run(1, 360.0, 256) / run(1, 45.0, 256);
+    assert!(retention_1_k256 > 0.75, "K=256 single-thread retention {retention_1_k256:.2}");
+}
+
+/// Fig. 9: who wins. PIUMA > CPU everywhere; GPU < CPU at K=8 on fitting
+/// graphs, GPU > CPU at K=256; GPU collapses on `papers`.
+#[test]
+fn fig9_win_loss_structure() {
+    for d in OgbDataset::FIGURE9 {
+        let s = fig9::speedups(d, 64);
+        assert!(s.piuma_gcn > 1.0, "{d}: piuma {:.2}", s.piuma_gcn);
+    }
+    assert!(fig9::speedups(OgbDataset::Products, 8).gpu_gcn < 1.0);
+    assert!(fig9::speedups(OgbDataset::Products, 256).gpu_gcn > 1.0);
+    assert!(fig9::speedups(OgbDataset::Papers, 64).gpu_gcn < 0.7);
+}
+
+/// Figs. 3/10 combined: the same workload that is SpMM-bound on CPU becomes
+/// dense-pressured on PIUMA as K grows — the paper's central architectural
+/// story.
+#[test]
+fn spmm_to_dense_shift_between_platforms() {
+    let s = OgbDataset::Products.stats();
+    let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, 256, s.output_dim);
+    let cpu = XeonModel::default().gcn_times_full(&w);
+    let piuma = PiumaModel::default().gcn_times(&w);
+    assert!(cpu.fraction(Phase::Spmm) > 0.7, "cpu spmm {:.2}", cpu.fraction(Phase::Spmm));
+    assert!(
+        piuma.fraction(Phase::Dense) > cpu.fraction(Phase::Dense) + 0.2,
+        "piuma dense {:.2} vs cpu {:.2}",
+        piuma.fraction(Phase::Dense),
+        cpu.fraction(Phase::Dense)
+    );
+}
