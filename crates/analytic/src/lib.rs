@@ -112,7 +112,10 @@ impl SpmmTraffic {
     ///
     /// Panics if either bandwidth is non-positive.
     pub fn time_seconds(&self, bw_read: f64, bw_write: f64) -> f64 {
-        assert!(bw_read > 0.0 && bw_write > 0.0, "bandwidth must be positive");
+        assert!(
+            bw_read > 0.0 && bw_write > 0.0,
+            "bandwidth must be positive"
+        );
         self.read_bytes() / bw_read + self.write_bytes / bw_write
     }
 

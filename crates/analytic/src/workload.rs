@@ -202,7 +202,8 @@ mod tests {
     #[test]
     fn footprint_scales_with_graph_and_width() {
         let sizes = ElementSizes::default();
-        let small = GcnWorkload::paper_model(1000, 5000, 128, 8, 40).inference_footprint_bytes(sizes);
+        let small =
+            GcnWorkload::paper_model(1000, 5000, 128, 8, 40).inference_footprint_bytes(sizes);
         let large =
             GcnWorkload::paper_model(1000, 5000, 128, 256, 40).inference_footprint_bytes(sizes);
         assert!(large > small);

@@ -6,9 +6,7 @@ use report::experiments::{Experiment, Fidelity};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_gpu_breakdown");
     group.sample_size(10);
-    group.bench_function("fig4", |b| {
-        b.iter(|| Experiment::Fig4.run(Fidelity::Quick))
-    });
+    group.bench_function("fig4", |b| b.iter(|| Experiment::Fig4.run(Fidelity::Quick)));
     group.finish();
 }
 

@@ -6,9 +6,7 @@ use report::experiments::{Experiment, Fidelity};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_spmm_scaling");
     group.sample_size(10);
-    group.bench_function("fig5", |b| {
-        b.iter(|| Experiment::Fig5.run(Fidelity::Quick))
-    });
+    group.bench_function("fig5", |b| b.iter(|| Experiment::Fig5.run(Fidelity::Quick)));
     group.finish();
 }
 

@@ -6,9 +6,7 @@ use report::experiments::{Experiment, Fidelity};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_bw_latency");
     group.sample_size(10);
-    group.bench_function("fig6", |b| {
-        b.iter(|| Experiment::Fig6.run(Fidelity::Quick))
-    });
+    group.bench_function("fig6", |b| b.iter(|| Experiment::Fig6.run(Fidelity::Quick)));
     group.finish();
 }
 

@@ -6,9 +6,7 @@ use report::experiments::{Experiment, Fidelity};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_thread_sweep");
     group.sample_size(10);
-    group.bench_function("fig7", |b| {
-        b.iter(|| Experiment::Fig7.run(Fidelity::Quick))
-    });
+    group.bench_function("fig7", |b| b.iter(|| Experiment::Fig7.run(Fidelity::Quick)));
     group.finish();
 }
 

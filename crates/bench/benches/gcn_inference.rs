@@ -19,11 +19,9 @@ fn bench_gcn(c: &mut Criterion) {
             SpmmStrategy::VertexParallel { threads },
             SpmmStrategy::EdgeParallel { threads },
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.to_string(), k),
-                &k,
-                |b, _| b.iter(|| model.infer_normalized(&a_hat, &x, strategy).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.to_string(), k), &k, |b, _| {
+                b.iter(|| model.infer_normalized(&a_hat, &x, strategy).unwrap())
+            });
         }
     }
     group.finish();

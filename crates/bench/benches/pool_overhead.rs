@@ -1,0 +1,105 @@
+//! Spawn-per-call vs persistent-pool overhead on a 3-layer GCN.
+//!
+//! Each iteration runs full 3-layer inference over an RMAT graph
+//! (2^16 vertices). The `spawn` rows use the legacy kernels that create and
+//! join an OS thread team inside every parallel call
+//! (`spmm_vertex_parallel_spawn`, `matmul_parallel_spawn`); the `pooled`
+//! rows route through the persistent work-stealing pool plus the
+//! zero-allocation `*_into` path. The gap between the two is the per-call
+//! thread-management tax the pool eliminates — most visible at small K,
+//! where kernel time cannot hide it.
+
+use bench::features;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::rmat::RmatConfig;
+use graph::Graph;
+use kernels::spmm::spmm_vertex_parallel_spawn;
+use kernels::SpmmStrategy;
+use matrix::gemm::matmul_parallel_spawn;
+use matrix::{Activation, DenseMatrix, WeightInit};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparse::Csr;
+
+struct Layer {
+    weight: DenseMatrix,
+    bias: Vec<f32>,
+}
+
+fn layers(dims: &[usize]) -> Vec<Layer> {
+    let mut rng = StdRng::seed_from_u64(5);
+    dims.windows(2)
+        .map(|w| Layer {
+            weight: WeightInit::Glorot.build(w[0], w[1], &mut rng),
+            bias: vec![0.01; w[1]],
+        })
+        .collect()
+}
+
+/// Inference with per-call thread spawning: the pre-pool baseline.
+fn infer_spawn(a: &Csr, x: &DenseMatrix, layers: &[Layer], threads: usize) -> DenseMatrix {
+    let mut h = x.clone();
+    for layer in layers {
+        let agg = spmm_vertex_parallel_spawn(a, &h, threads).unwrap();
+        let mut upd = matmul_parallel_spawn(&agg, &layer.weight, threads).unwrap();
+        upd.add_row_bias(&layer.bias).unwrap();
+        upd.apply_activation(Activation::Relu);
+        h = upd;
+    }
+    h
+}
+
+/// Inference on the persistent pool via the zero-allocation `_into` path.
+fn infer_pooled(
+    a: &Csr,
+    x: &DenseMatrix,
+    layers: &[Layer],
+    threads: usize,
+    mid: &mut DenseMatrix,
+    h: &mut DenseMatrix,
+    next: &mut DenseMatrix,
+) {
+    h.copy_from(x);
+    let strategy = SpmmStrategy::VertexParallel { threads };
+    for layer in layers {
+        kernels::fused::gcn_layer_fused_into(
+            a,
+            h,
+            &layer.weight,
+            Some(&layer.bias),
+            Activation::Relu,
+            strategy,
+            mid,
+            next,
+        )
+        .unwrap();
+        std::mem::swap(h, next);
+    }
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let graph = Graph::rmat(&RmatConfig::power_law(16, 8), 3);
+    let a = graph.normalized_adjacency().unwrap();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("pool_overhead");
+    group.sample_size(10);
+    for k in [16usize, 256] {
+        let x = features(&a, k);
+        let net = layers(&[k, k, k, 8]);
+        group.bench_with_input(BenchmarkId::new("spawn_per_call", k), &k, |b, _| {
+            b.iter(|| infer_spawn(&a, &x, &net, threads))
+        });
+        let (mut mid, mut h, mut next) = (
+            DenseMatrix::default(),
+            DenseMatrix::default(),
+            DenseMatrix::default(),
+        );
+        group.bench_with_input(BenchmarkId::new("pooled", k), &k, |b, _| {
+            b.iter(|| infer_pooled(&a, &x, &net, threads, &mut mid, &mut h, &mut next))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_overhead);
+criterion_main!(benches);

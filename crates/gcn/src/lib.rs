@@ -32,6 +32,6 @@ pub mod train;
 
 pub use config::GcnConfig;
 pub use error::GcnError;
-pub use model::{GcnLayer, GcnModel};
+pub use model::{GcnLayer, GcnModel, InferenceWorkspace};
 pub use sampled::{SampledBatch, SamplingScheme};
 pub use train::{NodeClassification, OptimizerKind, StepStats, Trainer};

@@ -3,12 +3,40 @@
 use crate::config::GcnConfig;
 use crate::error::GcnError;
 use graph::Graph;
-use kernels::fused::gcn_layer_fused;
+use kernels::fused::gcn_layer_fused_into;
 use kernels::SpmmStrategy;
 use matrix::{Activation, DenseMatrix, WeightInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparse::Csr;
+
+/// Reusable buffers for [`GcnModel::infer_normalized_with`]: two ping-pong
+/// activation matrices plus the fused layer's intermediate. After the first
+/// inference call sizes them, subsequent calls on same-shaped inputs perform
+/// no output-sized allocation — each layer writes into the spare buffer and
+/// the pair is swapped, instead of allocating a fresh activation matrix per
+/// layer.
+#[derive(Debug, Clone, Default)]
+pub struct InferenceWorkspace {
+    /// Current activations; holds the model output after inference.
+    h: DenseMatrix,
+    /// Spare activation buffer written by the next layer.
+    next: DenseMatrix,
+    /// Intermediate product inside the fused layer.
+    mid: DenseMatrix,
+}
+
+impl InferenceWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activations produced by the most recent inference call.
+    pub fn output(&self) -> &DenseMatrix {
+        &self.h
+    }
+}
 
 /// One GCN layer: a weight matrix, an optional bias, and an activation.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +150,26 @@ impl GcnModel {
         features: &DenseMatrix,
         strategy: SpmmStrategy,
     ) -> Result<DenseMatrix, GcnError> {
+        let mut workspace = InferenceWorkspace::new();
+        self.infer_normalized_with(a_hat, features, strategy, &mut workspace)?;
+        Ok(workspace.h)
+    }
+
+    /// [`GcnModel::infer_normalized`] running entirely inside a caller-owned
+    /// [`InferenceWorkspace`]. The output lands in the workspace (also
+    /// returned as a reference); repeated calls on same-shaped inputs reuse
+    /// the workspace buffers instead of allocating per layer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_normalized_with<'w>(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        strategy: SpmmStrategy,
+        workspace: &'w mut InferenceWorkspace,
+    ) -> Result<&'w DenseMatrix, GcnError> {
         if features.cols() != self.input_dim() {
             return Err(GcnError::FeatureDimMismatch {
                 expected: self.input_dim(),
@@ -134,19 +182,21 @@ impl GcnModel {
                 features: features.rows(),
             });
         }
-        let mut h = features.clone();
+        workspace.h.copy_from(features);
         for layer in &self.layers {
-            let (next, _) = gcn_layer_fused(
+            gcn_layer_fused_into(
                 a_hat,
-                &h,
+                &workspace.h,
                 &layer.weight,
                 layer.bias.as_deref(),
                 layer.activation,
                 strategy,
+                &mut workspace.mid,
+                &mut workspace.next,
             )?;
-            h = next;
+            std::mem::swap(&mut workspace.h, &mut workspace.next);
         }
-        Ok(h)
+        Ok(&workspace.h)
     }
 
     /// Reference inference: unfused, sequential, aggregation always first.
@@ -221,7 +271,10 @@ mod tests {
         let x = g.random_features(9, 4);
         assert!(matches!(
             model.infer(&g, &x, SpmmStrategy::Sequential),
-            Err(GcnError::FeatureDimMismatch { expected: 8, actual: 9 })
+            Err(GcnError::FeatureDimMismatch {
+                expected: 8,
+                actual: 9
+            })
         ));
     }
 

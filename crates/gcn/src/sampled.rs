@@ -194,7 +194,10 @@ mod tests {
         // Orderings differ between the two samples, so float summation
         // order differs; compare with a tolerance.
         let diff = |a: &[f32], b: &[f32]| {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max)
         };
         assert!(diff(forward.output.row(0), reversed.output.row(1)) < 1e-5);
         assert!(diff(forward.output.row(1), reversed.output.row(0)) < 1e-5);

@@ -236,7 +236,9 @@ impl Trainer {
             // dH = A_hat^T (dZ W^T) — A_hat is symmetric, so A_hat works.
             let dw = matrix::gemm::matmul_at(&cache.aggregated, &dz)?;
             let db = dz.column_sums();
-            let dh = self.strategy.run(a_hat, &dz.matmul(&layer.weight.transpose())?)?;
+            let dh = self
+                .strategy
+                .run(a_hat, &dz.matmul(&layer.weight.transpose())?)?;
 
             match self.optimizer {
                 OptimizerKind::Sgd => {
@@ -426,7 +428,9 @@ mod tests {
             .unwrap();
 
         let loss_of = |m: &GcnModel| {
-            let out = m.infer_normalized(&a_hat, &x, SpmmStrategy::Sequential).unwrap();
+            let out = m
+                .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
+                .unwrap();
             softmax_cross_entropy(&out, &task).0
         };
 
@@ -488,8 +492,10 @@ mod tests {
         let mut seq = Trainer::new(0.1, SpmmStrategy::Sequential);
         let mut par = Trainer::new(0.1, SpmmStrategy::VertexParallel { threads: 4 });
         for _ in 0..3 {
-            seq.step_normalized(&mut seq_model, &a_hat, &x, &task).unwrap();
-            par.step_normalized(&mut par_model, &a_hat, &x, &task).unwrap();
+            seq.step_normalized(&mut seq_model, &a_hat, &x, &task)
+                .unwrap();
+            par.step_normalized(&mut par_model, &a_hat, &x, &task)
+                .unwrap();
         }
         let diff = seq_model.layers()[0]
             .weight

@@ -1,0 +1,71 @@
+//! Steady-state inference must not allocate per-layer activation matrices.
+//!
+//! A counting global allocator wraps `System` and tallies every allocated
+//! byte. The first `infer_normalized_with` call sizes the workspace (and
+//! the pool's scratch arena); the second call on identically-shaped inputs
+//! must allocate far less than a single activation matrix — only small
+//! per-call bookkeeping (chunk tables, the pool's job handle) is allowed.
+
+use gcn::{GcnConfig, GcnModel, InferenceWorkspace};
+use graph::rmat::RmatConfig;
+use graph::Graph;
+use kernels::SpmmStrategy;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_inference_does_not_allocate_activations() {
+    let graph = Graph::rmat(&RmatConfig::power_law(9, 8), 42);
+    let n = graph.vertices();
+    let (input_dim, hidden, classes) = (32, 64, 16);
+    let model = GcnModel::new(&GcnConfig::paper_model(input_dim, hidden, classes), 7);
+    let features = graph.random_features(input_dim, 3);
+    let a_hat = graph.normalized_adjacency().unwrap();
+    let strategy = SpmmStrategy::VertexParallel { threads: 4 };
+
+    // Warm-up: sizes the workspace, spawns the pool, fills scratch caches.
+    let mut workspace = InferenceWorkspace::new();
+    let reference = model
+        .infer_normalized_with(&a_hat, &features, strategy, &mut workspace)
+        .unwrap()
+        .clone();
+
+    ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+    let out = model
+        .infer_normalized_with(&a_hat, &features, strategy, &mut workspace)
+        .unwrap();
+    let steady_state = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    assert!(reference.max_abs_diff(out) < 1e-5);
+
+    // One n x hidden activation matrix — the thing a naive per-layer
+    // implementation allocates at least three of per call.
+    let one_activation = n * hidden * std::mem::size_of::<f32>();
+    assert!(
+        steady_state < one_activation,
+        "steady-state inference allocated {steady_state} bytes, \
+         >= one activation matrix ({one_activation} bytes)"
+    );
+}

@@ -255,7 +255,10 @@ mod tests {
 
     #[test]
     fn table1_is_sorted_by_vertices() {
-        let sizes: Vec<usize> = OgbDataset::TABLE1.iter().map(|d| d.stats().vertices).collect();
+        let sizes: Vec<usize> = OgbDataset::TABLE1
+            .iter()
+            .map(|d| d.stats().vertices)
+            .collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
         assert_eq!(sizes, sorted);
@@ -304,8 +307,12 @@ mod tests {
 
     #[test]
     fn power_law_flags_drive_generator_skew() {
-        let skewed = OgbDataset::Arxiv.materialize_scaled(1 << 10, 3).degree_stats();
-        let uniform = OgbDataset::Proteins.materialize_scaled(1 << 10, 3).degree_stats();
+        let skewed = OgbDataset::Arxiv
+            .materialize_scaled(1 << 10, 3)
+            .degree_stats();
+        let uniform = OgbDataset::Proteins
+            .materialize_scaled(1 << 10, 3)
+            .degree_stats();
         assert!(skewed.cv > uniform.cv);
     }
 }

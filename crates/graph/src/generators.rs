@@ -21,7 +21,10 @@ use sparse::{Coo, Csr};
 /// ```
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but only {max_edges} possible"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = std::collections::HashSet::with_capacity(m);
     while chosen.len() < m {

@@ -33,7 +33,9 @@ impl fmt::Display for ReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReadError::Io(e) => write!(f, "i/o error: {e}"),
-            ReadError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            ReadError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             ReadError::BadHeader { header } => {
                 write!(f, "unsupported matrix market header: {header}")
             }
@@ -142,7 +144,9 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, ReadError> {
     }
     let pattern = tokens[3] == "pattern";
     let symmetric = tokens[4] == "symmetric";
-    if !matches!(tokens[3], "real" | "integer" | "pattern") || !matches!(tokens[4], "general" | "symmetric") {
+    if !matches!(tokens[3], "real" | "integer" | "pattern")
+        || !matches!(tokens[4], "general" | "symmetric")
+    {
         return Err(ReadError::BadHeader { header });
     }
 
@@ -199,15 +203,17 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, ReadError> {
                         message: format!("bad value: {e}"),
                     })?
                 };
-                coo.try_push(r - 1, c - 1, value).map_err(|e| ReadError::Parse {
-                    line: idx + 1,
-                    message: e.to_string(),
-                })?;
-                if symmetric && r != c {
-                    coo.try_push(c - 1, r - 1, value).map_err(|e| ReadError::Parse {
+                coo.try_push(r - 1, c - 1, value)
+                    .map_err(|e| ReadError::Parse {
                         line: idx + 1,
                         message: e.to_string(),
                     })?;
+                if symmetric && r != c {
+                    coo.try_push(c - 1, r - 1, value)
+                        .map_err(|e| ReadError::Parse {
+                            line: idx + 1,
+                            message: e.to_string(),
+                        })?;
                 }
             }
         }

@@ -95,7 +95,10 @@ impl RmatConfig {
     ///
     /// Panics if any probability is negative or if they sum above 1.
     pub fn assert_valid(&self) {
-        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0, "negative quadrant probability");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "negative quadrant probability"
+        );
         assert!(
             self.a + self.b + self.c <= 1.0 + 1e-9,
             "quadrant probabilities sum above 1"
@@ -125,14 +128,8 @@ pub fn generate(config: &RmatConfig, seed: u64) -> Graph {
     let csr = Csr::from_coo(&coo);
     // Merge duplicates down to unit weight by rebuilding the value array.
     let values = vec![1.0f32; csr.nnz()];
-    let csr = Csr::from_raw(
-        n,
-        n,
-        csr.row_ptr().to_vec(),
-        csr.col_idx().to_vec(),
-        values,
-    )
-    .expect("structure already validated");
+    let csr = Csr::from_raw(n, n, csr.row_ptr().to_vec(), csr.col_idx().to_vec(), values)
+        .expect("structure already validated");
     Graph::from_adjacency(csr)
 }
 
@@ -256,10 +253,7 @@ mod tests {
     #[test]
     fn noise_changes_structure_but_not_size() {
         let base = RmatConfig::power_law(8, 8);
-        let noisy = RmatConfig {
-            noise: 0.1,
-            ..base
-        };
+        let noisy = RmatConfig { noise: 0.1, ..base };
         let g0 = generate(&base, 13);
         let g1 = generate(&noisy, 13);
         assert_eq!(g0.vertices(), g1.vertices());

@@ -187,10 +187,7 @@ mod tests {
         let sub = full_neighborhood(&g, &[seed_vertex], 1);
         assert_eq!(sub.vertices[0], seed_vertex);
         for &v in g.adjacency().row_cols(seed_vertex) {
-            assert!(
-                sub.local_id(v as usize).is_some(),
-                "missing neighbour {v}"
-            );
+            assert!(sub.local_id(v as usize).is_some(), "missing neighbour {v}");
         }
         sub.adjacency.validate().unwrap();
     }

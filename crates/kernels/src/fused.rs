@@ -54,26 +54,53 @@ pub fn gcn_layer_fused(
     activation: Activation,
     strategy: SpmmStrategy,
 ) -> Result<(DenseMatrix, FusedOrder), MatrixError> {
+    let mut mid = DenseMatrix::default();
+    let mut out = DenseMatrix::default();
+    let order = gcn_layer_fused_into(a, h, w, bias, activation, strategy, &mut mid, &mut out)?;
+    Ok((out, order))
+}
+
+/// [`gcn_layer_fused`] writing into caller-owned buffers: `mid` holds the
+/// intermediate product (aggregation or update, depending on the chosen
+/// order) and `out` receives the layer output. Both are reshaped with
+/// [`DenseMatrix::resize_zeroed`], so a model looping over layers with two
+/// ping-pong activation buffers plus one `mid` buffer performs no
+/// output-sized allocation in steady state.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the SpMM / GEMM kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn gcn_layer_fused_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    w: &DenseMatrix,
+    bias: Option<&[f32]>,
+    activation: Activation,
+    strategy: SpmmStrategy,
+    mid: &mut DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<FusedOrder, MatrixError> {
     let k_in = w.rows();
     let k_out = w.cols();
     let threads = strategy.threads();
 
-    let (mut out, order) = if k_in <= k_out {
+    let order = if k_in <= k_out {
         // Aggregate in the narrow dimension first.
-        let agg = strategy.run(a, h)?;
-        let upd = gemm::matmul_parallel(&agg, w, threads)?;
-        (upd, FusedOrder::AggregateFirst)
+        strategy.run_into(a, h, mid)?;
+        gemm::matmul_parallel_into(mid, w, threads, out)?;
+        FusedOrder::AggregateFirst
     } else {
-        let upd = gemm::matmul_parallel(h, w, threads)?;
-        let agg = strategy.run(a, &upd)?;
-        (agg, FusedOrder::UpdateFirst)
+        gemm::matmul_parallel_into(h, w, threads, mid)?;
+        strategy.run_into(a, mid, out)?;
+        FusedOrder::UpdateFirst
     };
 
     if let Some(b) = bias {
         out.add_row_bias(b)?;
     }
     out.apply_activation(activation);
-    Ok((out, order))
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -83,7 +110,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use sparse::Coo;
 
-    fn random_setup(n: usize, k_in: usize, k_out: usize, seed: u64) -> (Csr, DenseMatrix, DenseMatrix) {
+    fn random_setup(
+        n: usize,
+        k_in: usize,
+        k_out: usize,
+        seed: u64,
+    ) -> (Csr, DenseMatrix, DenseMatrix) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = Coo::new(n, n);
         for _ in 0..n * 4 {
@@ -96,7 +128,9 @@ mod tests {
         let a = Csr::from_coo(&coo);
         let h_data = (0..n * k_in).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let h = DenseMatrix::from_vec(n, k_in, h_data).unwrap();
-        let w_data = (0..k_in * k_out).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let w_data = (0..k_in * k_out)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         let w = DenseMatrix::from_vec(k_in, k_out, w_data).unwrap();
         (a, h, w)
     }
@@ -161,22 +195,43 @@ mod tests {
     #[test]
     fn parallel_strategies_match_sequential_fused() {
         let (a, h, w) = random_setup(80, 16, 16, 4);
-        let (reference, _) = gcn_layer_fused(
-            &a,
-            &h,
-            &w,
-            None,
-            Activation::Relu,
-            SpmmStrategy::Sequential,
-        )
-        .unwrap();
+        let (reference, _) =
+            gcn_layer_fused(&a, &h, &w, None, Activation::Relu, SpmmStrategy::Sequential).unwrap();
         for strategy in [
             SpmmStrategy::VertexParallel { threads: 4 },
             SpmmStrategy::EdgeParallel { threads: 4 },
+            SpmmStrategy::FeatureParallel { threads: 4 },
+            SpmmStrategy::Hybrid { threads: 4 },
+            SpmmStrategy::Auto,
         ] {
-            let (got, _) =
-                gcn_layer_fused(&a, &h, &w, None, Activation::Relu, strategy).unwrap();
+            let (got, _) = gcn_layer_fused(&a, &h, &w, None, Activation::Relu, strategy).unwrap();
             assert!(reference.max_abs_diff(&got) < 1e-3, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn fused_into_reuses_buffers_without_stale_values() {
+        let (a, h, w) = random_setup(40, 12, 6, 5);
+        let (reference, _) =
+            gcn_layer_fused(&a, &h, &w, None, Activation::Relu, SpmmStrategy::Sequential).unwrap();
+        // Oversized, NaN-poisoned buffers: a reshape that fails to clear
+        // stale values would surface immediately.
+        let mut mid = DenseMatrix::filled(60, 20, f32::NAN);
+        let mut out = DenseMatrix::filled(60, 20, f32::NAN);
+        for _ in 0..2 {
+            let order = gcn_layer_fused_into(
+                &a,
+                &h,
+                &w,
+                None,
+                Activation::Relu,
+                SpmmStrategy::VertexParallel { threads: 4 },
+                &mut mid,
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(order, FusedOrder::UpdateFirst);
+            assert!(reference.max_abs_diff(&out) < 1e-3);
         }
     }
 }

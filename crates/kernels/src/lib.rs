@@ -12,8 +12,18 @@
 //! * [`spmm::spmm_vertex_parallel`] — work-stealing row chunks, no atomics,
 //! * [`spmm::spmm_edge_parallel`] — equal edge shares, binary search for the
 //!   starting row, atomic accumulation into shared output (Algorithm 2),
+//! * [`tiled::spmm_feature_tiled`] / [`tiled::spmm_feature_parallel`] —
+//!   cache blocking and worker-owned tiles over the feature dimension,
+//! * [`hybrid::spmm_hybrid`] — degree-aware hub/tail split for power-law
+//!   graphs,
 //! * [`fused::gcn_layer_fused`] — aggregation + update + activation in one
 //!   call, the building block `gcn` uses.
+//!
+//! All parallel kernels execute on the process-wide persistent thread pool
+//! re-exported as [`pool`] (spawned once on first use, then reused — see
+//! the pool crate's docs for the spawn-once contract). Every kernel also
+//! has a `*_into` variant writing into a caller-owned [`matrix::DenseMatrix`]
+//! so steady-state inference performs no output-sized allocations.
 //!
 //! # Examples
 //!
@@ -37,7 +47,9 @@
 
 pub mod engine;
 pub mod fused;
+pub mod hybrid;
 pub mod spmm;
 pub mod tiled;
 
 pub use engine::SpmmStrategy;
+pub use pool;

@@ -1,17 +1,29 @@
 //! SpMM kernel implementations (Algorithm 1 and Algorithm 2 of the paper).
+//!
+//! All parallel kernels execute on the process-wide persistent thread pool
+//! ([`pool::global`]): threads are spawned once and reused across calls,
+//! so per-invocation cost is one job publication instead of N thread
+//! spawns. Each kernel has a `*_into` variant writing into a caller-owned
+//! [`DenseMatrix`], which the GCN inference path uses to ping-pong between
+//! two activation buffers without per-layer allocation.
 
 use matrix::{DenseMatrix, MatrixError};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 use sparse::Csr;
 
+/// Dynamic chunk-claiming counter shared with the pool crate; re-exported
+/// here because benchmarks and the paper discussion reference it as part
+/// of the kernel layer.
+pub use pool::DynamicCounter;
+
 /// Row-chunk size handed to a worker at a time by the vertex-parallel
 /// kernel's dynamic scheduler. Small enough to balance power-law rows,
-/// large enough to amortize the queue pop.
-const VERTEX_CHUNK: usize = 64;
+/// large enough to amortize the claim.
+pub(crate) const VERTEX_CHUNK: usize = 64;
 
-fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> {
+pub(crate) fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> {
     if a.ncols() != h.rows() {
         return Err(MatrixError::DimensionMismatch {
             op,
@@ -22,17 +34,20 @@ fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> 
     Ok(())
 }
 
-/// Sequential SpMM reference: `out = A * H` (Algorithm 1).
-///
-/// # Errors
-///
-/// Returns [`MatrixError::DimensionMismatch`] if `a.ncols() != h.rows()`.
-pub fn spmm_sequential(a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
-    check("spmm_sequential", a, h)?;
-    let k = h.cols();
-    let mut out = DenseMatrix::zeros(a.nrows(), k);
-    for u in 0..a.nrows() {
-        let row_out = out.row_mut(u);
+/// Computes rows `[row_start, row_end)` of `A * H` into `out_rows`
+/// (row-major, `(row_end - row_start) * k` elements). The shared inner
+/// loop of the sequential, vertex-parallel, and hybrid kernels.
+pub(crate) fn spmm_rows(
+    a: &Csr,
+    h: &DenseMatrix,
+    out_rows: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    k: usize,
+) {
+    debug_assert_eq!(out_rows.len(), (row_end - row_start) * k);
+    for u in row_start..row_end {
+        let row_out = &mut out_rows[(u - row_start) * k..(u - row_start + 1) * k];
         for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
             let feat = h.row(v as usize);
             for j in 0..k {
@@ -40,16 +55,44 @@ pub fn spmm_sequential(a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixEr
             }
         }
     }
+}
+
+/// Sequential SpMM reference: `out = A * H` (Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.ncols() != h.rows()`.
+pub fn spmm_sequential(a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+    let mut out = DenseMatrix::default();
+    spmm_sequential_into(a, h, &mut out)?;
     Ok(out)
+}
+
+/// [`spmm_sequential`] writing into a caller-owned output matrix (reshaped
+/// with [`DenseMatrix::resize_zeroed`]; allocation-free at capacity).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.ncols() != h.rows()`.
+pub fn spmm_sequential_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    check("spmm_sequential", a, h)?;
+    let (n, k) = (a.nrows(), h.cols());
+    out.resize_zeroed(n, k);
+    spmm_rows(a, h, out.as_mut_slice(), 0, n, k);
+    Ok(())
 }
 
 /// Vertex-parallel SpMM with dynamic load balancing.
 ///
-/// Output rows are split into [`VERTEX_CHUNK`]-row chunks; workers pull
-/// chunks from a shared queue (the moral equivalent of OpenMP
-/// `schedule(dynamic)`, which Section V-A reports as the fastest CPU
-/// configuration). Each chunk is owned exclusively by one worker, so no
-/// atomics touch the output.
+/// Output rows are split into [`VERTEX_CHUNK`]-row chunks; pool workers
+/// claim chunks from the job's shared counter (the moral equivalent of
+/// OpenMP `schedule(dynamic)`, which Section V-A reports as the fastest
+/// CPU configuration). Each chunk is owned exclusively by one worker, so
+/// no atomics touch the output.
 ///
 /// # Errors
 ///
@@ -60,20 +103,84 @@ pub fn spmm_vertex_parallel(
     h: &DenseMatrix,
     threads: usize,
 ) -> Result<DenseMatrix, MatrixError> {
+    let mut out = DenseMatrix::default();
+    spmm_vertex_parallel_into(a, h, threads, &mut out)?;
+    Ok(out)
+}
+
+/// [`spmm_vertex_parallel`] writing into a caller-owned output matrix
+/// (reshaped with [`DenseMatrix::resize_zeroed`]; allocation of the output
+/// is avoided entirely once the buffer has reached capacity).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_vertex_parallel_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    check("spmm_vertex_parallel", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (n, k) = (a.nrows(), h.cols());
+    out.resize_zeroed(n, k);
+    // k == 0 would make the chunk size below zero-sized (a panic in
+    // `chunks_mut`), and there is nothing to compute anyway.
+    if n == 0 || k == 0 {
+        return Ok(());
+    }
+    if threads == 1 {
+        spmm_rows(a, h, out.as_mut_slice(), 0, n, k);
+        return Ok(());
+    }
+
+    // Pre-split the output into chunk slices. Share index == chunk index,
+    // and each share locks only its own chunk, so the mutexes never
+    // contend — they exist to hand `&mut` slices through a `Fn` closure.
+    let chunks: Vec<Mutex<&mut [f32]>> = out
+        .as_mut_slice()
+        .chunks_mut(VERTEX_CHUNK * k)
+        .map(Mutex::new)
+        .collect();
+    pool::global().broadcast(threads.min(n), chunks.len(), |ci| {
+        let mut slice = chunks[ci].lock();
+        let row_start = ci * VERTEX_CHUNK;
+        let row_end = (row_start + VERTEX_CHUNK).min(n);
+        spmm_rows(a, h, &mut slice, row_start, row_end, k);
+    });
+    Ok(())
+}
+
+/// Spawn-per-call vertex-parallel baseline: same chunking as
+/// [`spmm_vertex_parallel`] but creating fresh scoped threads on every
+/// invocation. Kept public so the `pool_overhead` benchmark can measure
+/// what the persistent pool saves; production call sites all go through
+/// the pooled kernel.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_vertex_parallel_spawn(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+) -> Result<DenseMatrix, MatrixError> {
     check("spmm_vertex_parallel", a, h)?;
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
     }
     let n = a.nrows();
     let k = h.cols();
-    let mut out = DenseMatrix::zeros(n, k);
-    if threads == 1 || n == 0 {
+    if threads == 1 || n == 0 || k == 0 {
         return spmm_sequential(a, h);
     }
+    let mut out = DenseMatrix::zeros(n, k);
 
-    // Pre-split the output into chunk slices; workers pop (first_row, slice)
-    // pairs. Exclusive ownership of each slice makes this safe without
-    // atomics.
     let mut work: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.div_ceil(VERTEX_CHUNK));
     for (i, slice) in out.as_mut_slice().chunks_mut(VERTEX_CHUNK * k).enumerate() {
         work.push((i * VERTEX_CHUNK, slice));
@@ -89,16 +196,7 @@ pub fn spmm_vertex_parallel(
                     break;
                 };
                 let rows_here = slice.len() / k;
-                for r in 0..rows_here {
-                    let u = first_row + r;
-                    let row_out = &mut slice[r * k..(r + 1) * k];
-                    for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
-                        let feat = h.row(v as usize);
-                        for j in 0..k {
-                            row_out[j] += w * feat[j];
-                        }
-                    }
-                }
+                spmm_rows(a, h, slice, first_row, first_row + rows_here, k);
             });
         }
     })
@@ -108,7 +206,7 @@ pub fn spmm_vertex_parallel(
 
 /// Edge-parallel SpMM (Algorithm 2 of the paper).
 ///
-/// The `|E|` non-zeros are split into `threads` equal shares. Each worker
+/// The `|E|` non-zeros are split into equal shares. Each pool worker
 /// binary-searches `row_ptr` for the row containing its first edge, then
 /// walks its share accumulating into a local `K`-wide buffer, flushing the
 /// buffer with atomic adds whenever it crosses a row boundary. Rows split
@@ -127,64 +225,86 @@ pub fn spmm_edge_parallel(
     h: &DenseMatrix,
     threads: usize,
 ) -> Result<DenseMatrix, MatrixError> {
+    let mut out = DenseMatrix::default();
+    spmm_edge_parallel_into(a, h, threads, &mut out)?;
+    Ok(out)
+}
+
+/// [`spmm_edge_parallel`] writing into a caller-owned output matrix.
+///
+/// The `n * k` atomic accumulation grid comes from the global pool's
+/// [`pool::ScratchArena`] instead of a fresh `Vec<AtomicU32>` per call, so
+/// in steady state the kernel performs no allocation proportional to the
+/// output size.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_edge_parallel_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
     check("spmm_edge_parallel", a, h)?;
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
     }
-    let n = a.nrows();
-    let k = h.cols();
+    let (n, k) = (a.nrows(), h.cols());
     let nnz = a.nnz();
-    if threads == 1 || nnz == 0 {
-        return spmm_sequential(a, h);
+    out.resize_zeroed(n, k);
+    // k == 0: nothing to accumulate, and the per-share flush math below
+    // assumes non-empty rows of output.
+    if k == 0 || nnz == 0 {
+        return Ok(());
+    }
+    if threads == 1 {
+        spmm_rows(a, h, out.as_mut_slice(), 0, n, k);
+        return Ok(());
     }
 
-    // Shared output as atomics (f32 bit-packed into AtomicU32).
-    let out_atomic: Vec<AtomicU32> = (0..n * k).map(|_| AtomicU32::new(0f32.to_bits())).collect();
-    let threads = threads.min(nnz);
+    // Equal-|E| shares, one per executor (Algorithm 2's static partition).
+    let shares = threads.min(nnz);
+    let pool = pool::global();
+    let out_slice = out.as_mut_slice();
+    pool.scratch().with_zeroed_u32(n * k, |out_atomic| {
+        pool.broadcast(shares, shares, |t| {
+            let start = t * nnz / shares;
+            let end = (t + 1) * nnz / shares;
+            if start >= end {
+                return;
+            }
+            // Binary search: first row u with row_ptr[u+1] > start.
+            let row_ptr = a.row_ptr();
+            let mut u = row_ptr.partition_point(|&p| p <= start);
+            u = u.saturating_sub(1);
+            while row_ptr[u + 1] <= start {
+                u += 1;
+            }
 
-    crossbeam::scope(|s| {
-        for t in 0..threads {
-            let out_ref = &out_atomic;
-            s.spawn(move |_| {
-                let start = t * nnz / threads;
-                let end = (t + 1) * nnz / threads;
-                if start >= end {
-                    return;
-                }
-                // Binary search: first row u with row_ptr[u+1] > start.
-                let row_ptr = a.row_ptr();
-                let mut u = row_ptr.partition_point(|&p| p <= start);
-                u = u.saturating_sub(1);
-                while row_ptr[u + 1] <= start {
+            let cols = a.col_idx();
+            let vals = a.values();
+            let mut acc = vec![0.0f32; k];
+            for e in start..end {
+                while e >= row_ptr[u + 1] {
+                    flush_row(out_atomic, u, k, &mut acc);
                     u += 1;
                 }
-
-                let cols = a.col_idx();
-                let vals = a.values();
-                let mut acc = vec![0.0f32; k];
-                for e in start..end {
-                    while e >= row_ptr[u + 1] {
-                        flush_row(out_ref, u, k, &mut acc);
-                        u += 1;
-                    }
-                    let v = cols[e] as usize;
-                    let w = vals[e];
-                    let feat = h.row(v);
-                    for j in 0..k {
-                        acc[j] += w * feat[j];
-                    }
+                let v = cols[e] as usize;
+                let w = vals[e];
+                let feat = h.row(v);
+                for j in 0..k {
+                    acc[j] += w * feat[j];
                 }
-                flush_row(out_ref, u, k, &mut acc);
-            });
+            }
+            flush_row(out_atomic, u, k, &mut acc);
+        });
+        for (dst, cell) in out_slice.iter_mut().zip(out_atomic) {
+            *dst = f32::from_bits(cell.load(Ordering::Relaxed));
         }
-    })
-    .expect("spmm worker panicked");
-
-    let data: Vec<f32> = out_atomic
-        .into_iter()
-        .map(|x| f32::from_bits(x.into_inner()))
-        .collect();
-    Ok(DenseMatrix::from_vec(n, k, data).expect("shape matches by construction"))
+    });
+    Ok(())
 }
 
 /// Atomically adds the accumulation buffer into output row `u` and clears it.
@@ -199,7 +319,7 @@ fn flush_row(out: &[AtomicU32], u: usize, k: usize, acc: &mut [f32]) {
 }
 
 /// Lock-free `f32` add via compare-exchange on the bit pattern.
-fn atomic_add_f32(cell: &AtomicU32, add: f32) {
+pub(crate) fn atomic_add_f32(cell: &AtomicU32, add: f32) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = (f32::from_bits(cur) + add).to_bits();
@@ -207,31 +327,6 @@ fn atomic_add_f32(cell: &AtomicU32, add: f32) {
             Ok(_) => return,
             Err(actual) => cur = actual,
         }
-    }
-}
-
-/// A dynamic work counter that mirrors the paper's "dynamic load balancing
-/// using OpenMP": exposed for benchmarks that want to measure scheduler
-/// overhead separately.
-#[derive(Debug, Default)]
-pub struct DynamicCounter {
-    next: AtomicUsize,
-}
-
-impl DynamicCounter {
-    /// Creates a counter starting at zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Claims the next chunk of `chunk` items below `limit`, returning the
-    /// claimed half-open range, or `None` when the work is exhausted.
-    pub fn claim(&self, chunk: usize, limit: usize) -> Option<(usize, usize)> {
-        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
-        if start >= limit {
-            return None;
-        }
-        Some((start, (start + chunk).min(limit)))
     }
 }
 
@@ -280,6 +375,11 @@ mod tests {
             assert!(
                 reference.max_abs_diff(&got) < 1e-4,
                 "threads={threads} diverged"
+            );
+            let spawned = spmm_vertex_parallel_spawn(&a, &h, threads).unwrap();
+            assert!(
+                reference.max_abs_diff(&spawned) < 1e-4,
+                "spawn threads={threads} diverged"
             );
         }
     }
@@ -334,6 +434,7 @@ mod tests {
         let h = DenseMatrix::zeros(5, 2);
         assert!(spmm_sequential(&a, &h).is_err());
         assert!(spmm_vertex_parallel(&a, &h, 2).is_err());
+        assert!(spmm_vertex_parallel_spawn(&a, &h, 2).is_err());
         assert!(spmm_edge_parallel(&a, &h, 2).is_err());
     }
 
@@ -349,6 +450,56 @@ mod tests {
             spmm_edge_parallel(&a, &h, 0),
             Err(MatrixError::ZeroThreads)
         ));
+    }
+
+    #[test]
+    fn zero_feature_columns_do_not_panic() {
+        // Regression test: `chunks_mut(VERTEX_CHUNK * 0)` used to panic in
+        // the vertex-parallel kernel, and the edge-parallel share math
+        // assumed k > 0.
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_csr(&mut rng, 100, 100, 400);
+        let h = DenseMatrix::zeros(100, 0);
+        for threads in [1, 2, 8] {
+            let v = spmm_vertex_parallel(&a, &h, threads).unwrap();
+            assert_eq!(v.shape(), (100, 0));
+            let e = spmm_edge_parallel(&a, &h, threads).unwrap();
+            assert_eq!(e.shape(), (100, 0));
+            let s = spmm_vertex_parallel_spawn(&a, &h, threads).unwrap();
+            assert_eq!(s.shape(), (100, 0));
+        }
+    }
+
+    #[test]
+    fn into_variants_leave_no_stale_values() {
+        let mut rng = StdRng::seed_from_u64(10);
+        // First call: large matrix. Second call: smaller shape into the
+        // same buffer — every element must be recomputed, none inherited.
+        let a_big = random_csr(&mut rng, 120, 120, 900);
+        let h_big = random_dense(&mut rng, 120, 33);
+        let a_small = random_csr(&mut rng, 40, 40, 150);
+        let h_small = random_dense(&mut rng, 40, 8);
+        let reference = spmm_sequential(&a_small, &h_small).unwrap();
+
+        type IntoKernel =
+            fn(&Csr, &DenseMatrix, usize, &mut DenseMatrix) -> Result<(), MatrixError>;
+        let kernels: [(&str, IntoKernel); 2] = [
+            ("vertex", spmm_vertex_parallel_into),
+            ("edge", spmm_edge_parallel_into),
+        ];
+        for (name, kernel) in kernels {
+            let mut buf = DenseMatrix::default();
+            kernel(&a_big, &h_big, 4, &mut buf).unwrap();
+            kernel(&a_small, &h_small, 4, &mut buf).unwrap();
+            assert!(
+                reference.max_abs_diff(&buf) < 1e-4,
+                "{name}_into left stale values on buffer reuse"
+            );
+        }
+        // Sequential _into as well.
+        let mut buf = DenseMatrix::filled(200, 200, f32::NAN);
+        spmm_sequential_into(&a_small, &h_small, &mut buf).unwrap();
+        assert!(reference.max_abs_diff(&buf) < 1e-4);
     }
 
     #[test]

@@ -11,21 +11,13 @@
 
 use matrix::{DenseMatrix, MatrixError};
 use sparse::Csr;
+use std::sync::atomic::Ordering;
+
+use crate::spmm::check;
 
 /// Default feature-tile width in elements (256 floats = 1 KB per row: small
 /// enough that tens of thousands of hot rows fit in an L2 slice).
 pub const DEFAULT_TILE: usize = 256;
-
-fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), MatrixError> {
-    if a.ncols() != h.rows() {
-        return Err(MatrixError::DimensionMismatch {
-            op,
-            lhs: a.shape(),
-            rhs: h.shape(),
-        });
-    }
-    Ok(())
-}
 
 /// Sequential feature-tiled SpMM: `out = A * H`, processed in K-tiles of
 /// width `tile`.
@@ -39,10 +31,29 @@ pub fn spmm_feature_tiled(
     h: &DenseMatrix,
     tile: usize,
 ) -> Result<DenseMatrix, MatrixError> {
+    let mut out = DenseMatrix::default();
+    spmm_feature_tiled_into(a, h, tile, &mut out)?;
+    Ok(out)
+}
+
+/// [`spmm_feature_tiled`] writing into a caller-owned output matrix
+/// (reshaped with [`DenseMatrix::resize_zeroed`]; allocation-free at
+/// capacity).
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch; a zero
+/// `tile` is promoted to [`DEFAULT_TILE`].
+pub fn spmm_feature_tiled_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    tile: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
     check("spmm_feature_tiled", a, h)?;
     let k = h.cols();
     let tile = if tile == 0 { DEFAULT_TILE } else { tile };
-    let mut out = DenseMatrix::zeros(a.nrows(), k);
+    out.resize_zeroed(a.nrows(), k);
     let mut t0 = 0;
     while t0 < k {
         let t1 = (t0 + tile).min(k);
@@ -57,7 +68,7 @@ pub fn spmm_feature_tiled(
         }
         t0 = t1;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Parallel feature-tiled SpMM: each worker owns a disjoint K-tile of the
@@ -75,6 +86,30 @@ pub fn spmm_feature_parallel(
     h: &DenseMatrix,
     threads: usize,
 ) -> Result<DenseMatrix, MatrixError> {
+    let mut out = DenseMatrix::default();
+    spmm_feature_parallel_into(a, h, threads, &mut out)?;
+    Ok(out)
+}
+
+/// [`spmm_feature_parallel`] writing into a caller-owned output matrix.
+///
+/// Runs on the persistent global pool. Column tiles cannot be handed out
+/// as `&mut` slices of a row-major matrix, so tiles accumulate into the
+/// pool's reusable [`pool::ScratchArena`] grid — each `(row, column)` cell
+/// belongs to exactly one tile, so plain relaxed load/store suffices (no
+/// compare-exchange) — and the grid is copied into `out` afterwards. In
+/// steady state no allocation is proportional to the output size.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_feature_parallel_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
     check("spmm_feature_parallel", a, h)?;
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
@@ -82,51 +117,38 @@ pub fn spmm_feature_parallel(
     let n = a.nrows();
     let k = h.cols();
     if threads == 1 || k == 0 || n == 0 {
-        return spmm_feature_tiled(a, h, 0);
+        return spmm_feature_tiled_into(a, h, 0, out);
     }
-    let threads = threads.min(k);
-    let tile = k.div_ceil(threads);
+    out.resize_zeroed(n, k);
+    let executors = threads.min(k);
+    let tile = k.div_ceil(executors);
+    let tiles = k.div_ceil(tile);
 
-    // Column tiles cannot be handed out as &mut slices of a row-major
-    // matrix, so each worker accumulates into its own (n x tile) buffer and
-    // the buffers are interleaved afterwards.
-    let mut buffers: Vec<DenseMatrix> = Vec::with_capacity(threads);
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                s.spawn(move |_| {
-                    let t0 = t * tile;
-                    let t1 = ((t + 1) * tile).min(k);
-                    let width = t1 - t0;
-                    let mut local = DenseMatrix::zeros(n, width);
-                    for u in 0..n {
-                        let row_out = local.row_mut(u);
-                        for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
-                            let feat = &h.row(v as usize)[t0..t1];
-                            for (o, f) in row_out.iter_mut().zip(feat) {
-                                *o += w * f;
-                            }
-                        }
+    let pool = pool::global();
+    let out_slice = out.as_mut_slice();
+    pool.scratch().with_zeroed_u32(n * k, |grid| {
+        pool.broadcast(executors, tiles, |t| {
+            let t0 = t * tile;
+            let t1 = (t0 + tile).min(k);
+            for u in 0..n {
+                let base = u * k;
+                for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
+                    let feat = &h.row(v as usize)[t0..t1];
+                    for (j, f) in (t0..t1).zip(feat) {
+                        let cell = &grid[base + j];
+                        // Exclusive per-tile ownership of the cell: a plain
+                        // read-modify-write is race-free.
+                        let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                        cell.store((cur + w * f).to_bits(), Ordering::Relaxed);
                     }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            buffers.push(handle.join().expect("tile worker panicked"));
+                }
+            }
+        });
+        for (dst, cell) in out_slice.iter_mut().zip(grid) {
+            *dst = f32::from_bits(cell.load(Ordering::Relaxed));
         }
-    })
-    .expect("spmm worker panicked");
-
-    let mut out = DenseMatrix::zeros(n, k);
-    for (t, local) in buffers.iter().enumerate() {
-        let t0 = t * tile;
-        for u in 0..n {
-            let src = local.row(u);
-            out.row_mut(u)[t0..t0 + src.len()].copy_from_slice(src);
-        }
-    }
-    Ok(out)
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -141,10 +163,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coo = Coo::new(n, n);
         for _ in 0..nnz {
-            coo.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            );
         }
         let data = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        (Csr::from_coo(&coo), DenseMatrix::from_vec(n, k, data).unwrap())
+        (
+            Csr::from_coo(&coo),
+            DenseMatrix::from_vec(n, k, data).unwrap(),
+        )
     }
 
     #[test]
@@ -153,10 +182,7 @@ mod tests {
         let reference = spmm_sequential(&a, &h).unwrap();
         for tile in [1, 2, 7, 16, 37, 64, 0] {
             let got = spmm_feature_tiled(&a, &h, tile).unwrap();
-            assert!(
-                reference.max_abs_diff(&got) < 1e-4,
-                "tile={tile} diverged"
-            );
+            assert!(reference.max_abs_diff(&got) < 1e-4, "tile={tile} diverged");
         }
     }
 
@@ -177,11 +203,7 @@ mod tests {
     fn narrow_k_is_handled() {
         let (a, h) = random_inputs(20, 60, 1, 3);
         let reference = spmm_sequential(&a, &h).unwrap();
-        assert!(
-            reference
-                .max_abs_diff(&spmm_feature_parallel(&a, &h, 8).unwrap())
-                < 1e-5
-        );
+        assert!(reference.max_abs_diff(&spmm_feature_parallel(&a, &h, 8).unwrap()) < 1e-5);
     }
 
     #[test]

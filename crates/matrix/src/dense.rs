@@ -265,6 +265,29 @@ impl DenseMatrix {
         sums
     }
 
+    /// Reshapes to `(rows, cols)` and fills with zeros, reusing the
+    /// existing backing allocation whenever its capacity suffices.
+    ///
+    /// This is the buffer-recycling primitive behind the `*_into` kernel
+    /// variants: in steady state (same shapes every call) it never touches
+    /// the allocator.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(len, 0.0);
+    }
+
+    /// Makes `self` an element-wise copy of `other`, reusing the existing
+    /// backing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &DenseMatrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Largest absolute element-wise difference against `other`.
     ///
     /// Returns `f32::INFINITY` when the shapes differ, so that a shape
@@ -451,7 +474,10 @@ mod tests {
         let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[&[2.0, 0.5], &[0.0, -1.0]]).unwrap();
         a.hadamard(&b).unwrap();
-        assert_eq!(a, DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, -4.0]]).unwrap());
+        assert_eq!(
+            a,
+            DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, -4.0]]).unwrap()
+        );
         assert!(a.hadamard(&DenseMatrix::zeros(3, 3)).is_err());
     }
 
@@ -468,6 +494,33 @@ mod tests {
     fn column_sums_reduce_rows() {
         let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         assert_eq!(a.column_sums(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn resize_zeroed_reuses_capacity_and_clears_stale_values() {
+        let mut m = DenseMatrix::filled(4, 8, 3.5);
+        let ptr = m.as_slice().as_ptr();
+        m.resize_zeroed(8, 4);
+        assert_eq!(m.shape(), (8, 4));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(
+            m.as_slice().as_ptr(),
+            ptr,
+            "same-size reshape must not reallocate"
+        );
+        m.resize_zeroed(2, 3);
+        assert_eq!(m.len(), 6);
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking must not reallocate");
+    }
+
+    #[test]
+    fn copy_from_matches_clone_without_reallocating_at_capacity() {
+        let src = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let mut dst = DenseMatrix::filled(3, 3, 9.0);
+        let ptr = dst.as_slice().as_ptr();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.as_slice().as_ptr(), ptr);
     }
 
     #[test]

@@ -95,15 +95,85 @@ fn gemm_into(
     }
 }
 
-/// Multi-threaded GEMM that partitions rows of `A` across `threads` workers
-/// using `crossbeam::scope`. Each worker owns a disjoint slice of `C`, so no
-/// synchronization is needed beyond the final join.
+/// Multi-threaded GEMM that partitions rows of `A` across `threads`
+/// executors of the process-wide [`pool::global`] thread pool. Each share
+/// owns a disjoint slice of `C`, so no synchronization is needed beyond the
+/// pool's completion barrier.
 ///
 /// # Errors
 ///
 /// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
 /// [`MatrixError::ZeroThreads`] if `threads == 0`.
 pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Result<DenseMatrix> {
+    let mut c = DenseMatrix::default();
+    matmul_parallel_into(a, b, threads, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul_parallel`] writing into a caller-owned output matrix.
+///
+/// `c` is reshaped to `(a.rows(), b.cols())` with
+/// [`DenseMatrix::resize_zeroed`], so in steady state (same shapes every
+/// call) the output is computed without touching the allocator. On error
+/// `c` is left unchanged.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_parallel_into(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+    c: &mut DenseMatrix,
+) -> Result<()> {
+    check_shapes("matmul_parallel", a, b)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    c.resize_zeroed(m, n);
+    let threads = threads.min(m.max(1));
+    if threads <= 1 || m == 0 || n == 0 {
+        gemm_into(a, b, c.as_mut_slice(), 0, m, k, n);
+        return Ok(());
+    }
+
+    // Finer shares than executors lets the pool's dynamic claiming absorb
+    // stragglers; each share still owns its output slice exclusively.
+    let shares = (threads * 4).min(m);
+    let rows_per = m.div_ceil(shares);
+    let chunks: Vec<std::sync::Mutex<&mut [f32]>> = c
+        .as_mut_slice()
+        .chunks_mut(rows_per * n)
+        .map(std::sync::Mutex::new)
+        .collect();
+    pool::global().broadcast(threads, chunks.len(), |t| {
+        let row_start = t * rows_per;
+        let row_end = (row_start + rows_per).min(m);
+        // Each share index locks a distinct chunk, so this never contends.
+        let mut chunk = chunks[t].lock().unwrap();
+        gemm_into(a, b, &mut chunk, row_start, row_end, k, n);
+    });
+    Ok(())
+}
+
+/// Spawn-per-call GEMM baseline: identical partitioning to
+/// [`matmul_parallel`], but creating fresh scoped threads on every
+/// invocation instead of reusing the persistent pool. Kept public so the
+/// `pool_overhead` benchmark can quantify what pooling saves; all
+/// production call sites use [`matmul_parallel`].
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_parallel_spawn(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+) -> Result<DenseMatrix> {
     check_shapes("matmul_parallel", a, b)?;
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
@@ -196,7 +266,13 @@ mod tests {
     #[test]
     fn blocked_matches_naive_on_random_inputs() {
         let mut rng = StdRng::seed_from_u64(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (64, 64, 64), (65, 129, 33), (100, 17, 200)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 129, 33),
+            (100, 17, 200),
+        ] {
             let a = random_matrix(&mut rng, m, k);
             let b = random_matrix(&mut rng, k, n);
             let c0 = matmul_naive(&a, &b).unwrap();
@@ -218,6 +294,45 @@ mod tests {
                 "threads={threads} diverged"
             );
         }
+    }
+
+    #[test]
+    fn parallel_into_reuses_buffer_and_clears_stale_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_matrix(&mut rng, 33, 17);
+        let b = random_matrix(&mut rng, 17, 9);
+        let reference = matmul_naive(&a, &b).unwrap();
+        // Pre-poison the output with a larger stale matrix.
+        let mut c = DenseMatrix::filled(50, 50, f32::NAN);
+        let ptr = c.as_slice().as_ptr();
+        matmul_parallel_into(&a, &b, 4, &mut c).unwrap();
+        assert!(reference.max_abs_diff(&c) < 1e-4);
+        assert_eq!(
+            c.as_slice().as_ptr(),
+            ptr,
+            "capacity was large enough: no realloc"
+        );
+        // Second call with identical shapes must also be correct.
+        matmul_parallel_into(&a, &b, 4, &mut c).unwrap();
+        assert!(reference.max_abs_diff(&c) < 1e-4);
+    }
+
+    #[test]
+    fn spawn_baseline_matches_pooled_kernel() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_matrix(&mut rng, 61, 29);
+        let b = random_matrix(&mut rng, 29, 13);
+        let pooled = matmul_parallel(&a, &b, 5).unwrap();
+        let spawned = matmul_parallel_spawn(&a, &b, 5).unwrap();
+        assert!(pooled.max_abs_diff(&spawned) < 1e-5);
+    }
+
+    #[test]
+    fn zero_width_outputs_are_handled() {
+        let a = DenseMatrix::zeros(4, 3);
+        let b = DenseMatrix::zeros(3, 0);
+        let c = matmul_parallel(&a, &b, 4).unwrap();
+        assert_eq!(c.shape(), (4, 0));
     }
 
     #[test]

@@ -45,7 +45,12 @@ struct DenseMmProgram {
 }
 
 impl DenseMmProgram {
-    fn new(shape: GemmShape, placement: Placement, rows: std::ops::Range<usize>, cfg: &MachineConfig) -> Self {
+    fn new(
+        shape: GemmShape,
+        placement: Placement,
+        rows: std::ops::Range<usize>,
+        cfg: &MachineConfig,
+    ) -> Self {
         let flops_per_row = 2.0 * shape.k_in as f64 * shape.k_out as f64;
         DenseMmProgram {
             shape,
@@ -121,7 +126,10 @@ pub struct DenseSimResult {
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
-pub fn simulate_dense_mm(config: &MachineConfig, shape: GemmShape) -> Result<DenseSimResult, SimError> {
+pub fn simulate_dense_mm(
+    config: &MachineConfig,
+    shape: GemmShape,
+) -> Result<DenseSimResult, SimError> {
     config.assert_valid();
     let placement = Placement::new(config.total_slices(), config.cache_line_bytes);
     let threads = config.total_threads().min(shape.rows.max(1));
@@ -216,8 +224,12 @@ mod tests {
             k_in: 128,
             k_out: 128,
         };
-        let one = simulate_dense_mm(&MachineConfig::node(1), shape).unwrap().gflops;
-        let four = simulate_dense_mm(&MachineConfig::node(4), shape).unwrap().gflops;
+        let one = simulate_dense_mm(&MachineConfig::node(1), shape)
+            .unwrap()
+            .gflops;
+        let four = simulate_dense_mm(&MachineConfig::node(4), shape)
+            .unwrap()
+            .gflops;
         assert!(four > one * 3.0, "4-core dense speedup {:.2}", four / one);
     }
 }

@@ -68,7 +68,11 @@ pub fn simulate_gcn_layer(
     // Glue: read + write of the output activation at aggregate bandwidth.
     let glue_bytes = 2.0 * (a.nrows() * k_out * 4) as f64;
     let glue_ns = glue_bytes / config.aggregate_bandwidth_gbps();
-    Ok(GcnLayerSim { spmm, dense, glue_ns })
+    Ok(GcnLayerSim {
+        spmm,
+        dense,
+        glue_ns,
+    })
 }
 
 #[cfg(test)]
@@ -127,8 +131,7 @@ mod tests {
         let bw = cfg.aggregate_bandwidth_gbps() * 0.85 * 1e9;
         let spmm_model_ns = traffic.time_seconds(bw, bw) * 1e9;
         let dense_model = crate::dense_model::PiumaDenseModel::default();
-        let dense_model_ns =
-            dense_model.time_ns(&cfg, 2.0 * a.nrows() as f64 * 256.0 * 256.0);
+        let dense_model_ns = dense_model.time_ns(&cfg, 2.0 * a.nrows() as f64 * 256.0 * 256.0);
         let model_dense_share = dense_model_ns / (dense_model_ns + spmm_model_ns);
 
         assert!(

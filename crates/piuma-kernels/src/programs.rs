@@ -413,10 +413,24 @@ mod tests {
             start: 0,
             end: csr.nnz(),
         };
-        let ops = drain(UnrolledSpmmProgram::new(csr.clone(), placement, range, k, 64));
+        let ops = drain(UnrolledSpmmProgram::new(
+            csr.clone(),
+            placement,
+            range,
+            k,
+            64,
+        ));
         let feature_loads = ops
             .iter()
-            .filter(|op| matches!(op, Op::Load { tag: OpTag::FeatureRead, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Load {
+                        tag: OpTag::FeatureRead,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(feature_loads, csr.nnz() * 2);
         let nnz_loads = ops
@@ -438,7 +452,15 @@ mod tests {
             let ops = drain(DmaSpmmProgram::new(csr.clone(), placement, range, k));
             total_feature_reads += ops
                 .iter()
-                .filter(|op| matches!(op, Op::Dma { tag: OpTag::FeatureRead, .. }))
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::Dma {
+                            tag: OpTag::FeatureRead,
+                            ..
+                        }
+                    )
+                })
                 .count();
         }
         assert_eq!(total_feature_reads, csr.nnz());

@@ -167,7 +167,9 @@ mod tests {
         let mut state = 0x12345678usize;
         for u in 0..n {
             for d in 0..deg {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = (state >> 33) % n;
                 coo.push(u, v, 1.0 + d as f32 * 0.1);
             }
@@ -220,10 +222,7 @@ mod tests {
             .run(&a, k)
             .unwrap();
         let speedup = four.gflops / one.gflops;
-        assert!(
-            speedup > 3.0,
-            "4-core DMA speedup only {speedup:.2}x"
-        );
+        assert!(speedup > 3.0, "4-core DMA speedup only {speedup:.2}x");
     }
 
     #[test]

@@ -181,7 +181,11 @@ mod tests {
         let a = twin(1 << 12, 8);
         let r = simulate_random_walks(&cfg, &a, cfg.total_threads(), 64).unwrap();
         // 20 bytes per step: bandwidth is nowhere near the limit.
-        assert!(r.sim.dram_utilization < 0.3, "dram {:.2}", r.sim.dram_utilization);
+        assert!(
+            r.sim.dram_utilization < 0.3,
+            "dram {:.2}",
+            r.sim.dram_utilization
+        );
         assert!(r.msteps_per_second > 0.0);
     }
 

@@ -243,11 +243,20 @@ impl MachineConfig {
             self.cores.is_multiple_of(self.nodes),
             "nodes must divide the core count"
         );
-        assert!(self.inter_node_ns >= 0.0, "inter-node latency must be non-negative");
+        assert!(
+            self.inter_node_ns >= 0.0,
+            "inter-node latency must be non-negative"
+        );
         assert!(self.mtps_per_core > 0, "need at least one MTP per core");
         assert!(self.threads_per_mtp > 0, "need at least one thread per MTP");
-        assert!(self.dram_slices_per_core > 0, "need at least one slice per core");
-        assert!(self.dma_engines_per_core > 0, "need at least one DMA engine");
+        assert!(
+            self.dram_slices_per_core > 0,
+            "need at least one slice per core"
+        );
+        assert!(
+            self.dma_engines_per_core > 0,
+            "need at least one DMA engine"
+        );
         assert!(self.clock_ghz > 0.0, "clock must be positive");
         assert!(self.dram_bandwidth_gbps > 0.0, "bandwidth must be positive");
         assert!(self.dram_latency_ns >= 0.0, "latency must be non-negative");

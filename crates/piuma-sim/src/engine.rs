@@ -35,7 +35,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::NoThreads => write!(f, "simulation requires at least one thread"),
             SimError::BadCore { core, cores } => {
-                write!(f, "thread placed on core {core} but machine has {cores} cores")
+                write!(
+                    f,
+                    "thread placed on core {core} but machine has {cores} cores"
+                )
             }
             SimError::BadSlice { slice, slices } => {
                 write!(f, "access to slice {slice} but machine has {slices} slices")
@@ -64,7 +67,9 @@ impl ThreadSpec {
 
 impl fmt::Debug for ThreadSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ThreadSpec").field("core", &self.core).finish_non_exhaustive()
+        f.debug_struct("ThreadSpec")
+            .field("core", &self.core)
+            .finish_non_exhaustive()
     }
 }
 
@@ -88,7 +93,7 @@ impl Ord for TimeKey {
 
 struct ThreadState {
     core: usize,
-    mtp: usize, // global MTP index
+    mtp: usize,    // global MTP index
     engine: usize, // global DMA engine index
     program: Box<dyn Program>,
     ready: f64,
@@ -180,8 +185,7 @@ impl Simulator {
             states.push(ThreadState {
                 core: spec.core,
                 mtp: spec.core * cfg.mtps_per_core + ordinal % cfg.mtps_per_core,
-                engine: spec.core * cfg.dma_engines_per_core
-                    + ordinal % cfg.dma_engines_per_core,
+                engine: spec.core * cfg.dma_engines_per_core + ordinal % cfg.dma_engines_per_core,
                 program: spec.program,
                 ready: 0.0,
                 dma_inflight: VecDeque::new(),
@@ -788,7 +792,9 @@ mod tests {
                 ThreadSpec::on_core(
                     0,
                     Box::new(VecProgram::new(vec![
-                        Op::Compute { cycles: slow_cycles },
+                        Op::Compute {
+                            cycles: slow_cycles,
+                        },
                         Op::Barrier,
                         Op::Compute { cycles: 1.0 },
                     ])),
@@ -821,7 +827,10 @@ mod tests {
             .run(vec![
                 ThreadSpec::on_core(
                     0,
-                    Box::new(VecProgram::new(vec![Op::Barrier, Op::Compute { cycles: 5.0 }])),
+                    Box::new(VecProgram::new(vec![
+                        Op::Barrier,
+                        Op::Compute { cycles: 5.0 },
+                    ])),
                 ),
                 ThreadSpec::on_core(
                     0,
@@ -845,7 +854,10 @@ mod tests {
             ])) as Box<dyn crate::program::Program>
         };
         let r = Simulator::new(cfg.clone())
-            .run(vec![ThreadSpec::on_core(0, make()), ThreadSpec::on_core(0, make())])
+            .run(vec![
+                ThreadSpec::on_core(0, make()),
+                ThreadSpec::on_core(0, make()),
+            ])
             .unwrap();
         assert!(r.total_ns >= 2.0 * cfg.barrier_latency_ns());
     }
@@ -870,7 +882,10 @@ mod tests {
         ];
         let (result, trace) = Simulator::new(cfg)
             .run_traced(
-                vec![ThreadSpec::on_core(0, Box::new(VecProgram::new(ops.clone())))],
+                vec![ThreadSpec::on_core(
+                    0,
+                    Box::new(VecProgram::new(ops.clone())),
+                )],
                 100,
             )
             .unwrap();
@@ -910,7 +925,11 @@ mod tests {
                 },
             ],
         );
-        for u in [r.dram_utilization, r.dma_utilization, r.pipeline_utilization] {
+        for u in [
+            r.dram_utilization,
+            r.dma_utilization,
+            r.pipeline_utilization,
+        ] {
             assert!((0.0..=1.0).contains(&u));
         }
         assert!(r.pipeline_utilization > 0.0);

@@ -181,10 +181,7 @@ mod tests {
 
     #[test]
     fn vec_program_yields_in_order_then_ends() {
-        let mut p = VecProgram::new(vec![
-            Op::Compute { cycles: 1.0 },
-            Op::DmaWait,
-        ]);
+        let mut p = VecProgram::new(vec![Op::Compute { cycles: 1.0 }, Op::DmaWait]);
         assert_eq!(p.next_op(), Some(Op::Compute { cycles: 1.0 }));
         assert_eq!(p.next_op(), Some(Op::DmaWait));
         assert_eq!(p.next_op(), None);

@@ -84,8 +84,8 @@ impl GpuModel {
         // On-device (or per-batch) compute phases.
         for layer in workload.layers() {
             let traffic = layer.spmm(sizes);
-            t.spmm_ns +=
-                traffic.total_bytes() / (self.hbm_gbps * self.spmm_efficiency) + self.launch_overhead_ns;
+            t.spmm_ns += traffic.total_bytes() / (self.hbm_gbps * self.spmm_efficiency)
+                + self.launch_overhead_ns;
             t.dense_ns += layer.dense_flops() / (self.fp32_peak_gflops * self.dense_efficiency)
                 + self.launch_overhead_ns;
             t.glue_ns += layer.glue_bytes(sizes.feature) / self.hbm_gbps + self.launch_overhead_ns;
@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn offload_bytes_do_not_depend_on_hidden_dim() {
         let m = GpuModel::default();
-        assert_eq!(m.offload_bytes(&products(8)), m.offload_bytes(&products(256)));
+        assert_eq!(
+            m.offload_bytes(&products(8)),
+            m.offload_bytes(&products(256))
+        );
     }
 
     #[test]

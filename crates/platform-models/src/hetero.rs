@@ -145,7 +145,10 @@ mod tests {
         let soc = HeterogeneousSoc::all_piuma(4);
         let (small_k, _) = soc.best_split(&workload(OgbDataset::Products, 8));
         let (large_k, _) = soc.best_split(&workload(OgbDataset::Mag, 256));
-        assert!(large_k > small_k, "K=256 split {large_k} vs K=8 split {small_k}");
+        assert!(
+            large_k > small_k,
+            "K=256 split {large_k} vs K=8 split {small_k}"
+        );
     }
 
     #[test]

@@ -113,10 +113,7 @@ mod tests {
             for k in [8usize, 64, 256] {
                 let w = workload(d, k);
                 let speedup = piuma.gcn_times(&w).speedup_over(&xeon.gcn_times_full(&w));
-                assert!(
-                    speedup > 1.0,
-                    "{d} K={k}: PIUMA speedup {speedup:.2} <= 1"
-                );
+                assert!(speedup > 1.0, "{d} K={k}: PIUMA speedup {speedup:.2} <= 1");
             }
         }
     }
@@ -193,7 +190,9 @@ mod tests {
         // Xeon's STREAM plateau at ~16 cores.
         let xeon_plateau = XeonModel::default().stream_bandwidth_gbps(80);
         let below = PiumaModel::with_cores(8).machine.aggregate_bandwidth_gbps();
-        let above = PiumaModel::with_cores(16).machine.aggregate_bandwidth_gbps();
+        let above = PiumaModel::with_cores(16)
+            .machine
+            .aggregate_bandwidth_gbps();
         assert!(below < xeon_plateau);
         assert!(above >= xeon_plateau * 0.95);
     }
@@ -201,9 +200,7 @@ mod tests {
     #[test]
     fn spmm_time_is_linear_in_node_size() {
         let w = workload(graph::OgbDataset::Products, 64);
-        let t8: f64 = PiumaModel::with_cores(8)
-            .gcn_times(&w)
-            .spmm_ns;
+        let t8: f64 = PiumaModel::with_cores(8).gcn_times(&w).spmm_ns;
         let t32: f64 = PiumaModel::with_cores(32).gcn_times(&w).spmm_ns;
         assert!((t8 / t32 - 4.0).abs() < 0.01);
     }

@@ -141,7 +141,8 @@ impl XeonModel {
 
         let llc_ns = traffic.total_bytes() / self.llc_gbps;
         let compute_ns = traffic.flops
-            / (self.sparse_compute_gflops * (threads as f64 / self.physical_cores() as f64).min(1.0));
+            / (self.sparse_compute_gflops
+                * (threads as f64 / self.physical_cores() as f64).min(1.0));
 
         dram_ns.max(llc_ns).max(compute_ns) + self.kernel_overhead_ns
     }
@@ -154,8 +155,8 @@ impl XeonModel {
         let scale = (threads as f64 / self.physical_cores() as f64).min(1.0);
         let rate = self.dense_peak_gflops * self.dense_efficiency * scale;
         let compute_ns = layer.dense_flops() / rate;
-        let bytes_ns =
-            layer.dense_bytes(ElementSizes::default().feature) / self.stream_bandwidth_gbps(threads);
+        let bytes_ns = layer.dense_bytes(ElementSizes::default().feature)
+            / self.stream_bandwidth_gbps(threads);
         compute_ns.max(bytes_ns) + self.kernel_overhead_ns
     }
 

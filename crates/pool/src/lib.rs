@@ -1,0 +1,536 @@
+//! Persistent work-sharing thread pool for the parallel kernels.
+//!
+//! # Spawn-once contract
+//!
+//! A [`ThreadPool`] spawns its worker threads **exactly once**, at
+//! construction. Every subsequent [`ThreadPool::broadcast`] reuses those
+//! same OS threads; no kernel invocation ever spawns a thread. The global
+//! pool returned by [`global`] is created on first use and lives for the
+//! remainder of the process, so in steady state the only threads in the
+//! system are the caller and the pool's workers. The
+//! `pool_reuses_same_threads` test pins this down by intersecting observed
+//! `ThreadId`s across repeated broadcasts.
+//!
+//! # Execution model
+//!
+//! [`ThreadPool::broadcast`] publishes a job of `shares` independent units
+//! of work. Workers (and the calling thread, which always participates)
+//! repeatedly claim the next unclaimed share index from an atomic counter
+//! and run the job closure on it — the same dynamic chunk-claiming pattern
+//! as [`DynamicCounter`], which lives here so both `matrix` and `kernels`
+//! can share it. Dynamic claiming is what gives the vertex-parallel SpMM
+//! its load balance on power-law graphs (Section II-C of the PIUMA GCN
+//! paper): a worker stuck on a hub row simply claims fewer shares.
+//!
+//! A broadcast may cap its parallelism below the pool width (the
+//! `executors` argument), letting kernels honour a `threads` parameter
+//! smaller than the machine without re-creating pools.
+//!
+//! # Panics
+//!
+//! A panicking share does not kill a worker: the payload is captured,
+//! remaining shares still run, and the first payload is re-raised on the
+//! **calling** thread after the broadcast completes. The pool stays fully
+//! usable afterwards.
+//!
+//! # Safety
+//!
+//! This crate contains the single `unsafe` block of the workspace: the job
+//! closure reference is lifetime-erased to a raw pointer so persistent
+//! workers can call a stack-borrowed closure. Soundness is argued at the
+//! erasure site: `broadcast` does not return until every share has
+//! finished, and no worker dereferences the pointer after the last share
+//! completes, so the referent strictly outlives all dereferences.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::{self, JoinHandle, ThreadId};
+
+/// Dynamic work distribution: a shared counter from which each worker
+/// claims the next chunk of `chunk` items, up to `limit`.
+///
+/// This is the software analogue of the paper's dynamically load-balanced
+/// vertex-parallel SpMM: chunk granularity bounds claim traffic while the
+/// shared counter keeps fast workers busy when rows are skewed.
+#[derive(Debug, Default)]
+pub struct DynamicCounter {
+    next: AtomicUsize,
+}
+
+impl DynamicCounter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        DynamicCounter {
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next chunk of up to `chunk` items below `limit`.
+    /// Returns the half-open range `(start, end)`, or `None` when the
+    /// range `[0, limit)` is exhausted.
+    pub fn claim(&self, chunk: usize, limit: usize) -> Option<(usize, usize)> {
+        let chunk = chunk.max(1);
+        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
+        if start >= limit {
+            return None;
+        }
+        Some((start, (start + chunk).min(limit)))
+    }
+}
+
+/// Type-erased pointer to the broadcast closure.
+///
+/// Dereferenced only between job publication and the completion of the
+/// final share; `broadcast` blocks until then, keeping the referent alive.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the pointer is only sent to workers that dereference it while the
+// originating `broadcast` frame — which owns the unique borrow — is alive.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// One published broadcast: shared claim/completion state.
+struct JobCore {
+    task: TaskPtr,
+    shares: usize,
+    /// Next unclaimed share index.
+    next: AtomicUsize,
+    /// Count of finished shares; completion when it reaches `shares`.
+    finished: AtomicUsize,
+    /// Worker-participation budget (callers always participate for free).
+    budget: AtomicUsize,
+    /// First captured panic payload from any share.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Completion signal for the caller.
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl JobCore {
+    /// Claims and runs shares until none remain. Returns when the counter
+    /// is exhausted (not necessarily when all shares have *finished*).
+    fn run(&self) {
+        loop {
+            let share = self.next.fetch_add(1, Ordering::Relaxed);
+            if share >= self.shares {
+                return;
+            }
+            // SAFETY: a share can only be claimed before `finished`
+            // reaches `shares`, and `broadcast` keeps the closure alive
+            // until that point (see module docs).
+            let task = unsafe { &*self.task.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(share))) {
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            // AcqRel: makes the share's writes visible to whoever observes
+            // completion, and the caller's Acquire load pairs with it.
+            let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
+            if done == self.shares {
+                let _g = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every share has finished.
+    fn wait_done(&self) {
+        let mut g = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+        while self.finished.load(Ordering::Acquire) < self.shares {
+            g = self.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Job slot shared between the submitting thread and the workers.
+struct Slot {
+    /// Monotonic job generation; workers run each generation once.
+    generation: u64,
+    job: Option<Arc<JobCore>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    job_ready: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Slot> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let mut last_gen = 0u64;
+    loop {
+        let core = {
+            let mut slot = shared.lock();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation > last_gen {
+                    if let Some(core) = &slot.job {
+                        last_gen = slot.generation;
+                        break Arc::clone(core);
+                    }
+                }
+                slot = shared
+                    .job_ready
+                    .wait(slot)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Respect the broadcast's executor cap: workers beyond the budget
+        // sit this job out.
+        let admitted = core
+            .budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_ok();
+        if admitted {
+            core.run();
+        }
+    }
+}
+
+/// A persistent pool of worker threads (see module docs for the
+/// spawn-once contract and execution model).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    worker_ids: Vec<ThreadId>,
+    /// Serializes broadcasts: the single job slot holds one job at a time.
+    submit: Mutex<()>,
+    scratch: ScratchArena,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` worker threads. Total parallelism of a
+    /// full-width broadcast is `workers + 1` because the caller always
+    /// participates; `ThreadPool::new(0)` is valid and purely sequential.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("pool-worker-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
+        ThreadPool {
+            shared,
+            workers: handles,
+            worker_ids,
+            submit: Mutex::new(()),
+            scratch: ScratchArena::new(),
+        }
+    }
+
+    /// Maximum parallelism of a broadcast: workers plus the caller.
+    pub fn width(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// `ThreadId`s of the persistent workers, in spawn order. Stable for
+    /// the pool's lifetime — the basis of the spawn-once test.
+    pub fn worker_ids(&self) -> &[ThreadId] {
+        &self.worker_ids
+    }
+
+    /// Reusable zeroed scratch storage owned by the pool.
+    pub fn scratch(&self) -> &ScratchArena {
+        &self.scratch
+    }
+
+    /// Runs `task(share)` for every `share` in `0..shares` across at most
+    /// `executors` threads (the caller plus up to `executors - 1` workers),
+    /// blocking until all shares finish.
+    ///
+    /// Shares are claimed dynamically, so callers should size them at the
+    /// granularity they would hand to [`DynamicCounter`] — e.g. one share
+    /// per vertex chunk or feature tile.
+    ///
+    /// # Panics
+    ///
+    /// If any share panics, the first captured payload is re-raised here
+    /// after all shares have completed. The pool remains usable.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, executors: usize, shares: usize, task: F) {
+        if shares == 0 {
+            return;
+        }
+        let executors = executors.clamp(1, self.width());
+        if executors == 1 || shares == 1 || self.workers.is_empty() {
+            // Inline fast path: no publication, no synchronization.
+            let mut first_panic = None;
+            for share in 0..shares {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| task(share))) {
+                    first_panic.get_or_insert(p);
+                }
+            }
+            if let Some(p) = first_panic {
+                resume_unwind(p);
+            }
+            return;
+        }
+
+        let erased: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY (lifetime erasure): `core.task` is dereferenced by
+        // workers only while claiming shares, which is impossible once
+        // `finished == shares`; `wait_done` below blocks this frame until
+        // then, so `task` outlives every dereference.
+        let erased: &'static (dyn Fn(usize) + Sync + 'static) =
+            unsafe { std::mem::transmute(erased) };
+        let core = Arc::new(JobCore {
+            task: TaskPtr(erased as *const (dyn Fn(usize) + Sync)),
+            shares,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            budget: AtomicUsize::new(executors - 1),
+            panic: Mutex::new(None),
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+
+        let _submit = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut slot = self.shared.lock();
+            slot.generation += 1;
+            slot.job = Some(Arc::clone(&core));
+            self.shared.job_ready.notify_all();
+        }
+
+        core.run(); // the caller is always one of the executors
+        core.wait_done();
+
+        {
+            let mut slot = self.shared.lock();
+            slot.job = None; // drop the erased pointer with the job
+        }
+
+        let payload = {
+            let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.take()
+        };
+        drop(_submit);
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.lock();
+            slot.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Returns the process-wide pool, created on first use with
+/// `available_parallelism() - 1` workers (the caller supplies the final
+/// executor). Subsequent calls — and therefore all kernel invocations —
+/// reuse the same threads.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let width = thread::available_parallelism().map_or(4, |n| n.get());
+        ThreadPool::new(width.saturating_sub(1))
+    })
+}
+
+/// Pool-owned reusable scratch storage.
+///
+/// The edge-parallel SpMM needs an `n * k` array of `AtomicU32` f32-bit
+/// accumulators per call; allocating it each time dominates small-K runs.
+/// The arena keeps the high-water-mark buffer alive across calls and hands
+/// out zeroed views. Concurrent borrowers fall back to a fresh allocation
+/// rather than blocking (the buffer is returned to the arena only if it is
+/// larger than what is cached).
+#[derive(Default)]
+pub struct ScratchArena {
+    u32_buf: Mutex<Vec<AtomicU32>>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Calls `f` with a zeroed `&[AtomicU32]` of length `len`, reusing the
+    /// cached buffer when possible.
+    pub fn with_zeroed_u32<R>(&self, len: usize, f: impl FnOnce(&[AtomicU32]) -> R) -> R {
+        let mut buf = {
+            let mut cached = self.u32_buf.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *cached)
+        };
+        for a in buf.iter_mut() {
+            *a.get_mut() = 0;
+        }
+        if buf.len() < len {
+            buf.reserve(len - buf.len());
+            while buf.len() < len {
+                buf.push(AtomicU32::new(0));
+            }
+        }
+        let result = f(&buf[..len]);
+        let mut cached = self.u32_buf.lock().unwrap_or_else(|e| e.into_inner());
+        if cached.len() < buf.len() {
+            *cached = buf;
+        }
+        result
+    }
+
+    /// Capacity (in `u32` slots) currently cached by the arena.
+    pub fn cached_len(&self) -> usize {
+        self.u32_buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn dynamic_counter_covers_range_exactly_once() {
+        let c = DynamicCounter::new();
+        let mut seen = vec![false; 103];
+        while let Some((s, e)) = c.claim(8, 103) {
+            for i in s..e {
+                assert!(!seen[i], "index {i} claimed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn broadcast_runs_every_share_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(4, hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn broadcast_observes_executor_cap() {
+        let pool = ThreadPool::new(7);
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        pool.broadcast(2, 64, |_| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn pool_reuses_same_threads() {
+        let pool = ThreadPool::new(4);
+        let observe = || {
+            let ids = Mutex::new(HashSet::new());
+            pool.broadcast(pool.width(), 256, |_| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                ids.lock().unwrap().insert(thread::current().id());
+            });
+            ids.into_inner().unwrap()
+        };
+        let spawned: HashSet<ThreadId> = pool.worker_ids().iter().copied().collect();
+        let mut caller_plus_spawned = spawned.clone();
+        caller_plus_spawned.insert(thread::current().id());
+        for _ in 0..5 {
+            let seen = observe();
+            assert!(
+                seen.is_subset(&caller_plus_spawned),
+                "broadcast ran on a thread that was not spawned at pool construction"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_share() {
+        let pool = ThreadPool::new(3);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(4, 32, |i| {
+                if i == 7 {
+                    panic!("share 7 exploded");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic payload must reach the caller");
+        // All workers must still be alive and serving broadcasts.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(4, 100, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn sequential_pool_still_works() {
+        let pool = ThreadPool::new(0);
+        let sum = AtomicUsize::new(0);
+        pool.broadcast(1, 10, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn zero_shares_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        pool.broadcast(3, 0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn scratch_arena_reuses_buffer_and_zeroes() {
+        let arena = ScratchArena::new();
+        arena.with_zeroed_u32(64, |s| {
+            for a in s {
+                a.store(0xDEAD_BEEF, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(arena.cached_len(), 64);
+        arena.with_zeroed_u32(32, |s| {
+            assert!(s.iter().all(|a| a.load(Ordering::Relaxed) == 0));
+        });
+        // Growing keeps the larger buffer cached.
+        arena.with_zeroed_u32(128, |s| assert_eq!(s.len(), 128));
+        assert_eq!(arena.cached_len(), 128);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        global().broadcast(global().width(), 16, |_| {});
+    }
+}

@@ -73,7 +73,11 @@ fn main() -> ExitCode {
                 eprintln!("failed to write CSVs for {}: {err}", e.name());
                 return ExitCode::FAILURE;
             }
-            eprintln!("[repro] wrote {} CSV file(s) under {}", output.csv_files.len(), dir.display());
+            eprintln!(
+                "[repro] wrote {} CSV file(s) under {}",
+                output.csv_files.len(),
+                dir.display()
+            );
         }
     }
     ExitCode::SUCCESS

@@ -75,16 +75,48 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--kernel" => args.kernel = value(&argv, i, "--kernel")?,
-            "--cores" => args.cores = value(&argv, i, "--cores")?.parse().map_err(|e| format!("bad cores: {e}"))?,
-            "--k" => args.k = value(&argv, i, "--k")?.parse().map_err(|e| format!("bad k: {e}"))?,
-            "--latency" => args.latency = Some(value(&argv, i, "--latency")?.parse().map_err(|e| format!("bad latency: {e}"))?),
-            "--threads" => args.threads_per_mtp = Some(value(&argv, i, "--threads")?.parse().map_err(|e| format!("bad threads: {e}"))?),
-            "--walkers" => args.walkers = value(&argv, i, "--walkers")?.parse().map_err(|e| format!("bad walkers: {e}"))?,
-            "--steps" => args.steps = value(&argv, i, "--steps")?.parse().map_err(|e| format!("bad steps: {e}"))?,
+            "--cores" => {
+                args.cores = value(&argv, i, "--cores")?
+                    .parse()
+                    .map_err(|e| format!("bad cores: {e}"))?
+            }
+            "--k" => {
+                args.k = value(&argv, i, "--k")?
+                    .parse()
+                    .map_err(|e| format!("bad k: {e}"))?
+            }
+            "--latency" => {
+                args.latency = Some(
+                    value(&argv, i, "--latency")?
+                        .parse()
+                        .map_err(|e| format!("bad latency: {e}"))?,
+                )
+            }
+            "--threads" => {
+                args.threads_per_mtp = Some(
+                    value(&argv, i, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad threads: {e}"))?,
+                )
+            }
+            "--walkers" => {
+                args.walkers = value(&argv, i, "--walkers")?
+                    .parse()
+                    .map_err(|e| format!("bad walkers: {e}"))?
+            }
+            "--steps" => {
+                args.steps = value(&argv, i, "--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad steps: {e}"))?
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n\n{}", usage())),
         }
-        i += if argv[i].starts_with("--") && argv[i] != "--help" { 2 } else { 1 };
+        i += if argv[i].starts_with("--") && argv[i] != "--help" {
+            2
+        } else {
+            1
+        };
     }
     if args.graph_path.is_none() && args.rmat.is_none() {
         return Err(format!("need --graph or --rmat\n\n{}", usage()));

@@ -13,7 +13,10 @@
 /// assert!(chart.contains('#'));
 /// ```
 pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
-    let max = entries.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let max = entries
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in entries {
@@ -33,11 +36,7 @@ pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
 /// Renders a stacked horizontal bar per entry, where each entry carries a
 /// label and per-segment fractions (0..1) with one glyph per segment kind.
 /// Used for the execution-time-breakdown figures.
-pub fn stacked_bar_chart(
-    entries: &[(String, Vec<f64>)],
-    glyphs: &[char],
-    width: usize,
-) -> String {
+pub fn stacked_bar_chart(entries: &[(String, Vec<f64>)], glyphs: &[char], width: usize) -> String {
     let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, fractions) in entries {
@@ -81,11 +80,7 @@ mod tests {
 
     #[test]
     fn stacked_bars_use_all_glyphs() {
-        let chart = stacked_bar_chart(
-            &[("row".into(), vec![0.5, 0.5])],
-            &['S', 'D'],
-            10,
-        );
+        let chart = stacked_bar_chart(&[("row".into(), vec![0.5, 0.5])], &['S', 'D'], 10);
         assert!(chart.contains("SSSSS"));
         assert!(chart.contains("DDDDD"));
     }

@@ -100,7 +100,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
         ct.row(vec![format!("{c:.0}"), format!("{gf:.2}")]);
     }
     out.csv("credit.csv", ct.to_csv());
-    out.section("DMA-slice backlog credit (8 cores, K=64, window=8, DMA)", &ct);
+    out.section(
+        "DMA-slice backlog credit (8 cores, K=64, window=8, DMA)",
+        &ct,
+    );
 
     let mut ht = TextTable::new(vec!["hop_ns", "dma_gflops", "unrolled_gflops"]);
     for (h, dma, unrolled) in hop_sweep(&a) {
@@ -185,7 +188,11 @@ mod tests {
             &dataset_workload(OgbDataset::Arxiv, 256).layers()[1],
             ElementSizes::default(),
         );
-        assert!((1.15..1.45).contains(&arxiv.speedup()), "{:.2}", arxiv.speedup());
+        assert!(
+            (1.15..1.45).contains(&arxiv.speedup()),
+            "{:.2}",
+            arxiv.speedup()
+        );
         let products = FusionAnalysis::of(
             &dataset_workload(OgbDataset::Products, 256).layers()[1],
             ElementSizes::default(),

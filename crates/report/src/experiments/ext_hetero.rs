@@ -14,9 +14,7 @@ pub fn run() -> ExperimentOutput {
     let mut out = ExperimentOutput::new("ext_hetero");
     let soc = HeterogeneousSoc::all_piuma(TILES);
 
-    let mut table = TextTable::new(vec![
-        "dataset", "K", "dense_tiles", "total_ms", "best?",
-    ]);
+    let mut table = TextTable::new(vec!["dataset", "K", "dense_tiles", "total_ms", "best?"]);
     for d in [
         OgbDataset::Ddi,
         OgbDataset::Arxiv,
@@ -33,7 +31,11 @@ pub fn run() -> ExperimentOutput {
                     k.to_string(),
                     dense_tiles.to_string(),
                     ms(t.total_ns()),
-                    if dense_tiles == best { "*".into() } else { String::new() },
+                    if dense_tiles == best {
+                        "*".into()
+                    } else {
+                        String::new()
+                    },
                 ]);
             }
         }

@@ -91,6 +91,9 @@ mod tests {
             .run(&a, 64)
             .unwrap()
             .gflops;
-        assert!(split <= single * 1.02, "split {split:.1} vs single {single:.1}");
+        assert!(
+            split <= single * 1.02,
+            "split {split:.1} vs single {single:.1}"
+        );
     }
 }

@@ -21,12 +21,7 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
     let a = scaled_twin(OgbDataset::Products, fidelity);
     let cfg = MachineConfig::node(8);
 
-    let mut table = TextTable::new(vec![
-        "walkers",
-        "msteps_per_s",
-        "dram_util",
-        "per_walk_us",
-    ]);
+    let mut table = TextTable::new(vec!["walkers", "msteps_per_s", "dram_util", "per_walk_us"]);
     for &w in &WALKERS {
         let r = simulate_random_walks(&cfg, &a, w, STEPS).expect("in-range placement");
         table.row(vec![
@@ -43,8 +38,8 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
     );
 
     let mut cmp = TextTable::new(vec!["system", "msteps_per_s"]);
-    let piuma = simulate_random_walks(&cfg, &a, cfg.total_threads(), STEPS)
-        .expect("in-range placement");
+    let piuma =
+        simulate_random_walks(&cfg, &a, cfg.total_threads(), STEPS).expect("in-range placement");
     cmp.row(vec![
         "piuma 8-core die (512 thr)".into(),
         format!("{:.1}", piuma.msteps_per_second),

@@ -15,9 +15,7 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("fig10");
     let model = PiumaModel::default();
 
-    let mut table = TextTable::new(vec![
-        "dataset", "K", "spmm%", "dense%", "glue%", "total_ms",
-    ]);
+    let mut table = TextTable::new(vec!["dataset", "K", "spmm%", "dense%", "glue%", "total_ms"]);
     let mut bars: Vec<(String, Vec<f64>)> = Vec::new();
     for d in OgbDataset::TABLE1 {
         for k in K_SWEEP {
@@ -43,7 +41,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
         }
     }
     out.csv("breakdown.csv", table.to_csv());
-    out.section("PIUMA GCN execution-time breakdown (32-core node model)", &table);
+    out.section(
+        "PIUMA GCN execution-time breakdown (32-core node model)",
+        &table,
+    );
     out.section(
         "K=256 shares (S = SpMM, D = Dense MM, G = Glue)",
         stacked_bar_chart(&bars, &['S', 'D', 'G'], 50),

@@ -42,7 +42,10 @@ pub fn run() -> ExperimentOutput {
         }
     }
     out.csv("breakdown.csv", table.to_csv());
-    out.section("CPU GCN execution-time breakdown (Xeon 8380 2S model)", &table);
+    out.section(
+        "CPU GCN execution-time breakdown (Xeon 8380 2S model)",
+        &table,
+    );
     out.section(
         "K=256 shares (S = SpMM, D = Dense MM, G = Glue)",
         stacked_bar_chart(&bars, &['S', 'D', 'G'], 50),

@@ -107,7 +107,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
             ]
         })
         .collect();
-    out.section(&format!("K={k_main} normalized throughput"), bar_chart(&bars, 40));
+    out.section(
+        &format!("K={k_main} normalized throughput"),
+        bar_chart(&bars, 40),
+    );
     out
 }
 

@@ -77,7 +77,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
         ]);
     }
     out.csv("bandwidth.csv", bw_table.to_csv());
-    out.section("Top: DRAM bandwidth sweep (DMA SpMM, 16 thr/MTP)", &bw_table);
+    out.section(
+        "Top: DRAM bandwidth sweep (DMA SpMM, 16 thr/MTP)",
+        &bw_table,
+    );
 
     let mut lat_table = TextTable::new(vec!["cores", "K", "latency_ns", "gflops", "vs_45ns"]);
     let lat_points = latency_sweep(&a, ks);
@@ -96,7 +99,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
         ]);
     }
     out.csv("latency.csv", lat_table.to_csv());
-    out.section("Bottom: DRAM latency sweep (DMA SpMM, 16 thr/MTP)", &lat_table);
+    out.section(
+        "Bottom: DRAM latency sweep (DMA SpMM, 16 thr/MTP)",
+        &lat_table,
+    );
     out
 }
 

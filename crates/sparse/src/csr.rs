@@ -64,7 +64,10 @@ impl Csr {
     ///
     /// Panics if `coo.ncols()` exceeds `u32::MAX`.
     pub fn from_coo(coo: &Coo) -> Self {
-        assert!(coo.ncols() <= u32::MAX as usize, "ncols exceeds u32 index range");
+        assert!(
+            coo.ncols() <= u32::MAX as usize,
+            "ncols exceeds u32 index range"
+        );
         let (rows, cols, vals) = coo.arrays();
         let nrows = coo.nrows();
 

@@ -51,7 +51,11 @@ impl fmt::Display for SparseError {
                 sparse.0, sparse.1, dense.0, dense.1
             ),
             SparseError::NotSquare { shape } => {
-                write!(f, "operation requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "operation requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
         }
     }

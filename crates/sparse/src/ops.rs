@@ -89,10 +89,7 @@ pub fn pagerank(a: &Csr, damping: f32, iterations: usize) -> Result<Vec<f32>> {
     for _ in 0..iterations {
         let mut next = vec![(1.0 - damping) / n as f32; n];
         // Mass from dangling vertices spreads uniformly.
-        let dangling: f32 = (0..n)
-            .filter(|&u| out_deg[u] == 0.0)
-            .map(|u| rank[u])
-            .sum();
+        let dangling: f32 = (0..n).filter(|&u| out_deg[u] == 0.0).map(|u| rank[u]).sum();
         let uniform = damping * dangling / n as f32;
         for (v, nv) in next.iter_mut().enumerate() {
             let mut acc = 0.0f32;

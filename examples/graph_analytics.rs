@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\ntop-5 PageRank vertices:");
     for (v, r) in indexed.iter().take(5) {
-        println!("  vertex {v:>5}: {:.5} (in-degree {})", r, g.adjacency().in_degrees()[*v]);
+        println!(
+            "  vertex {v:>5}: {:.5} (in-degree {})",
+            r,
+            g.adjacency().in_degrees()[*v]
+        );
     }
     let total: f32 = ranks.iter().sum();
     println!("rank mass: {total:.4} (should be ~1)");

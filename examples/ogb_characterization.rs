@@ -23,7 +23,10 @@ fn characterize(d: OgbDataset) {
     let gpu = GpuModel::default();
     let piuma = PiumaModel::default();
 
-    println!("{:>5} {:>28} {:>10} {:>10} {:>10} {:>10}", "K", "cpu spmm/dense/glue", "cpu ms", "gpu ms", "piuma ms", "piuma x");
+    println!(
+        "{:>5} {:>28} {:>10} {:>10} {:>10} {:>10}",
+        "K", "cpu spmm/dense/glue", "cpu ms", "gpu ms", "piuma ms", "piuma x"
+    );
     for k in [8usize, 32, 128, 256] {
         let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, k, s.output_dim);
         let tc = cpu.gcn_times_full(&w);

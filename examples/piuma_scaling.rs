@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for lat in [45.0f64, 90.0, 180.0, 360.0, 720.0] {
             let cfg = MachineConfig::node(8).with_dram_latency_ns(lat);
             let run = SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, k)?;
-            println!("K={k:>3} latency {lat:>4.0} ns: {:>7.2} GFLOP/s", run.gflops);
+            println!(
+                "K={k:>3} latency {lat:>4.0} ns: {:>7.2} GFLOP/s",
+                run.gflops
+            );
         }
     }
 

@@ -23,11 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = GcnModel::new(&GcnConfig::paper_model(32, 64, 8), 7);
     let x = g.random_features(32, 9);
 
-    // 3. Inference with each SpMM strategy; all must agree.
+    // 3. Inference with each SpMM strategy; all must agree. The parallel
+    //    strategies share the persistent `kernels::pool` thread pool.
     let reference = model.infer(&g, &x, SpmmStrategy::Sequential)?;
     for strategy in [
         SpmmStrategy::VertexParallel { threads: 4 },
         SpmmStrategy::EdgeParallel { threads: 4 },
+        SpmmStrategy::FeatureParallel { threads: 4 },
+        SpmmStrategy::Hybrid { threads: 4 },
+        SpmmStrategy::Auto,
     ] {
         let out = model.infer(&g, &x, strategy)?;
         println!(
@@ -37,6 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reference.max_abs_diff(&out)
         );
     }
+    println!(
+        "auto resolves to `{}` for this graph at K=32 (pool width {})",
+        SpmmStrategy::select(&g.normalized_adjacency()?, 32),
+        kernels::pool::global().width()
+    );
 
     // 4. Simulate the aggregation kernel on PIUMA: DMA vs loop-unrolled.
     for cores in [1usize, 4, 8] {

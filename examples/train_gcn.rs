@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = GcnModel::new(&GcnConfig::paper_model(8, 16, 2), 7);
     let mut trainer = Trainer::new(0.15, SpmmStrategy::VertexParallel { threads: 4 });
 
-    println!("{:>6} {:>10} {:>10} {:>10}", "epoch", "loss", "train_acc", "full_acc");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "epoch", "loss", "train_acc", "full_acc"
+    );
     let a_hat = g.normalized_adjacency()?;
     for epoch in 0..80 {
         let stats = trainer.step_normalized(&mut model, &a_hat, &x, &task)?;

@@ -31,7 +31,9 @@ fn scaled_ogb_twin_runs_both_host_and_simulated_spmm() {
     let x = g.random_features(k, 3);
 
     // Host kernel produces real numbers...
-    let host = SpmmStrategy::VertexParallel { threads: 4 }.run(a, &x).unwrap();
+    let host = SpmmStrategy::VertexParallel { threads: 4 }
+        .run(a, &x)
+        .unwrap();
     assert_eq!(host.shape(), (a.nrows(), k));
 
     // ...and the simulator prices the same kernel on PIUMA.
@@ -65,7 +67,9 @@ fn platform_models_agree_with_simulator_on_spmm_ordering() {
     // The PIUMA analytical model (used for full-size graphs) and the
     // event-driven simulator (used for twins) must rank machine sizes the
     // same way and land in the same efficiency band.
-    let a = OgbDataset::Products.materialize_scaled(1 << 12, 4).into_adjacency();
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 12, 4)
+        .into_adjacency();
     let k = 64;
     for cores in [4usize, 16] {
         let sim = SpmmSimulation::new(MachineConfig::node(cores), SpmmVariant::Dma)

@@ -17,7 +17,9 @@ fn trained_model_beats_untrained_on_held_out_vertices() {
     let mut edges = Vec::new();
     let mut state = 0x5EEDusize;
     let mut next = |m: usize| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) % m
     };
     for _ in 0..n * 3 {
@@ -159,14 +161,18 @@ fn design_space_models_compose() {
     assert!(mpi < 1.0);
 
     // Simulated random walks run on the same scaled twins.
-    let a = OgbDataset::Mag.materialize_scaled(1 << 10, 2).into_adjacency();
+    let a = OgbDataset::Mag
+        .materialize_scaled(1 << 10, 2)
+        .into_adjacency();
     let r = simulate_random_walks(&MachineConfig::node(2), &a, 64, 16).unwrap();
     assert!(r.msteps_per_second > 0.0);
 }
 
 #[test]
 fn multi_node_simulation_runs_spmm_and_walks() {
-    let a = OgbDataset::Products.materialize_scaled(1 << 10, 8).into_adjacency();
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 10, 8)
+        .into_adjacency();
     let cfg = MachineConfig::multi_node(2, 4);
     let spmm = SpmmSimulation::new(cfg.clone(), SpmmVariant::Dma)
         .run(&a, 32)

@@ -15,11 +15,20 @@ fn fig2_contours_are_monotone() {
     let densities = [1e-6, 1e-5, 1e-4];
     for &d in &densities {
         let fr: Vec<f64> = scales.iter().map(|&v| fig2::spmm_fraction(v, d)).collect();
-        assert!(fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02, "scale axis: {fr:?}");
+        assert!(
+            fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02,
+            "scale axis: {fr:?}"
+        );
     }
     for &v in &scales {
-        let fr: Vec<f64> = densities.iter().map(|&d| fig2::spmm_fraction(v, d)).collect();
-        assert!(fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02, "density axis: {fr:?}");
+        let fr: Vec<f64> = densities
+            .iter()
+            .map(|&d| fig2::spmm_fraction(v, d))
+            .collect();
+        assert!(
+            fr[0] <= fr[1] + 0.02 && fr[1] <= fr[2] + 0.02,
+            "density axis: {fr:?}"
+        );
     }
 }
 
@@ -46,7 +55,9 @@ fn fig5_dma_scales_and_unrolled_collapses() {
 /// DRAM latency up to 360 ns with the full 16 threads/MTP.
 #[test]
 fn fig6_bandwidth_linear_latency_flat() {
-    let a = OgbDataset::Products.materialize_scaled(1 << 12, 0xC0FFEE).into_adjacency();
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 12, 0xC0FFEE)
+        .into_adjacency();
     let run = |cfg: MachineConfig| {
         SpmmSimulation::new(cfg, SpmmVariant::Dma)
             .run(&a, 256)
@@ -56,7 +67,11 @@ fn fig6_bandwidth_linear_latency_flat() {
     let base = MachineConfig::node(4);
     let bw1 = run(base.clone());
     let bw2 = run(base.with_dram_bandwidth_gbps(64.0));
-    assert!((bw2 / bw1 - 2.0).abs() < 0.25, "bandwidth doubling gave {:.2}x", bw2 / bw1);
+    assert!(
+        (bw2 / bw1 - 2.0).abs() < 0.25,
+        "bandwidth doubling gave {:.2}x",
+        bw2 / bw1
+    );
 
     let l45 = run(base.with_dram_latency_ns(45.0));
     let l360 = run(base.with_dram_latency_ns(360.0));
@@ -67,18 +82,29 @@ fn fig6_bandwidth_linear_latency_flat() {
 /// does not, but keeps tolerance at K=256.
 #[test]
 fn fig7_thread_count_gates_latency_tolerance() {
-    let a = OgbDataset::Products.materialize_scaled(1 << 12, 0xC0FFEE).into_adjacency();
+    let a = OgbDataset::Products
+        .materialize_scaled(1 << 12, 0xC0FFEE)
+        .into_adjacency();
     let run = |tpm: usize, lat: f64, k: usize| {
         let cfg = MachineConfig::node(8)
             .with_threads_per_mtp(tpm)
             .with_dram_latency_ns(lat);
-        SpmmSimulation::new(cfg, SpmmVariant::Dma).run(&a, k).unwrap().gflops
+        SpmmSimulation::new(cfg, SpmmVariant::Dma)
+            .run(&a, k)
+            .unwrap()
+            .gflops
     };
     let retention_16 = run(16, 360.0, 8) / run(16, 45.0, 8);
     let retention_1 = run(1, 360.0, 8) / run(1, 45.0, 8);
-    assert!(retention_16 > retention_1 + 0.2, "16t {retention_16:.2} vs 1t {retention_1:.2}");
+    assert!(
+        retention_16 > retention_1 + 0.2,
+        "16t {retention_16:.2} vs 1t {retention_1:.2}"
+    );
     let retention_1_k256 = run(1, 360.0, 256) / run(1, 45.0, 256);
-    assert!(retention_1_k256 > 0.75, "K=256 single-thread retention {retention_1_k256:.2}");
+    assert!(
+        retention_1_k256 > 0.75,
+        "K=256 single-thread retention {retention_1_k256:.2}"
+    );
 }
 
 /// Fig. 9: who wins. PIUMA > CPU everywhere; GPU < CPU at K=8 on fitting
@@ -103,7 +129,11 @@ fn spmm_to_dense_shift_between_platforms() {
     let w = GcnWorkload::paper_model(s.vertices, s.edges, s.input_dim, 256, s.output_dim);
     let cpu = XeonModel::default().gcn_times_full(&w);
     let piuma = PiumaModel::default().gcn_times(&w);
-    assert!(cpu.fraction(Phase::Spmm) > 0.7, "cpu spmm {:.2}", cpu.fraction(Phase::Spmm));
+    assert!(
+        cpu.fraction(Phase::Spmm) > 0.7,
+        "cpu spmm {:.2}",
+        cpu.fraction(Phase::Spmm)
+    );
     assert!(
         piuma.fraction(Phase::Dense) > cpu.fraction(Phase::Dense) + 0.2,
         "piuma dense {:.2} vs cpu {:.2}",

@@ -7,15 +7,13 @@ use proptest::prelude::*;
 /// triplets (duplicates and empty rows included on purpose).
 fn coo_strategy() -> impl Strategy<Value = Coo> {
     (2usize..48, 2usize..48).prop_flat_map(|(r, c)| {
-        proptest::collection::vec((0..r, 0..c, -2.0f32..2.0), 0..200).prop_map(
-            move |triplets| {
-                let mut coo = Coo::new(r, c);
-                for (i, j, v) in triplets {
-                    coo.push(i, j, v);
-                }
-                coo
-            },
-        )
+        proptest::collection::vec((0..r, 0..c, -2.0f32..2.0), 0..200).prop_map(move |triplets| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in triplets {
+                coo.push(i, j, v);
+            }
+            coo
+        })
     })
 }
 

@@ -1,0 +1,23 @@
+//! Offline stub of the `serde` crate.
+//!
+//! The build environment has no network access, and nothing in this
+//! workspace actually serializes data (there is no `serde_json` or other
+//! format crate anywhere in the dependency graph) — types merely derive
+//! `Serialize` / `Deserialize` so that they are ready for a future wire
+//! format. This stub therefore provides the two traits as empty markers
+//! plus derive macros emitting empty impls, which is enough for every
+//! `#[derive(Serialize, Deserialize)]` in the workspace to compile.
+//!
+//! If a real serialization format is ever added, replace the
+//! `[patch.crates-io]` entries in the workspace `Cargo.toml` with the real
+//! crates — no source change is needed.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,95 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stub. Each derive emits an empty trait impl (the stub traits have no
+//! items), handling structs and enums with or without generic parameters.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "Deserialize")
+}
+
+/// Parses `struct Name<...>` / `enum Name<...>` out of a derive input and
+/// emits `impl<params> ::serde::Trait for Name<params> {}`.
+fn empty_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Collect generic parameter names (identifiers and lifetimes only; the
+    // stub traits have no items, so bounds can be dropped).
+    let mut params: Vec<String> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            let mut lifetime = false;
+            while i < tokens.len() && depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                        lifetime = false;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                        lifetime = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let prefix = if lifetime { "'" } else { "" };
+                        params.push(format!("{prefix}{id}"));
+                        expect_param = false;
+                        lifetime = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let code = if params.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let list = params.join(", ");
+        format!("impl<{list}> ::serde::{trait_name} for {name}<{list}> {{}}")
+    };
+    code.parse().expect("generated impl must parse")
+}
