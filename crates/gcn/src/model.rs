@@ -3,8 +3,8 @@
 use crate::config::GcnConfig;
 use crate::error::GcnError;
 use graph::Graph;
-use kernels::fused::gcn_layer_fused_into;
-use kernels::SpmmStrategy;
+use kernels::fused::{gcn_layer_fused_into, gcn_layer_planned_into};
+use kernels::{SpmmPlan, SpmmStrategy};
 use matrix::{Activation, DenseMatrix, WeightInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +16,12 @@ use sparse::Csr;
 /// no output-sized allocation — each layer writes into the spare buffer and
 /// the pair is swapped, instead of allocating a fresh activation matrix per
 /// layer.
+///
+/// The workspace also caches one [`SpmmPlan`] per adjacency: the first
+/// planned inference pays the degree scan, NNZ partition, and strategy
+/// selection once, and every later layer / epoch / call against the same
+/// graph reuses the plan (a fingerprint check, `O(1)`) instead of
+/// re-deriving statistics per SpMM the way `SpmmStrategy::Auto` does.
 #[derive(Debug, Clone, Default)]
 pub struct InferenceWorkspace {
     /// Current activations; holds the model output after inference.
@@ -24,6 +30,9 @@ pub struct InferenceWorkspace {
     next: DenseMatrix,
     /// Intermediate product inside the fused layer.
     mid: DenseMatrix,
+    /// Cached execution plan, keyed by the adjacency's structural
+    /// fingerprint.
+    plan: Option<SpmmPlan>,
 }
 
 impl InferenceWorkspace {
@@ -35,6 +44,20 @@ impl InferenceWorkspace {
     /// The activations produced by the most recent inference call.
     pub fn output(&self) -> &DenseMatrix {
         &self.h
+    }
+
+    /// The cached execution plan, if a planned inference has run.
+    pub fn plan(&self) -> Option<&SpmmPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Returns the cached plan for `a_hat`, building (and caching) a fresh
+    /// one if the workspace holds no plan or a plan for a different graph.
+    pub fn plan_for(&mut self, a_hat: &Csr, k: usize) -> &SpmmPlan {
+        if !self.plan.as_ref().is_some_and(|p| p.matches(a_hat)) {
+            self.plan = Some(SpmmPlan::new(a_hat, k));
+        }
+        self.plan.as_ref().expect("plan populated above")
     }
 }
 
@@ -199,6 +222,74 @@ impl GcnModel {
         Ok(&workspace.h)
     }
 
+    /// Runs inference against a pre-normalized adjacency through a cached
+    /// [`SpmmPlan`], building the plan on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_planned(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+    ) -> Result<DenseMatrix, GcnError> {
+        let mut workspace = InferenceWorkspace::new();
+        self.infer_planned_with(a_hat, features, &mut workspace)?;
+        Ok(workspace.h)
+    }
+
+    /// [`GcnModel::infer_planned`] running entirely inside a caller-owned
+    /// [`InferenceWorkspace`]. The workspace caches the [`SpmmPlan`] next to
+    /// the activation buffers: the first call against a graph pays the degree
+    /// scan and NNZ-balanced partition once, and every subsequent layer and
+    /// call reuses them after an `O(1)` fingerprint check. Per layer only the
+    /// strategy *resolution* (a handful of comparisons against the cached
+    /// statistics) runs, so layers with different feature widths still pick
+    /// the right kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_planned_with<'w>(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        workspace: &'w mut InferenceWorkspace,
+    ) -> Result<&'w DenseMatrix, GcnError> {
+        if features.cols() != self.input_dim() {
+            return Err(GcnError::FeatureDimMismatch {
+                expected: self.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        if features.rows() != a_hat.nrows() {
+            return Err(GcnError::VertexCountMismatch {
+                graph: a_hat.nrows(),
+                features: features.rows(),
+            });
+        }
+        if !workspace.plan.as_ref().is_some_and(|p| p.matches(a_hat)) {
+            workspace.plan = Some(SpmmPlan::new(a_hat, features.cols()));
+        }
+        let InferenceWorkspace { h, next, mid, plan } = workspace;
+        let plan = plan.as_ref().expect("plan populated above");
+        h.copy_from(features);
+        for layer in &self.layers {
+            gcn_layer_planned_into(
+                a_hat,
+                h,
+                &layer.weight,
+                layer.bias.as_deref(),
+                layer.activation,
+                plan,
+                mid,
+                next,
+            )?;
+            std::mem::swap(h, next);
+        }
+        Ok(&workspace.h)
+    }
+
     /// Reference inference: unfused, sequential, aggregation always first.
     /// Exists purely as an oracle for tests.
     ///
@@ -317,6 +408,59 @@ mod tests {
             .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_inference_matches_reference() {
+        let g = Graph::rmat(&RmatConfig::power_law(9, 8), 23);
+        let model = GcnModel::new(&GcnConfig::paper_model(16, 32, 8), 9);
+        let x = g.random_features(16, 7);
+        let reference = model.infer_reference(&g, &x).unwrap();
+        let a_hat = g.normalized_adjacency().unwrap();
+        let planned = model.infer_planned(&a_hat, &x).unwrap();
+        assert!(
+            reference.max_abs_diff(&planned) < 1e-3,
+            "planned inference diverged by {}",
+            reference.max_abs_diff(&planned)
+        );
+    }
+
+    #[test]
+    fn workspace_reuses_plan_across_calls() {
+        let g = small_graph();
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 16, 4), 3);
+        let x = g.random_features(8, 4);
+        let a_hat = g.normalized_adjacency().unwrap();
+        let mut ws = InferenceWorkspace::new();
+        assert!(ws.plan().is_none());
+        model.infer_planned_with(&a_hat, &x, &mut ws).unwrap();
+        let fingerprint = ws.plan().expect("plan cached").fingerprint_value();
+        model.infer_planned_with(&a_hat, &x, &mut ws).unwrap();
+        assert_eq!(
+            ws.plan().expect("plan retained").fingerprint_value(),
+            fingerprint
+        );
+        // A different graph invalidates the cache.
+        let g2 = Graph::rmat(&RmatConfig::power_law(7, 4), 99);
+        let a2 = g2.normalized_adjacency().unwrap();
+        let x2 = g2.random_features(8, 4);
+        model.infer_planned_with(&a2, &x2, &mut ws).unwrap();
+        assert!(ws.plan().expect("plan rebuilt").matches(&a2));
+        assert!(!ws.plan().expect("plan rebuilt").matches(&a_hat));
+    }
+
+    #[test]
+    fn planned_with_matches_auto_strategy() {
+        let g = Graph::rmat(&RmatConfig::power_law(8, 6), 41);
+        let model = GcnModel::new(&GcnConfig::paper_model(12, 12, 12), 2);
+        let x = g.random_features(12, 5);
+        let a_hat = g.normalized_adjacency().unwrap();
+        let auto = model
+            .infer_normalized(&a_hat, &x, SpmmStrategy::Auto)
+            .unwrap();
+        let mut ws = InferenceWorkspace::new();
+        let planned = model.infer_planned_with(&a_hat, &x, &mut ws).unwrap();
+        assert!(auto.max_abs_diff(planned) < 1e-3);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * [`generators`] — Erdős–Rényi and regular-degree generators,
 //! * [`datasets`] — the Open Graph Benchmark catalog of Table I, with exact
 //!   published `|V|`/`|E|` for the analytical models and *scaled* synthetic
-//!   materialization for functional/simulated runs.
+//!   materialization for functional/simulated runs,
+//! * [`reorder`] — locality-aware vertex orderings (degree / BFS / RCM)
+//!   and the [`ReorderedGraph`] wrapper that keeps GCN results consistent
+//!   across the relabeling.
 //!
 //! # Examples
 //!
@@ -31,10 +34,12 @@ pub mod datasets;
 pub mod generators;
 pub mod graph_type;
 pub mod io;
+pub mod reorder;
 pub mod rmat;
 pub mod sampling;
 
 pub use datasets::{DatasetStats, OgbDataset};
 pub use graph_type::Graph;
+pub use reorder::{ReorderKind, ReorderedGraph};
 pub use rmat::RmatConfig;
 pub use sampling::Subgraph;

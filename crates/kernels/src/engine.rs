@@ -136,6 +136,11 @@ impl SpmmStrategy {
     /// Resolves [`SpmmStrategy::Auto`] for the given operands; fixed
     /// strategies return themselves. The heuristic is documented in the
     /// module docs and in `EXPERIMENTS.md`.
+    ///
+    /// This is the *planless* fallback: it re-derives [`DegreeStats`] (an
+    /// `O(n)` scan) on every call. Repeated SpMM against one adjacency
+    /// should build an [`crate::plan::SpmmPlan`] instead, which caches the
+    /// statistics and the resolved path.
     pub fn select(a: &Csr, k: usize) -> SpmmStrategy {
         let width = pool::global().width();
         let (n, nnz) = (a.nrows(), a.nnz());
@@ -145,8 +150,27 @@ impl SpmmStrategy {
         if nnz.saturating_mul(k) < AUTO_SEQUENTIAL_WORK {
             return SpmmStrategy::Sequential;
         }
-        // O(n) degree scan — negligible next to the O(nnz * K) kernel.
-        let stats = DegreeStats::of(a);
+        // O(n) degree scan — negligible next to the O(nnz * K) kernel, but
+        // still worth caching across calls (see `SpmmPlan`).
+        Self::select_with_stats(&DegreeStats::of(a), nnz, k, width)
+    }
+
+    /// [`SpmmStrategy::select`] with the degree statistics supplied by the
+    /// caller — the `O(1)` decision shared by the planless path (which
+    /// computes `stats` fresh) and [`crate::plan::SpmmPlan`] (which caches
+    /// them once per graph).
+    pub fn select_with_stats(
+        stats: &DegreeStats,
+        nnz: usize,
+        k: usize,
+        width: usize,
+    ) -> SpmmStrategy {
+        if stats.vertices == 0 || nnz == 0 || k == 0 || width <= 1 {
+            return SpmmStrategy::Sequential;
+        }
+        if nnz.saturating_mul(k) < AUTO_SEQUENTIAL_WORK {
+            return SpmmStrategy::Sequential;
+        }
         if stats.cv > AUTO_SKEW_CV {
             return SpmmStrategy::Hybrid { threads: width };
         }
@@ -168,6 +192,29 @@ impl SpmmStrategy {
             SpmmStrategy::Auto => pool::global().width(),
         }
     }
+}
+
+/// Builds an [`SpmmPlan`] for repeated SpMM against `a` with feature
+/// width `k`: degree statistics, the NNZ-balanced row partition, and the
+/// execution path are all computed once, here, instead of per call.
+pub fn plan(a: &Csr, k: usize) -> crate::plan::SpmmPlan {
+    crate::plan::SpmmPlan::new(a, k)
+}
+
+/// Runs `out = a * h` along a precomputed plan — the planned counterpart
+/// of [`SpmmStrategy::run_into`].
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if the operands disagree
+/// with the plan's shapes.
+pub fn run_planned_into(
+    plan: &crate::plan::SpmmPlan,
+    a: &Csr,
+    h: &DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    plan.run_into(a, h, out)
 }
 
 impl Default for SpmmStrategy {

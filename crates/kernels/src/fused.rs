@@ -8,6 +8,7 @@
 //! pins that down.
 
 use crate::engine::SpmmStrategy;
+use crate::plan::SpmmPlan;
 use matrix::{gemm, Activation, DenseMatrix, MatrixError};
 use sparse::Csr;
 
@@ -93,6 +94,47 @@ pub fn gcn_layer_fused_into(
     } else {
         gemm::matmul_parallel_into(h, w, threads, mid)?;
         strategy.run_into(a, mid, out)?;
+        FusedOrder::UpdateFirst
+    };
+
+    if let Some(b) = bias {
+        out.add_row_bias(b)?;
+    }
+    out.apply_activation(activation);
+    Ok(order)
+}
+
+/// [`gcn_layer_fused_into`] running the aggregation along a precomputed
+/// [`SpmmPlan`] instead of a per-call strategy: the degree scan, partition,
+/// and strategy selection were all paid once at plan time. The dense update
+/// uses the pool's full width.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the SpMM / GEMM kernels (including a
+/// plan built for a different adjacency).
+#[allow(clippy::too_many_arguments)]
+pub fn gcn_layer_planned_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    w: &DenseMatrix,
+    bias: Option<&[f32]>,
+    activation: Activation,
+    plan: &SpmmPlan,
+    mid: &mut DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<FusedOrder, MatrixError> {
+    let k_in = w.rows();
+    let k_out = w.cols();
+    let threads = pool::global().width();
+
+    let order = if k_in <= k_out {
+        plan.run_into(a, h, mid)?;
+        gemm::matmul_parallel_into(mid, w, threads, out)?;
+        FusedOrder::AggregateFirst
+    } else {
+        gemm::matmul_parallel_into(h, w, threads, mid)?;
+        plan.run_into(a, mid, out)?;
         FusedOrder::UpdateFirst
     };
 

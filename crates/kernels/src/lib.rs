@@ -17,7 +17,10 @@
 //! * [`hybrid::spmm_hybrid`] — degree-aware hub/tail split for power-law
 //!   graphs,
 //! * [`fused::gcn_layer_fused`] — aggregation + update + activation in one
-//!   call, the building block `gcn` uses.
+//!   call, the building block `gcn` uses,
+//! * [`plan::SpmmPlan`] — a precomputed execution plan (NNZ-balanced row
+//!   partition, cached degree statistics, resolved strategy, column-tile
+//!   schedule) amortizing per-call analysis across layers and epochs.
 //!
 //! All parallel kernels execute on the process-wide persistent thread pool
 //! re-exported as [`pool`] (spawned once on first use, then reused — see
@@ -48,8 +51,10 @@
 pub mod engine;
 pub mod fused;
 pub mod hybrid;
+pub mod plan;
 pub mod spmm;
 pub mod tiled;
 
 pub use engine::SpmmStrategy;
+pub use plan::SpmmPlan;
 pub use pool;

@@ -1,0 +1,681 @@
+//! Precomputed, reusable SpMM execution plans.
+//!
+//! Every `SpmmStrategy::Auto` call re-derives degree statistics (an `O(n)`
+//! scan) and partitions rows by *count*, not by *non-zeros* — so a chunk
+//! holding a hub row serializes on one worker while its siblings idle.
+//! [`SpmmPlan`] pays the analysis once per adjacency and reuses it across
+//! every layer and epoch:
+//!
+//! * an **NNZ-balanced row partition** — slot boundaries found by binary
+//!   search over `row_ptr` so each pool slot owns ~equal non-zeros
+//!   (merge-path style, the workload mapping Accel-GCN identifies as the
+//!   biggest SpMM lever),
+//! * **cached [`DegreeStats`]** and the resolved execution path, so `Auto`
+//!   selection is paid once per graph instead of per call,
+//! * an optional **column-tile schedule** for the feature-parallel path.
+//!
+//! A plan is keyed by a structural fingerprint of the adjacency (shape,
+//! nnz, sampled `row_ptr`/`col_idx` entries), letting callers cache one
+//! plan per graph without holding a borrow — `gcn::InferenceWorkspace`
+//! does exactly that.
+
+use matrix::{DenseMatrix, MatrixError};
+use parking_lot::Mutex;
+use sparse::{Csr, DegreeStats};
+
+use crate::engine::{SpmmStrategy, AUTO_SEQUENTIAL_WORK, AUTO_SKEW_CV, AUTO_WIDE_K};
+use crate::spmm::spmm_rows;
+
+/// NNZ-balanced slots per pool thread. More slots than threads leaves the
+/// pool's dynamic claiming slack to absorb residual imbalance (a slot that
+/// is slightly heavy just means its worker claims one fewer slot).
+pub const PLAN_SLOTS_PER_THREAD: usize = 4;
+
+/// Maximum tolerated `max_slot_nnz / ideal_slot_nnz` before the plan gives
+/// up on row granularity and falls back to the hub-splitting hybrid
+/// kernel: beyond 2x, single rows dominate slots and only edge-splitting
+/// can rebalance them.
+pub const PLAN_MAX_IMBALANCE: f64 = 2.0;
+
+/// Load-balance quality of an NNZ-balanced partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Number of row slots in the partition.
+    pub slots: usize,
+    /// Fewest non-zeros owned by any slot.
+    pub min_slot_nnz: usize,
+    /// Most non-zeros owned by any slot.
+    pub max_slot_nnz: usize,
+    /// `nnz / requested_slots` — what a perfect split into the *requested*
+    /// number of slots would give each one. Measured against the request,
+    /// not the realized count: a hub that collapses the partition to two
+    /// slots should read as imbalance, not as a smaller ideal.
+    pub ideal_slot_nnz: f64,
+    /// `max_slot_nnz / ideal_slot_nnz`; 1.0 is perfect balance.
+    pub imbalance: f64,
+}
+
+impl PlanStats {
+    fn of(row_ptr: &[usize], partition: &[usize], requested_slots: usize) -> PlanStats {
+        let slots = partition.len().saturating_sub(1);
+        if slots == 0 {
+            return PlanStats {
+                slots: 0,
+                min_slot_nnz: 0,
+                max_slot_nnz: 0,
+                ideal_slot_nnz: 0.0,
+                imbalance: 1.0,
+            };
+        }
+        let nnz = *row_ptr.last().expect("non-empty row_ptr");
+        let (mut min, mut max) = (usize::MAX, 0usize);
+        for w in partition.windows(2) {
+            let slot_nnz = row_ptr[w[1]] - row_ptr[w[0]];
+            min = min.min(slot_nnz);
+            max = max.max(slot_nnz);
+        }
+        let ideal = nnz as f64 / requested_slots.max(1) as f64;
+        PlanStats {
+            slots,
+            min_slot_nnz: min,
+            max_slot_nnz: max,
+            ideal_slot_nnz: ideal,
+            imbalance: if ideal > 0.0 { max as f64 / ideal } else { 1.0 },
+        }
+    }
+}
+
+/// Splits rows into at most `slots` contiguous ranges of ~equal non-zeros.
+///
+/// Boundary `i` is found by binary search over `row_ptr` for the first row
+/// whose prefix reaches `i * nnz / slots` — the row-granular merge-path
+/// split. Returned boundaries are strictly increasing, start at 0 and end
+/// at `nrows`, so the ranges cover every row exactly once. Each slot owns
+/// at most `ceil(nnz / slots) + max_row_nnz - 1` non-zeros (a single row
+/// is never split, so one oversized row caps what balancing can achieve).
+pub fn nnz_balanced_partition(row_ptr: &[usize], slots: usize) -> Vec<usize> {
+    let n = row_ptr.len().saturating_sub(1);
+    let nnz = row_ptr.last().copied().unwrap_or(0);
+    if n == 0 {
+        return vec![0];
+    }
+    let slots = slots.max(1);
+    let mut partition = Vec::with_capacity(slots + 1);
+    partition.push(0);
+    for i in 1..slots {
+        let target = i * nnz / slots;
+        // First row boundary with at least `target` non-zeros before it.
+        let boundary = row_ptr.partition_point(|&p| p < target).min(n);
+        if boundary > *partition.last().expect("non-empty partition") {
+            partition.push(boundary);
+        }
+    }
+    if *partition.last().expect("non-empty partition") < n {
+        partition.push(n);
+    }
+    partition
+}
+
+/// The execution path a plan resolved to (the planned analogue of
+/// [`SpmmStrategy`], with `Auto` already decided and vertex-parallel
+/// upgraded to the NNZ-balanced partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedExec {
+    /// Single-threaded: the problem is too small to fan out.
+    Sequential,
+    /// NNZ-balanced row ranges on the persistent pool, no atomics.
+    NnzBalanced {
+        /// Number of worker threads.
+        threads: usize,
+    },
+    /// Worker-owned column tiles (the wide-K regime).
+    FeatureParallel {
+        /// Number of worker threads.
+        threads: usize,
+    },
+    /// Hub rows edge-split, tail chunked — for graphs whose largest rows
+    /// exceed what any row-granular partition can balance.
+    Hybrid {
+        /// Number of worker threads.
+        threads: usize,
+    },
+}
+
+impl std::fmt::Display for PlannedExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlannedExec::Sequential => write!(f, "sequential"),
+            PlannedExec::NnzBalanced { threads } => write!(f, "nnz-balanced x{threads}"),
+            PlannedExec::FeatureParallel { threads } => write!(f, "feature-parallel x{threads}"),
+            PlannedExec::Hybrid { threads } => write!(f, "hybrid x{threads}"),
+        }
+    }
+}
+
+/// A precomputed execution plan for repeated SpMM against one adjacency.
+///
+/// Build once with [`SpmmPlan::new`] (or [`crate::engine::plan`]), then
+/// call [`SpmmPlan::run_into`] per multiplication. The plan's `k` hint
+/// fixes the primary execution path; calls with a different feature width
+/// re-resolve from the *cached* statistics (an `O(1)` decision — never a
+/// rescan of the matrix).
+///
+/// # Examples
+///
+/// ```
+/// use kernels::plan::SpmmPlan;
+/// use sparse::{Coo, Csr};
+/// use matrix::DenseMatrix;
+///
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 1, 1.0);
+/// let a = Csr::from_coo(&coo);
+/// let plan = SpmmPlan::new(&a, 2);
+/// assert!(plan.matches(&a));
+/// let h = DenseMatrix::identity(2);
+/// let out = plan.run(&a, &h).unwrap();
+/// assert_eq!(out.row(0), &[0.0, 1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpmmPlan {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    k: usize,
+    fingerprint: u64,
+    stats: DegreeStats,
+    partition: Vec<usize>,
+    plan_stats: PlanStats,
+    exec: PlannedExec,
+    /// Column tile schedule `[t0, t1)` for the feature-parallel path;
+    /// empty unless `exec` is `FeatureParallel`.
+    tiles: Vec<(usize, usize)>,
+}
+
+impl SpmmPlan {
+    /// Analyzes `a` once and fixes the execution path for feature width
+    /// `k` (`k` is a hint: other widths re-resolve cheaply at run time).
+    pub fn new(a: &Csr, k: usize) -> SpmmPlan {
+        let width = pool::global().width();
+        Self::with_width(a, k, width)
+    }
+
+    /// [`SpmmPlan::new`] with an explicit thread budget (exposed so tests
+    /// and benches can plan for widths other than the global pool's).
+    pub fn with_width(a: &Csr, k: usize, width: usize) -> SpmmPlan {
+        let stats = DegreeStats::of(a);
+        let slots = (width.max(1)) * PLAN_SLOTS_PER_THREAD;
+        let partition = nnz_balanced_partition(a.row_ptr(), slots);
+        let plan_stats = PlanStats::of(a.row_ptr(), &partition, slots);
+        let mut plan = SpmmPlan {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            k,
+            fingerprint: fingerprint(a),
+            stats,
+            partition,
+            plan_stats,
+            exec: PlannedExec::Sequential,
+            tiles: Vec::new(),
+        };
+        plan.exec = plan.resolve(k, width);
+        if let PlannedExec::FeatureParallel { threads } = plan.exec {
+            plan.tiles = column_tiles(k, threads);
+        }
+        plan
+    }
+
+    /// Resolves the execution path for feature width `k` from the cached
+    /// statistics. `O(1)`: no matrix scan.
+    pub fn resolve(&self, k: usize, width: usize) -> PlannedExec {
+        if self.nrows == 0 || self.nnz == 0 || k == 0 || width <= 1 {
+            return PlannedExec::Sequential;
+        }
+        if self.nnz.saturating_mul(k) < AUTO_SEQUENTIAL_WORK {
+            return PlannedExec::Sequential;
+        }
+        // Skewed graphs whose hubs defeat any row partition need
+        // edge-splitting; skewed graphs the partition *can* balance run
+        // atomics-free on the NNZ slots — the step past Auto's
+        // chunked-by-count vertex kernel.
+        if self.stats.cv > AUTO_SKEW_CV && self.plan_stats.imbalance > PLAN_MAX_IMBALANCE {
+            return PlannedExec::Hybrid { threads: width };
+        }
+        if k >= AUTO_WIDE_K && k >= 4 * width {
+            return PlannedExec::FeatureParallel { threads: width };
+        }
+        PlannedExec::NnzBalanced { threads: width }
+    }
+
+    /// Whether this plan was built for `a` (structural fingerprint check;
+    /// `O(1)`).
+    pub fn matches(&self, a: &Csr) -> bool {
+        self.nrows == a.nrows()
+            && self.ncols == a.ncols()
+            && self.nnz == a.nnz()
+            && self.fingerprint == fingerprint(a)
+    }
+
+    /// The feature-width hint the plan was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The structural fingerprint the plan is keyed by.
+    pub fn fingerprint_value(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The cached degree statistics (computed once at plan time).
+    pub fn stats(&self) -> &DegreeStats {
+        &self.stats
+    }
+
+    /// Load-balance quality of the NNZ partition.
+    pub fn plan_stats(&self) -> &PlanStats {
+        &self.plan_stats
+    }
+
+    /// The resolved execution path for the plan's `k` hint.
+    pub fn exec(&self) -> PlannedExec {
+        self.exec
+    }
+
+    /// The NNZ-balanced row boundaries (`slots + 1` entries).
+    pub fn partition(&self) -> &[usize] {
+        &self.partition
+    }
+
+    /// The column-tile schedule (empty unless the feature path was
+    /// resolved).
+    pub fn tiles(&self) -> &[(usize, usize)] {
+        &self.tiles
+    }
+
+    /// Runs `out = a * h` along the planned path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `a` or `h` disagree
+    /// with the plan's shapes.
+    pub fn run(&self, a: &Csr, h: &DenseMatrix) -> Result<DenseMatrix, MatrixError> {
+        let mut out = DenseMatrix::default();
+        self.run_into(a, h, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SpmmPlan::run`] into a caller-owned output matrix (reshaped with
+    /// [`DenseMatrix::resize_zeroed`]; allocation-free at capacity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `a`'s shape disagrees
+    /// with the plan or `h`'s rows disagree with `a`'s columns.
+    pub fn run_into(
+        &self,
+        a: &Csr,
+        h: &DenseMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), MatrixError> {
+        if a.nrows() != self.nrows || a.ncols() != self.ncols || a.nnz() != self.nnz {
+            return Err(MatrixError::DimensionMismatch {
+                op: "spmm_planned",
+                lhs: (self.nrows, self.ncols),
+                rhs: a.shape(),
+            });
+        }
+        let k = h.cols();
+        let exec = if k == self.k {
+            self.exec
+        } else {
+            self.resolve(k, pool::global().width())
+        };
+        match exec {
+            PlannedExec::Sequential => crate::spmm::spmm_sequential_into(a, h, out),
+            PlannedExec::NnzBalanced { threads } => {
+                spmm_nnz_balanced_into(a, h, &self.partition, threads, out)
+            }
+            PlannedExec::FeatureParallel { threads } => {
+                if k == self.k && !self.tiles.is_empty() {
+                    crate::tiled::spmm_feature_planned_into(a, h, &self.tiles, threads, out)
+                } else {
+                    crate::tiled::spmm_feature_parallel_into(a, h, threads, out)
+                }
+            }
+            PlannedExec::Hybrid { threads } => crate::hybrid::spmm_hybrid_into(a, h, threads, out),
+        }
+    }
+
+    /// The fixed [`SpmmStrategy`] closest to the planned path — what the
+    /// planless engine would have to be told to approximate this plan.
+    pub fn strategy_equivalent(&self) -> SpmmStrategy {
+        match self.exec {
+            PlannedExec::Sequential => SpmmStrategy::Sequential,
+            PlannedExec::NnzBalanced { threads } => SpmmStrategy::VertexParallel { threads },
+            PlannedExec::FeatureParallel { threads } => SpmmStrategy::FeatureParallel { threads },
+            PlannedExec::Hybrid { threads } => SpmmStrategy::Hybrid { threads },
+        }
+    }
+}
+
+/// Structural fingerprint of a CSR matrix: shape, nnz, and up to 16
+/// sampled entries of `row_ptr` and `col_idx`, FNV-mixed. `O(1)` — cheap
+/// enough to run on every planned call, strong enough that two graphs
+/// colliding by accident is vanishingly unlikely.
+pub fn fingerprint(a: &Csr) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(a.nrows() as u64);
+    mix(a.ncols() as u64);
+    mix(a.nnz() as u64);
+    let row_ptr = a.row_ptr();
+    let samples = 16usize;
+    for i in 0..samples.min(row_ptr.len()) {
+        let idx = i * (row_ptr.len() - 1) / samples.min(row_ptr.len()).max(1);
+        mix(row_ptr[idx] as u64);
+    }
+    let cols = a.col_idx();
+    if !cols.is_empty() {
+        for i in 0..samples.min(cols.len()) {
+            let idx = i * (cols.len() - 1) / samples.min(cols.len()).max(1);
+            mix(u64::from(cols[idx]));
+        }
+    }
+    h
+}
+
+/// Evenly splits `k` columns into one tile per thread (the schedule the
+/// feature-parallel kernel derives per call, precomputed here).
+fn column_tiles(k: usize, threads: usize) -> Vec<(usize, usize)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let executors = threads.min(k).max(1);
+    let tile = k.div_ceil(executors);
+    (0..k.div_ceil(tile))
+        .map(|t| (t * tile, ((t + 1) * tile).min(k)))
+        .collect()
+}
+
+/// SpMM over precomputed NNZ-balanced row ranges: each pool share owns one
+/// contiguous range of output rows exclusively (no atomics, no locks held
+/// across rows), and because ranges hold ~equal non-zeros, no share
+/// serializes on a heavy chunk the way count-based chunking does.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_nnz_balanced_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    partition: &[usize],
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    crate::spmm::check("spmm_nnz_balanced", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (n, k) = (a.nrows(), h.cols());
+    debug_assert_eq!(partition.last().copied().unwrap_or(0), n);
+    out.resize_zeroed(n, k);
+    if n == 0 || k == 0 {
+        return Ok(());
+    }
+    if threads == 1 || partition.len() < 3 {
+        spmm_rows(a, h, out.as_mut_slice(), 0, n, k);
+        return Ok(());
+    }
+
+    // Pre-split the output at the partition boundaries. Share index ==
+    // slot index and each share locks only its own slice, so the mutexes
+    // never contend — they only hand `&mut` slices through a `Fn` closure.
+    let mut slices: Vec<Mutex<&mut [f32]>> = Vec::with_capacity(partition.len() - 1);
+    let mut rest = out.as_mut_slice();
+    for w in partition.windows(2) {
+        let (slice, remaining) = rest.split_at_mut((w[1] - w[0]) * k);
+        rest = remaining;
+        slices.push(Mutex::new(slice));
+    }
+    let slots = slices.len();
+    pool::global().broadcast(threads.min(slots), slots, |s| {
+        let mut slice = slices[s].lock();
+        spmm_rows(a, h, &mut slice, partition[s], partition[s + 1], k);
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmm::spmm_sequential;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparse::Coo;
+
+    fn random_csr(rng: &mut StdRng, n: usize, nnz: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for _ in 0..nnz {
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-1.0..1.0),
+            );
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn random_dense(rng: &mut StdRng, r: usize, c: usize) -> DenseMatrix {
+        let data = (0..r * c).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(r, c, data).unwrap()
+    }
+
+    #[test]
+    fn partition_covers_all_rows_once() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = random_csr(&mut rng, 200, 1500);
+        for slots in [1, 2, 7, 16, 64, 500] {
+            let p = nnz_balanced_partition(a.row_ptr(), slots);
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), a.nrows());
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "slots={slots}");
+            assert!(p.len() <= slots + 1);
+        }
+    }
+
+    #[test]
+    fn partition_balances_within_row_granularity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_csr(&mut rng, 400, 4000);
+        let slots = 8;
+        let p = nnz_balanced_partition(a.row_ptr(), slots);
+        let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap();
+        let target = a.nnz().div_ceil(slots);
+        for w in p.windows(2) {
+            let slot_nnz = a.row_ptr()[w[1]] - a.row_ptr()[w[0]];
+            assert!(
+                slot_nnz < target + max_row,
+                "slot [{}, {}) holds {slot_nnz} nnz, target {target}, max row {max_row}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty_and_degenerate_matrices() {
+        assert_eq!(nnz_balanced_partition(&[0], 4), vec![0]);
+        let empty = Csr::empty(5, 5);
+        let p = nnz_balanced_partition(empty.row_ptr(), 3);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn nnz_balanced_kernel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_csr(&mut rng, 300, 2500);
+        let h = random_dense(&mut rng, 300, 13);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        for slots in [2, 5, 16] {
+            let p = nnz_balanced_partition(a.row_ptr(), slots);
+            for threads in [1, 2, 4, 9] {
+                let mut out = DenseMatrix::filled(10, 10, f32::NAN);
+                spmm_nnz_balanced_into(&a, &h, &p, threads, &mut out).unwrap();
+                assert!(
+                    reference.max_abs_diff(&out) < 1e-4,
+                    "slots={slots} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_runs_match_sequential_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (n, nnz) in [(50, 100), (200, 3000), (64, 64)] {
+            let a = random_csr(&mut rng, n, nnz);
+            for k in [1usize, 8, 64] {
+                let h = random_dense(&mut rng, n, k);
+                let reference = spmm_sequential(&a, &h).unwrap();
+                let plan = SpmmPlan::new(&a, k);
+                let got = plan.run(&a, &h).unwrap();
+                assert!(
+                    reference.max_abs_diff(&got) < 1e-3,
+                    "n={n} k={k} exec={}",
+                    plan.exec()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_resolves_other_widths_without_rescan() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_csr(&mut rng, 256, 4000);
+        let plan = SpmmPlan::new(&a, 16);
+        // A different K than the hint still runs correctly.
+        let h = random_dense(&mut rng, 256, 40);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        assert!(reference.max_abs_diff(&plan.run(&a, &h).unwrap()) < 1e-3);
+        // k = 0 resolves sequential and yields an empty output.
+        let h0 = DenseMatrix::zeros(256, 0);
+        assert_eq!(plan.run(&a, &h0).unwrap().shape(), (256, 0));
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_operands() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_csr(&mut rng, 50, 300);
+        let other = random_csr(&mut rng, 60, 300);
+        let plan = SpmmPlan::new(&a, 8);
+        let h = random_dense(&mut rng, 60, 8);
+        assert!(plan.run(&other, &h).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_graphs_and_matches_self() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_csr(&mut rng, 128, 1000);
+        let b = random_csr(&mut rng, 128, 1000);
+        let plan = SpmmPlan::new(&a, 8);
+        assert!(plan.matches(&a));
+        assert!(!plan.matches(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn skewed_graph_with_monster_hub_resolves_hybrid() {
+        // Star graph: one row holds every edge; no row partition can
+        // balance it, so the plan must fall back to edge-splitting.
+        let n = 4096;
+        let mut coo = Coo::new(n, n);
+        for v in 1..n {
+            coo.push(0, v, 1.0);
+        }
+        let a = Csr::from_coo(&coo);
+        let plan = SpmmPlan::with_width(&a, 64, 8);
+        assert!(
+            matches!(plan.exec(), PlannedExec::Hybrid { .. }),
+            "expected hybrid for star graph, got {}",
+            plan.exec()
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let h = random_dense(&mut rng, n, 9);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        assert!(reference.max_abs_diff(&plan.run(&a, &h).unwrap()) < 1e-3);
+    }
+
+    #[test]
+    fn moderately_skewed_graph_stays_on_nnz_partition() {
+        // Degrees vary 1..64 (cv well below a star's) but total work is
+        // large: the NNZ partition absorbs the skew without atomics.
+        let n = 2048;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut coo = Coo::new(n, n);
+        for u in 0..n {
+            let d = 1 + (u % 64);
+            for _ in 0..d {
+                coo.push(u, rng.gen_range(0..n), 1.0);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let plan = SpmmPlan::with_width(&a, 32, 8);
+        assert!(
+            matches!(plan.exec(), PlannedExec::NnzBalanced { .. }),
+            "got {}",
+            plan.exec()
+        );
+    }
+
+    #[test]
+    fn wide_k_resolves_feature_parallel_with_tiles() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_csr(&mut rng, 512, 4000);
+        let plan = SpmmPlan::with_width(&a, 1024, 8);
+        assert!(
+            matches!(plan.exec(), PlannedExec::FeatureParallel { .. }),
+            "got {}",
+            plan.exec()
+        );
+        // Tiles cover 0..k exactly once, in order.
+        let tiles = plan.tiles();
+        assert!(!tiles.is_empty());
+        assert_eq!(tiles[0].0, 0);
+        assert_eq!(tiles.last().unwrap().1, 1024);
+        assert!(tiles.windows(2).all(|w| w[0].1 == w[1].0));
+        let h = random_dense(&mut rng, 512, 1024);
+        let reference = spmm_sequential(&a, &h).unwrap();
+        assert!(reference.max_abs_diff(&plan.run(&a, &h).unwrap()) < 1e-3);
+    }
+
+    #[test]
+    fn tiny_problems_resolve_sequential() {
+        let mut coo = Coo::new(8, 8);
+        coo.push(1, 2, 1.0);
+        let a = Csr::from_coo(&coo);
+        let plan = SpmmPlan::with_width(&a, 4, 8);
+        assert_eq!(plan.exec(), PlannedExec::Sequential);
+        assert_eq!(
+            SpmmPlan::with_width(&a, 4, 1).exec(),
+            PlannedExec::Sequential
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_by_the_kernel() {
+        let a = Csr::empty(2, 2);
+        let h = DenseMatrix::zeros(2, 2);
+        let p = nnz_balanced_partition(a.row_ptr(), 2);
+        let mut out = DenseMatrix::default();
+        assert!(matches!(
+            spmm_nnz_balanced_into(&a, &h, &p, 0, &mut out),
+            Err(MatrixError::ZeroThreads)
+        ));
+    }
+}

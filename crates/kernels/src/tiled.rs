@@ -114,22 +114,48 @@ pub fn spmm_feature_parallel_into(
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
     }
+    let k = h.cols();
+    let executors = threads.min(k.max(1));
+    let tile = k.div_ceil(executors.max(1)).max(1);
+    let tiles: Vec<(usize, usize)> = (0..k.div_ceil(tile))
+        .map(|t| (t * tile, ((t + 1) * tile).min(k)))
+        .collect();
+    spmm_feature_planned_into(a, h, &tiles, threads, out)
+}
+
+/// Parallel feature-tiled SpMM over a *precomputed* column-tile schedule —
+/// the execution half of [`spmm_feature_parallel`], split out so an
+/// `SpmmPlan` can derive the schedule once per graph and replay it every
+/// call. Tiles must be disjoint, in-order, and cover `0..h.cols()`.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_feature_planned_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    tiles: &[(usize, usize)],
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    check("spmm_feature_planned", a, h)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
     let n = a.nrows();
     let k = h.cols();
-    if threads == 1 || k == 0 || n == 0 {
+    if threads == 1 || k == 0 || n == 0 || tiles.len() < 2 {
         return spmm_feature_tiled_into(a, h, 0, out);
     }
     out.resize_zeroed(n, k);
-    let executors = threads.min(k);
-    let tile = k.div_ceil(executors);
-    let tiles = k.div_ceil(tile);
+    let executors = threads.min(tiles.len());
 
     let pool = pool::global();
     let out_slice = out.as_mut_slice();
     pool.scratch().with_zeroed_u32(n * k, |grid| {
-        pool.broadcast(executors, tiles, |t| {
-            let t0 = t * tile;
-            let t1 = (t0 + tile).min(k);
+        pool.broadcast(executors, tiles.len(), |t| {
+            let (t0, t1) = tiles[t];
             for u in 0..n {
                 let base = u * k;
                 for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {

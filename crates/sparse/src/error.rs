@@ -34,6 +34,11 @@ pub enum SparseError {
         /// The actual shape.
         shape: (usize, usize),
     },
+    /// A vertex permutation was not a bijection or had the wrong length.
+    InvalidPermutation {
+        /// Which requirement was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -56,6 +61,9 @@ impl fmt::Display for SparseError {
                     "operation requires a square matrix, got {}x{}",
                     shape.0, shape.1
                 )
+            }
+            SparseError::InvalidPermutation { reason } => {
+                write!(f, "invalid permutation: {reason}")
             }
         }
     }

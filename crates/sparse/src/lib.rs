@@ -10,6 +10,8 @@
 //!   paper's analytical model, Eq. 1, is written for),
 //! * [`norm`] — the symmetric GCN normalization
 //!   `A_hat = D^-1/2 (A + I) D^-1/2` from Kipf & Welling,
+//! * [`permute`] — validated vertex permutations and CSR relabeling, the
+//!   substrate for locality-aware graph reordering,
 //! * [`stats`] — degree/density statistics used by the characterization.
 //!
 //! # Examples
@@ -35,12 +37,14 @@ pub mod csr;
 pub mod error;
 pub mod norm;
 pub mod ops;
+pub mod permute;
 pub mod stats;
 
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
 pub use error::SparseError;
+pub use permute::Permutation;
 pub use stats::DegreeStats;
 
 /// Convenience result alias used throughout this crate.

@@ -61,12 +61,14 @@ pub use sparse;
 pub mod prelude {
     pub use analytic::workload::GcnWorkload;
     pub use analytic::{ElementSizes, SpmmTraffic};
-    pub use gcn::{GcnConfig, GcnModel, NodeClassification, SamplingScheme, Trainer};
-    pub use graph::{Graph, OgbDataset, RmatConfig};
-    pub use kernels::SpmmStrategy;
+    pub use gcn::{
+        GcnConfig, GcnModel, InferenceWorkspace, NodeClassification, SamplingScheme, Trainer,
+    };
+    pub use graph::{Graph, OgbDataset, ReorderKind, ReorderedGraph, RmatConfig};
+    pub use kernels::{SpmmPlan, SpmmStrategy};
     pub use matrix::{Activation, DenseMatrix, WeightInit};
     pub use piuma_kernels::{SpmmSimResult, SpmmSimulation, SpmmVariant};
     pub use piuma_sim::{MachineConfig, SimResult, Simulator};
     pub use platform_models::{GcnPhaseTimes, GpuModel, Phase, PiumaModel, XeonModel};
-    pub use sparse::{Coo, Csr};
+    pub use sparse::{Coo, Csr, Permutation};
 }

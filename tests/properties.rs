@@ -221,6 +221,98 @@ proptest! {
     }
 }
 
+/// Deterministic Fisher-Yates permutation from a seed (the vendored
+/// proptest stub has no shuffle strategy, so randomness comes from a plain
+/// xorshift stream instead).
+fn seeded_permutation(n: usize, seed: u64) -> Permutation {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        order.swap(i, (s as usize) % (i + 1));
+    }
+    Permutation::from_new_to_old(order).expect("Fisher-Yates yields a bijection")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn permute_round_trips_with_inverse(coo in coo_strategy(), rs in 0u64..1_000_000, cs in 0u64..1_000_000) {
+        let csr = Csr::from_coo(&coo);
+        let rows = seeded_permutation(csr.nrows(), rs);
+        let cols = seeded_permutation(csr.ncols(), cs);
+        let permuted = csr.permute(&rows, &cols).unwrap();
+        prop_assert!(permuted.validate().is_ok());
+        prop_assert_eq!(permuted.nnz(), csr.nnz());
+        let back = permuted.permute(&rows.inverse(), &cols.inverse()).unwrap();
+        prop_assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn nnz_partition_covers_all_rows_exactly_once(
+        scale in 4u32..9,
+        degree in 1usize..9,
+        slots in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        use piuma_gcn::kernels::plan::nnz_balanced_partition;
+        let n = 1usize << scale;
+        // Alternate between the uniform control and the skewed RMAT family.
+        let graph = if seed % 2 == 0 {
+            piuma_gcn::graph::generators::erdos_renyi(n, n * degree / 2, seed)
+        } else {
+            Graph::rmat(&RmatConfig::power_law(scale, degree), seed)
+        };
+        let a = graph.adjacency();
+        let partition = nnz_balanced_partition(a.row_ptr(), slots);
+        // Boundaries are strictly increasing from 0 to nrows: the ranges
+        // tile the row space, covering every row exactly once.
+        prop_assert_eq!(*partition.first().unwrap(), 0);
+        prop_assert_eq!(*partition.last().unwrap(), a.nrows());
+        prop_assert!(partition.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(partition.len() <= slots + 1);
+
+        // Row granularity caps balance at one hub row above the ideal: each
+        // slot owns at most ceil(nnz/slots) + max_row_nnz - 1 non-zeros.
+        let nnz = a.nnz();
+        let max_row = (0..a.nrows()).map(|r| a.row_nnz(r)).max().unwrap_or(0);
+        let bound = nnz.div_ceil(slots) + max_row.saturating_sub(1);
+        for w in partition.windows(2) {
+            let slot_nnz = a.row_ptr()[w[1]] - a.row_ptr()[w[0]];
+            prop_assert!(
+                slot_nnz <= bound,
+                "slot [{}, {}) owns {} nnz, bound {}",
+                w[0], w[1], slot_nnz, bound
+            );
+        }
+        // Hub-adjusted 2x check: when no single row exceeds the ideal, every
+        // slot stays within twice the perfect share.
+        let ideal = (nnz as f64 / slots as f64).ceil();
+        if (max_row as f64) <= ideal {
+            for w in partition.windows(2) {
+                let slot_nnz = (a.row_ptr()[w[1]] - a.row_ptr()[w[0]]) as f64;
+                prop_assert!(slot_nnz <= 2.0 * ideal.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn planned_spmm_agrees_with_sequential(coo in coo_strategy(), k in 1usize..9) {
+        let csr = Csr::from_coo(&coo);
+        let mut h = DenseMatrix::zeros(csr.ncols(), k);
+        for (i, v) in h.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i * 2654435761) % 17) as f32 / 17.0 - 0.5;
+        }
+        let reference = SpmmStrategy::Sequential.run(&csr, &h).unwrap();
+        let plan = SpmmPlan::new(&csr, k);
+        let planned = plan.run(&csr, &h).unwrap();
+        prop_assert!(reference.max_abs_diff(&planned) < 1e-3);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
