@@ -24,10 +24,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Model hyperparameters ([`GcnConfig`]) and their validation.
 pub mod config;
+/// Error type unifying graph, matrix, and kernel failures.
 pub mod error;
+/// The GCN layer stack and full-graph inference entry points.
 pub mod model;
+/// Neighborhood-sampled mini-batch inference (GraphSAGE-style).
 pub mod sampled;
+/// Training loop: node classification, optimizers, per-step stats.
 pub mod train;
 
 pub use config::GcnConfig;

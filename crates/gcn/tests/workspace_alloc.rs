@@ -17,19 +17,27 @@ struct CountingAllocator;
 
 static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a transparent wrapper over `System`; every method forwards the
+// caller's layout/pointer untouched, so `System`'s contract is preserved.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same layout contract as `System::alloc`, forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract.
+        unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: same pointer/layout contract as `System::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` came from `alloc` above with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same contract as `System::realloc`, forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATED_BYTES.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
@@ -62,7 +70,7 @@ fn steady_state_inference_does_not_allocate_activations() {
 
     // One n x hidden activation matrix — the thing a naive per-layer
     // implementation allocates at least three of per call.
-    let one_activation = n * hidden * std::mem::size_of::<f32>();
+    let one_activation = n * hidden * size_of::<f32>();
     assert!(
         steady_state < one_activation,
         "steady-state inference allocated {steady_state} bytes, \

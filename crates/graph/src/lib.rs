@@ -29,13 +29,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Degree distributions and other structural statistics.
 pub mod analysis;
+/// Synthetic stand-ins for the OGB datasets used in the paper.
 pub mod datasets;
+/// Deterministic graph generators (ring, grid, star, …).
 pub mod generators;
+/// The core CSR-adjacency [`Graph`] type.
 pub mod graph_type;
+/// Edge-list / metadata serialization.
 pub mod io;
+/// Locality-aware vertex reordering (degree sort, RCM, clustering).
 pub mod reorder;
+/// R-MAT scale-free graph generation.
 pub mod rmat;
+/// Neighborhood sampling into induced [`Subgraph`]s.
 pub mod sampling;
 
 pub use datasets::{DatasetStats, OgbDataset};

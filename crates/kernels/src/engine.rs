@@ -108,6 +108,8 @@ impl SpmmStrategy {
     /// # Errors
     ///
     /// Propagates the underlying kernel's shape/thread-count errors.
+    // lint:allow(L004): pure dispatch — every kernel this match arms into
+    // performs its own dimension check before touching data.
     pub fn run_into(
         self,
         a: &Csr,
@@ -208,6 +210,8 @@ pub fn plan(a: &Csr, k: usize) -> crate::plan::SpmmPlan {
 ///
 /// Returns [`MatrixError::DimensionMismatch`] if the operands disagree
 /// with the plan's shapes.
+// lint:allow(L004): pure dispatch — SpmmPlan::run_into opens with
+// check_plan before selecting a kernel.
 pub fn run_planned_into(
     plan: &crate::plan::SpmmPlan,
     a: &Csr,

@@ -27,6 +27,11 @@ use sparse::Csr;
 
 use crate::spmm::{check, spmm_rows, VERTEX_CHUNK};
 
+// BOUNDS: indexing here reads CSR arrays validated by `Csr::from_coo`
+// (row_ptr monotone, col_idx < ncols), work/slot tables built by the
+// partition walk immediately above their use, and output slices carved by
+// `split_at_mut` from a buffer sized via `resize_zeroed(n, k)`.
+
 /// A row is a hub when its degree exceeds `HUB_DEGREE_FACTOR * mean`
 /// (and the absolute floor [`HUB_DEGREE_MIN`]): beyond that point one row
 /// rivals a whole tail chunk and is worth splitting.
@@ -98,8 +103,12 @@ pub fn spmm_hybrid_into(
     // runs of tail rows become exclusively-owned chunks. `split_at_mut`
     // walks the backing slice front to back, so every slice is disjoint.
     let row_ptr = a.row_ptr();
+    // lint:allow(L005): per-call work-list bookkeeping — O(hubs + n/64)
+    // entries, far below the counting-allocator activation budget.
     let mut hub_slots: Vec<Mutex<&mut [f32]>> = Vec::new();
+    // lint:allow(L005): same per-call work-list bookkeeping as above.
     let mut works: Vec<Work<'_>> = Vec::new();
+    // lint:allow(L005): same per-call work-list bookkeeping as above.
     let mut tail_works: Vec<Work<'_>> = Vec::new();
     let mut rest = out.as_mut_slice();
     let mut u = 0;
@@ -145,6 +154,8 @@ pub fn spmm_hybrid_into(
         works.len(),
         |i| match &works[i] {
             Work::HubSegment { e0, e1, slot } => {
+                // lint:allow(L005): K-wide per-segment accumulator kept
+                // thread-local; K is the feature width, tens of floats.
                 let mut acc = vec![0.0f32; k];
                 for e in *e0..*e1 {
                     let v = cols[e] as usize;

@@ -48,11 +48,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Strategy-dispatch entry points ([`SpmmStrategy`]).
 pub mod engine;
+/// Fused aggregate+transform GCN layer kernels.
 pub mod fused;
+/// Row-split hybrid SpMM (dense rows dense-accumulated, sparse rows gathered).
 pub mod hybrid;
+/// NNZ-balanced execution plans ([`SpmmPlan`]) built once, run many times.
 pub mod plan;
+/// Baseline sequential and parallel CSR SpMM kernels.
 pub mod spmm;
+/// Cache-blocked (tiled) SpMM over column strips.
 pub mod tiled;
 
 pub use engine::SpmmStrategy;

@@ -13,6 +13,11 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use sparse::Csr;
 
+// BOUNDS: all `[]` indexing in this module is over CSR arrays validated at
+// construction (`Csr::from_coo` checks row_ptr monotonicity and col_idx <
+// ncols) plus output slices sized by `resize_zeroed(n, k)` before the
+// kernels run; `check()` ties the two shapes together at every entry point.
+
 /// Dynamic chunk-claiming counter shared with the pool crate; re-exported
 /// here because benchmarks and the paper discussion reference it as part
 /// of the kernel layer.
@@ -145,6 +150,8 @@ pub fn spmm_vertex_parallel_into(
         .as_mut_slice()
         .chunks_mut(VERTEX_CHUNK * k)
         .map(Mutex::new)
+        // lint:allow(L005): per-call chunk table of n/64 pointers — orders
+        // of magnitude below the counting-allocator activation budget.
         .collect();
     pool::global().broadcast(threads.min(n), chunks.len(), |ci| {
         let mut slice = chunks[ci].lock();
@@ -181,6 +188,8 @@ pub fn spmm_vertex_parallel_spawn(
     }
     let mut out = DenseMatrix::zeros(n, k);
 
+    // lint:allow(L005): spawn-per-call baseline exists to measure exactly
+    // this kind of per-invocation cost; it is not on the steady-state path.
     let mut work: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.div_ceil(VERTEX_CHUNK));
     for (i, slice) in out.as_mut_slice().chunks_mut(VERTEX_CHUNK * k).enumerate() {
         work.push((i * VERTEX_CHUNK, slice));
@@ -188,6 +197,8 @@ pub fn spmm_vertex_parallel_spawn(
     work.reverse(); // pop() hands chunks out in ascending row order
     let queue = Mutex::new(work);
 
+    // lint:allow(L002): deliberate spawn-per-call baseline kept so the
+    // pool_overhead benchmark can quantify what the persistent pool saves.
     crossbeam::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|_| loop {
@@ -285,6 +296,9 @@ pub fn spmm_edge_parallel_into(
 
             let cols = a.col_idx();
             let vals = a.values();
+            // lint:allow(L005): K-wide per-share accumulator kept
+            // thread-local on purpose; K is the feature width (tens of
+            // floats), negligible against the activation budget.
             let mut acc = vec![0.0f32; k];
             for e in start..end {
                 while e >= row_ptr[u + 1] {
@@ -301,6 +315,9 @@ pub fn spmm_edge_parallel_into(
             flush_row(out_atomic, u, k, &mut acc);
         });
         for (dst, cell) in out_slice.iter_mut().zip(out_atomic) {
+            // lint:allow(L006): the pool barrier at broadcast() return is
+            // the acquire edge; after it each cell has its final value and
+            // this read needs no further ordering.
             *dst = f32::from_bits(cell.load(Ordering::Relaxed));
         }
     });
@@ -320,9 +337,14 @@ fn flush_row(out: &[AtomicU32], u: usize, k: usize, acc: &mut [f32]) {
 
 /// Lock-free `f32` add via compare-exchange on the bit pattern.
 pub(crate) fn atomic_add_f32(cell: &AtomicU32, add: f32) {
+    // lint:allow(L006): pure value accumulation — no other memory is
+    // published through these cells, so the CAS needs no ordering; the
+    // pool's job-completion barrier sequences the final readback.
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let new = (f32::from_bits(cur) + add).to_bits();
+        // lint:allow(L006): same argument as the load above — the CAS only
+        // has to be atomic, not ordered, for value-only accumulation.
         match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,

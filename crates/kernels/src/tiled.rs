@@ -15,6 +15,11 @@ use std::sync::atomic::Ordering;
 
 use crate::spmm::check;
 
+// BOUNDS: indexing here touches CSR arrays validated by `Csr::from_coo`,
+// tile ranges clamped to `..k` at construction, and a scratch grid sized
+// `n * k` by `with_zeroed_u32` immediately before use; `check()` ties the
+// operand shapes together at every entry point.
+
 /// Default feature-tile width in elements (256 floats = 1 KB per row: small
 /// enough that tens of thousands of hot rows fit in an L2 slice).
 pub const DEFAULT_TILE: usize = 256;
@@ -119,6 +124,8 @@ pub fn spmm_feature_parallel_into(
     let tile = k.div_ceil(executors.max(1)).max(1);
     let tiles: Vec<(usize, usize)> = (0..k.div_ceil(tile))
         .map(|t| (t * tile, ((t + 1) * tile).min(k)))
+        // lint:allow(L005): per-call tile table of <= threads pairs; the
+        // planned entry point precomputes it and skips this path entirely.
         .collect();
     spmm_feature_planned_into(a, h, &tiles, threads, out)
 }
@@ -164,13 +171,19 @@ pub fn spmm_feature_planned_into(
                         let cell = &grid[base + j];
                         // Exclusive per-tile ownership of the cell: a plain
                         // read-modify-write is race-free.
+                        // lint:allow(L006): single-writer cell — no other
+                        // thread reads it until the pool barrier.
                         let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+                        // lint:allow(L006): same single-writer argument;
+                        // publication happens at the pool barrier.
                         cell.store((cur + w * f).to_bits(), Ordering::Relaxed);
                     }
                 }
             }
         });
         for (dst, cell) in out_slice.iter_mut().zip(grid) {
+            // lint:allow(L006): the pool barrier at broadcast() return is
+            // the acquire edge; every cell is final before this read.
             *dst = f32::from_bits(cell.load(Ordering::Relaxed));
         }
     });

@@ -27,10 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Elementwise activations (ReLU, softmax, …).
 pub mod activation;
+/// Row-major [`DenseMatrix`] storage.
 pub mod dense;
+/// Shape-mismatch and dimension errors.
 pub mod error;
+/// Sequential and pool-parallel dense GEMM.
 pub mod gemm;
+/// Weight initialization schemes (Xavier/Glorot, …).
 pub mod init;
 
 pub use activation::Activation;

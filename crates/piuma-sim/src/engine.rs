@@ -851,7 +851,7 @@ mod tests {
                 Op::Compute { cycles: 10.0 },
                 Op::Barrier,
                 Op::Compute { cycles: 10.0 },
-            ])) as Box<dyn crate::program::Program>
+            ])) as Box<dyn Program>
         };
         let r = Simulator::new(cfg.clone())
             .run(vec![

@@ -44,6 +44,9 @@
 
 #![warn(missing_docs)]
 
+// BOUNDS: the only non-test indexing is the scratch arena's `&buf[..len]`,
+// taken immediately after the buffer is grown to at least `len` entries.
+
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -92,6 +95,8 @@ struct TaskPtr(*const (dyn Fn(usize) + Sync));
 // and the pointer is only sent to workers that dereference it while the
 // originating `broadcast` frame — which owns the unique borrow — is alive.
 unsafe impl Send for TaskPtr {}
+// SAFETY: `&TaskPtr` only exposes the raw pointer, and every dereference
+// goes through the `Sync` pointee, so concurrent shared access is sound.
 unsafe impl Sync for TaskPtr {}
 
 /// One published broadcast: shared claim/completion state.
@@ -223,15 +228,19 @@ impl ThreadPool {
             }),
             job_ready: Condvar::new(),
         });
+        // lint:allow(L005): pool construction — runs once per process
+        // under the spawn-once contract, never on the broadcast path.
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let shared = Arc::clone(&shared);
             let handle = thread::Builder::new()
+                // lint:allow(L005): worker naming at construction only.
                 .name(format!("pool-worker-{i}"))
                 .spawn(move || worker_loop(shared))
                 .expect("failed to spawn pool worker");
             handles.push(handle);
         }
+        // lint:allow(L005): pool construction, once per process.
         let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
         ThreadPool {
             shared,
@@ -290,11 +299,11 @@ impl ThreadPool {
         }
 
         let erased: &(dyn Fn(usize) + Sync) = &task;
-        // SAFETY (lifetime erasure): `core.task` is dereferenced by
-        // workers only while claiming shares, which is impossible once
-        // `finished == shares`; `wait_done` below blocks this frame until
-        // then, so `task` outlives every dereference.
         let erased: &'static (dyn Fn(usize) + Sync + 'static) =
+            // SAFETY: lifetime erasure — `core.task` is dereferenced by
+            // workers only while claiming shares, which is impossible once
+            // `finished == shares`; `wait_done` below blocks this frame until
+            // then, so `task` outlives every dereference.
             unsafe { std::mem::transmute(erased) };
         let core = Arc::new(JobCore {
             task: TaskPtr(erased as *const (dyn Fn(usize) + Sync)),
@@ -417,11 +426,10 @@ mod tests {
     #[test]
     fn dynamic_counter_covers_range_exactly_once() {
         let c = DynamicCounter::new();
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         while let Some((s, e)) = c.claim(8, 103) {
-            for i in s..e {
-                assert!(!seen[i], "index {i} claimed twice");
-                seen[i] = true;
+            for (i, slot) in seen.iter_mut().enumerate().take(e).skip(s) {
+                assert!(!std::mem::replace(slot, true), "index {i} claimed twice");
             }
         }
         assert!(seen.iter().all(|&b| b));
@@ -445,7 +453,7 @@ mod tests {
         pool.broadcast(2, 64, |_| {
             let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            thread::sleep(std::time::Duration::from_millis(1));
             concurrent.fetch_sub(1, Ordering::SeqCst);
         });
         assert!(peak.load(Ordering::SeqCst) <= 2);
@@ -457,7 +465,7 @@ mod tests {
         let observe = || {
             let ids = Mutex::new(HashSet::new());
             pool.broadcast(pool.width(), 256, |_| {
-                std::thread::sleep(std::time::Duration::from_micros(50));
+                thread::sleep(std::time::Duration::from_micros(50));
                 ids.lock().unwrap().insert(thread::current().id());
             });
             ids.into_inner().unwrap()

@@ -356,9 +356,9 @@ impl Csr {
     /// Total bytes of the three CSR arrays as laid out by this
     /// implementation (`usize` row pointers, `u32` columns, `f32` values).
     pub fn storage_bytes(&self) -> usize {
-        self.row_ptr.len() * std::mem::size_of::<usize>()
-            + self.col_idx.len() * std::mem::size_of::<u32>()
-            + self.values.len() * std::mem::size_of::<f32>()
+        self.row_ptr.len() * size_of::<usize>()
+            + self.col_idx.len() * size_of::<u32>()
+            + self.values.len() * size_of::<f32>()
     }
 }
 

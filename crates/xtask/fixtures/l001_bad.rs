@@ -1,0 +1,5 @@
+// L001 failing fixture: `unsafe` with no SAFETY rationale anywhere near it.
+
+pub unsafe fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}

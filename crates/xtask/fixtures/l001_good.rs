@@ -1,0 +1,8 @@
+// L001 passing fixture: every `unsafe` boundary carries a SAFETY comment.
+
+/// Reads a raw pointer.
+// SAFETY: callers guarantee `p` is non-null, aligned, and live.
+pub unsafe fn read_raw(p: *const u32) -> u32 {
+    // SAFETY: caller upholds this fn's validity contract for `p`.
+    unsafe { *p }
+}

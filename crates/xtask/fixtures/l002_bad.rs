@@ -1,0 +1,6 @@
+// L002 failing fixture: raw thread creation outside the pool crate.
+
+pub fn run_parallel() {
+    let h = std::thread::spawn(|| {});
+    let _ = h.join();
+}

@@ -1,0 +1,6 @@
+// L002 passing fixture: parallel work goes through the persistent pool.
+
+/// Runs `work` across the pool's workers.
+pub fn run_parallel(threads: usize, work: impl Fn(usize) + Sync) {
+    pool::global().broadcast(threads, threads, |tid| work(tid));
+}

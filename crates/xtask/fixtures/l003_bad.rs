@@ -1,0 +1,9 @@
+// L003 failing fixture (linted under a hot-path pseudo-path): unwrap,
+// panic-family macro, and unexplained direct indexing.
+
+pub fn first(xs: &[f32]) -> f32 {
+    if xs.len() > 4 {
+        panic!("too long");
+    }
+    xs[0] + xs.last().copied().unwrap()
+}

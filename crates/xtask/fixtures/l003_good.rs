@@ -1,0 +1,11 @@
+// L003 passing fixture: errors are returned, not panicked, and indexing
+// is argued.
+// BOUNDS: `xs` is checked non-empty before the only `[]` index below.
+
+/// First element, or `None` on empty input.
+pub fn first(xs: &[f32]) -> Option<f32> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs[0])
+}

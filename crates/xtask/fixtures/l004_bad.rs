@@ -1,0 +1,9 @@
+// L004 failing fixture: a `pub fn *_into` kernel that loops over its
+// operands without calling any dimension-check helper first.
+
+/// Doubles `src` into `dst`.
+pub fn scale_into(src: &[f32], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = 2.0 * s;
+    }
+}

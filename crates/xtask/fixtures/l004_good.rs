@@ -1,0 +1,14 @@
+// L004 passing fixture: the `*_into` kernel validates shapes through a
+// configured helper before its first loop.
+
+/// Doubles `src` into `dst`.
+pub fn scale_into(src: &[f32], dst: &mut [f32]) {
+    check("scale", src.len(), dst.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = 2.0 * s;
+    }
+}
+
+fn check(op: &str, a: usize, b: usize) {
+    assert_eq!(a, b, "{op}: operand length mismatch");
+}

@@ -1,0 +1,9 @@
+// L005 failing fixture (linted under a hot-path pseudo-path): allocates
+// on the steady-state path.
+
+/// Builds a zeroed buffer of length `n`.
+pub fn gather(n: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    out.resize(n, 0.0);
+    out
+}

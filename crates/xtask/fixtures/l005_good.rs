@@ -1,0 +1,9 @@
+// L005 passing fixture: writes into caller-provided storage; nothing on
+// this path allocates.
+
+/// Accumulates `xs` into `out` element-wise.
+pub fn accumulate(xs: &[f32], out: &mut [f32]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o += x;
+    }
+}

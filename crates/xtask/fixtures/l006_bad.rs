@@ -1,0 +1,9 @@
+// L006 failing fixture: `Ordering::Relaxed` outside the pool crate with
+// no waiver stating the memory-ordering argument.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bumps a shared counter.
+pub fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

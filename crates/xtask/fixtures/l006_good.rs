@@ -1,0 +1,10 @@
+// L006 passing fixture: the Relaxed use carries a waiver whose reason is
+// the memory-ordering argument.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bumps a shared counter.
+pub fn bump(c: &AtomicUsize) {
+    // lint:allow(L006): standalone statistics counter — nothing is published through it, so no acquire/release pairing exists to preserve
+    c.fetch_add(1, Ordering::Relaxed);
+}

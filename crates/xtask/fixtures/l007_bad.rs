@@ -1,0 +1,4 @@
+// L007 failing fixture: a plain-`pub` item in a docs-required crate with
+// no doc comment.
+
+pub fn undocumented() {}

@@ -1,0 +1,7 @@
+// L007 passing fixture: the public surface is documented; `pub(crate)`
+// items need no docs.
+
+/// Documented public function.
+pub fn documented() {}
+
+pub(crate) fn internal() {}

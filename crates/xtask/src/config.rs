@@ -1,0 +1,356 @@
+//! `lint.toml` — per-crate scoping for the repo lints.
+//!
+//! The environment is offline and `toml`/`serde` are not vendored as full
+//! implementations, so this module carries a minimal TOML-subset parser:
+//! `[section]` headers, `key = "string"`, `key = true/false`, and string
+//! arrays (which may span multiple lines). That subset is exactly what the
+//! schema below needs — anything fancier in the file is a hard error, on
+//! the theory that a silently misparsed lint config is worse than none.
+//!
+//! Schema (all paths workspace-relative, `/`-separated):
+//!
+//! ```toml
+//! [scan]
+//! roots = ["crates", "src"]        # directories to walk for .rs files
+//! skip  = ["crates/xtask/fixtures"] # pruned subtrees (target/vendor always)
+//!
+//! [tests]
+//! exempt = ["L003", "L005"]        # lints that ignore test/bench code
+//!
+//! [spawn]                           # L002
+//! allowed = ["crates/pool"]        # crates allowed to spawn threads
+//!
+//! [hot]                             # L003 + L005 scope
+//! paths = ["crates/kernels/src/spmm.rs"]
+//!
+//! [dim-check]                       # L004
+//! crates  = ["crates/kernels"]
+//! helpers = ["check", "check_shapes"]
+//!
+//! [relaxed]                         # L006
+//! allowed = ["crates/pool"]        # crates allowed Ordering::Relaxed
+//!
+//! [docs]                            # L007
+//! crates = ["crates/kernels"]      # library crates requiring doc comments
+//!
+//! [disabled]
+//! lints = []                        # lint IDs switched off entirely
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Parsed lint configuration (see module docs for the schema).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directories (workspace-relative) walked for `.rs` files.
+    pub scan_roots: Vec<String>,
+    /// Subtrees pruned from the walk.
+    pub scan_skip: Vec<String>,
+    /// Lint IDs exempt inside test/bench code.
+    pub tests_exempt: Vec<String>,
+    /// Crates allowed to spawn threads (L002).
+    pub spawn_allowed: Vec<String>,
+    /// Hot-path files under the panic-freedom / zero-alloc rules.
+    pub hot_paths: Vec<String>,
+    /// Crates whose `pub fn *_into` must call a dimension-check helper.
+    pub dim_check_crates: Vec<String>,
+    /// Recognized dimension-check helper names.
+    pub dim_check_helpers: Vec<String>,
+    /// Crates allowed `Ordering::Relaxed` (L006).
+    pub relaxed_allowed: Vec<String>,
+    /// Crates whose `pub` items must carry doc comments (L007).
+    pub docs_crates: Vec<String>,
+    /// Lints disabled outright.
+    pub disabled: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            scan_roots: vec!["crates".into(), "src".into(), "tests".into()],
+            scan_skip: Vec::new(),
+            tests_exempt: vec!["L002".into(), "L003".into(), "L005".into(), "L006".into()],
+            spawn_allowed: vec!["crates/pool".into()],
+            hot_paths: Vec::new(),
+            dim_check_crates: Vec::new(),
+            dim_check_helpers: vec!["check".into(), "check_shapes".into()],
+            relaxed_allowed: vec!["crates/pool".into()],
+            docs_crates: Vec::new(),
+            disabled: Vec::new(),
+        }
+    }
+}
+
+/// A `lint.toml` parse failure with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let tables = parse_tables(text)?;
+        let mut cfg = Config::default();
+        let get = |tables: &BTreeMap<String, BTreeMap<String, Value>>,
+                   table: &str,
+                   key: &str|
+         -> Option<Value> { tables.get(table).and_then(|t| t.get(key)).cloned() };
+
+        let assign = |table: &str, key: &str, dst: &mut Vec<String>| {
+            if let Some(Value::Array(items)) = get(&tables, table, key) {
+                *dst = items;
+            }
+        };
+        assign("scan", "roots", &mut cfg.scan_roots);
+        assign("scan", "skip", &mut cfg.scan_skip);
+        assign("tests", "exempt", &mut cfg.tests_exempt);
+        assign("spawn", "allowed", &mut cfg.spawn_allowed);
+        assign("hot", "paths", &mut cfg.hot_paths);
+        assign("dim-check", "crates", &mut cfg.dim_check_crates);
+        assign("dim-check", "helpers", &mut cfg.dim_check_helpers);
+        assign("relaxed", "allowed", &mut cfg.relaxed_allowed);
+        assign("docs", "crates", &mut cfg.docs_crates);
+        assign("disabled", "lints", &mut cfg.disabled);
+        Ok(cfg)
+    }
+
+    /// Loads and parses `lint.toml` from `root`, falling back to the
+    /// built-in defaults when the file does not exist.
+    pub fn load(root: &Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(root.join("lint.toml")) {
+            Ok(text) => Config::parse(&text),
+            Err(_) => Ok(Config::default()),
+        }
+    }
+
+    /// Is `path` (workspace-relative, `/`-separated) inside any of the
+    /// listed prefixes? Prefixes match whole path components.
+    pub fn path_in(path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| {
+            path == p
+                || path
+                    .strip_prefix(p.as_str())
+                    .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+/// A parsed TOML value (the subset this config needs).
+#[derive(Debug, Clone)]
+enum Value {
+    #[allow(dead_code)]
+    Str(String),
+    Array(Vec<String>),
+    #[allow(dead_code)]
+    Bool(bool),
+}
+
+fn parse_tables(text: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>>, ConfigError> {
+    let mut tables: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    let mut current = String::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let line = line.trim();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = name.trim().to_string();
+            tables.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("expected `key = value` or `[table]`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim().to_string();
+        let mut rhs = line[eq + 1..].trim().to_string();
+        // Multi-line arrays: accumulate until brackets balance.
+        while rhs.starts_with('[') && !brackets_balanced(&rhs) {
+            let Some(next) = lines.get(i) else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unterminated array for key `{key}`"),
+                });
+            };
+            rhs.push(' ');
+            rhs.push_str(strip_comment(next).trim());
+            i += 1;
+        }
+        let value = parse_value(&rhs, lineno)?;
+        tables
+            .entry(current.clone())
+            .or_default()
+            .insert(key, value);
+    }
+    Ok(tables)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(rhs: &str, lineno: usize) -> Result<Value, ConfigError> {
+    let rhs = rhs.trim();
+    if rhs == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if rhs == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_string(rhs) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = rhs.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_commas(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some(s) = parse_string(part) else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("array items must be strings, got `{part}`"),
+                });
+            };
+            items.push(s);
+        }
+        return Ok(Value::Array(items));
+    }
+    Err(ConfigError {
+        line: lineno,
+        message: format!("unsupported value `{rhs}` (strings, bools, and string arrays only)"),
+    })
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    // The schema has no need for escapes in paths/IDs; reject rather than
+    // misinterpret.
+    if body.contains('\\') || body.contains('"') {
+        return None;
+    }
+    Some(body.to_string())
+}
+
+fn split_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_schema() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scan]
+roots = ["crates", "src"]   # trailing comment
+skip = [
+    "crates/xtask/fixtures",
+    "examples",
+]
+
+[hot]
+paths = ["crates/kernels/src/spmm.rs"]
+
+[dim-check]
+crates = ["crates/kernels"]
+helpers = ["check"]
+
+[disabled]
+lints = []
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.scan_roots, ["crates", "src"]);
+        assert_eq!(cfg.scan_skip, ["crates/xtask/fixtures", "examples"]);
+        assert_eq!(cfg.hot_paths, ["crates/kernels/src/spmm.rs"]);
+        assert_eq!(cfg.dim_check_helpers, ["check"]);
+        assert!(cfg.disabled.is_empty());
+    }
+
+    #[test]
+    fn missing_tables_keep_defaults() {
+        let cfg = Config::parse("[hot]\npaths = []\n").unwrap();
+        assert_eq!(cfg.spawn_allowed, ["crates/pool"]);
+        assert!(cfg.tests_exempt.contains(&"L003".to_string()));
+    }
+
+    #[test]
+    fn malformed_entries_are_hard_errors() {
+        assert!(Config::parse("[scan]\nroots = [1, 2]\n").is_err());
+        assert!(Config::parse("just text\n").is_err());
+        assert!(Config::parse("[scan]\nroots = [\"unterminated\"\n").is_err());
+    }
+
+    #[test]
+    fn path_prefix_matching_respects_components() {
+        let prefixes = vec!["crates/pool".to_string()];
+        assert!(Config::path_in("crates/pool/src/lib.rs", &prefixes));
+        assert!(Config::path_in("crates/pool", &prefixes));
+        assert!(!Config::path_in("crates/pool-extras/src/lib.rs", &prefixes));
+    }
+}

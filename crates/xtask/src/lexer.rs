@@ -1,0 +1,507 @@
+//! A minimal, comment/string/raw-string-aware Rust tokenizer.
+//!
+//! The lints in this crate are lexical: they pattern-match source text. A
+//! naive `grep` would fire on `panic!` inside a doc comment or miss a
+//! `SAFETY:` comment entirely, so every file is first *scrubbed*: comment
+//! and literal contents are replaced by spaces while line structure is
+//! preserved. Lints then match against the scrubbed text (`code`) and
+//! consult the per-line comment text (`line_comments`) for waivers and
+//! `SAFETY:` / `BOUNDS:` rationales.
+//!
+//! Handled constructs (exercised by the unit tests below):
+//!
+//! * line comments `//`, doc comments `///` and `//!`
+//! * block comments `/* .. */`, **nested** to arbitrary depth
+//! * string literals with escapes (`"a \" b"`), byte strings `b"…"`
+//! * raw strings `r"…"`, `r#"…"#`, … with any number of `#`s (and `br#"…"#`)
+//! * char and byte-char literals, including `'"'`, `'\''` and `'/'`
+//! * lifetimes (`&'a str` is **not** a char literal)
+//! * `#[cfg(test)]` / `#[test]` regions, so hot-path lints can exempt
+//!   test-only code
+
+/// One scanned source file: raw text plus derived lexical views.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// The raw file contents.
+    pub raw: String,
+    /// Raw split into lines (without terminators), 0-indexed.
+    pub raw_lines: Vec<String>,
+    /// Scrubbed lines: comments and literal contents blanked with spaces,
+    /// code and literal delimiters preserved. Same line count as `raw_lines`.
+    pub code_lines: Vec<String>,
+    /// Comment text that appears on each line (content only, markers
+    /// stripped; multi-line block comments contribute to every line they
+    /// span). Same length as `raw_lines`.
+    pub line_comments: Vec<String>,
+    /// Whether each line sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub test_lines: Vec<bool>,
+}
+
+/// Lexer state while scanning a file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Block comment with nesting depth.
+    BlockComment(u32),
+    /// String literal; `true` once a backslash escape is pending.
+    Str {
+        escaped: bool,
+    },
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr {
+        hashes: u32,
+    },
+    /// Char literal; `true` once a backslash escape is pending.
+    CharLit {
+        escaped: bool,
+    },
+}
+
+impl SourceFile {
+    /// Scans `raw` into its lexical views.
+    pub fn scan(raw: &str) -> SourceFile {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::with_capacity(256);
+        let mut comments_per_line: Vec<String> = Vec::new();
+        let mut cur_comment_line = String::new();
+
+        let mut mode = Mode::Code;
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                // Line comments end at the newline; everything else carries
+                // over. Newlines always survive into the scrubbed text.
+                if mode == Mode::LineComment {
+                    mode = Mode::Code;
+                }
+                code.push('\n');
+                comments_per_line.push(std::mem::take(&mut cur_comment_line));
+                i += 1;
+                continue;
+            }
+            match mode {
+                Mode::Code => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        mode = Mode::LineComment;
+                        code.push_str("  ");
+                        i += 2;
+                        // Skip doc/inner-doc markers so comment text starts
+                        // at the content.
+                        while matches!(chars.get(i), Some('/') | Some('!')) {
+                            code.push(' ');
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(1);
+                        code.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if let Some(hashes) = raw_string_start(&chars, i) {
+                        // Skip the prefix (b? r #* ") keeping delimiters as
+                        // spaces; content scrubbing happens in RawStr mode.
+                        let prefix = (chars[i] == 'b') as usize + 1 + hashes as usize + 1;
+                        for _ in 0..prefix {
+                            code.push(' ');
+                        }
+                        i += prefix;
+                        mode = Mode::RawStr { hashes };
+                        continue;
+                    }
+                    if c == '"' {
+                        code.push('"');
+                        mode = Mode::Str { escaped: false };
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Disambiguate char literal vs lifetime: an escape or
+                        // a closing quote two chars ahead means a literal.
+                        let is_char = matches!(
+                            (chars.get(i + 1), chars.get(i + 2)),
+                            (Some('\\'), _) | (Some(_), Some('\''))
+                        );
+                        if is_char {
+                            code.push('\'');
+                            mode = Mode::CharLit { escaped: false };
+                        } else {
+                            code.push('\''); // lifetime quote: plain code
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                Mode::LineComment => {
+                    comment.push(c);
+                    cur_comment_line.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+                Mode::BlockComment(depth) => {
+                    let next = chars.get(i + 1).copied();
+                    if c == '/' && next == Some('*') {
+                        mode = Mode::BlockComment(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::BlockComment(depth - 1)
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        cur_comment_line.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::Str { escaped } => {
+                    if escaped {
+                        mode = Mode::Str { escaped: false };
+                        code.push(' ');
+                    } else if c == '\\' {
+                        mode = Mode::Str { escaped: true };
+                        code.push(' ');
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        code.push('"');
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+                Mode::RawStr { hashes } => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        for _ in 0..=hashes as usize {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Mode::CharLit { escaped } => {
+                    if escaped {
+                        mode = Mode::CharLit { escaped: false };
+                        code.push(' ');
+                    } else if c == '\\' {
+                        mode = Mode::CharLit { escaped: true };
+                        code.push(' ');
+                    } else if c == '\'' {
+                        mode = Mode::Code;
+                        code.push('\'');
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+        }
+        comments_per_line.push(cur_comment_line);
+
+        let raw_lines: Vec<String> = raw.lines().map(str::to_string).collect();
+        let mut code_lines: Vec<String> = code.lines().map(str::to_string).collect();
+        // `lines()` drops a trailing empty segment differently than our
+        // per-line comment accounting; normalize all views to equal length.
+        let nlines = raw_lines.len();
+        code_lines.resize(nlines, String::new());
+        comments_per_line.resize(nlines, String::new());
+
+        let test_lines = mark_test_regions(&code_lines);
+        SourceFile {
+            raw: raw.to_string(),
+            raw_lines,
+            code_lines,
+            line_comments: comments_per_line,
+            test_lines,
+        }
+    }
+
+    /// Number of lines in the file.
+    pub fn nlines(&self) -> usize {
+        self.raw_lines.len()
+    }
+
+    /// Scrubbed code of 0-indexed `line` (empty if out of range).
+    pub fn code(&self, line: usize) -> &str {
+        self.code_lines.get(line).map_or("", |s| s.as_str())
+    }
+
+    /// True when the line holds no code: blank, or comment-only.
+    pub fn is_comment_or_blank(&self, line: usize) -> bool {
+        self.code(line).trim().is_empty()
+    }
+}
+
+/// Does a raw-string literal (`r"`, `r#"`, `br##"` …) start at `i`?
+/// Returns the number of `#`s if so.
+fn raw_string_start(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    // `r` must not be the tail of an identifier (`for"x"` is not valid
+    // Rust, but `var"` would misfire without this guard).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Does the `"` at `i` close a raw string expecting `hashes` trailing `#`s?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|d| chars.get(i + d) == Some(&'#'))
+}
+
+/// Marks every line covered by a `#[cfg(test)]` or `#[test]` item.
+///
+/// From each attribute, the gated item extends to the matching `}` of the
+/// first `{` that follows — or to the first `;` if one appears before any
+/// brace (an attribute on a `use` or statement).
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code_lines.len()];
+    for (start, line) in code_lines.iter().enumerate() {
+        if !(line.contains("#[cfg(test)]")
+            || line.contains("# [cfg (test)]")
+            || line.contains("#[test]"))
+        {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut entered = false;
+        'scan: for (l, scan_line) in code_lines.iter().enumerate().skip(start) {
+            // On the attribute line itself, only look after the attribute.
+            let text: &str = if l == start {
+                let at = scan_line.find("#[").unwrap_or(0);
+                let after = scan_line[at..]
+                    .find(']')
+                    .map_or(scan_line.len(), |p| at + p + 1);
+                &scan_line[after..]
+            } else {
+                scan_line
+            };
+            for c in text.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if entered && depth <= 0 {
+                            for t in test.iter_mut().take(l + 1).skip(start) {
+                                *t = true;
+                            }
+                            break 'scan;
+                        }
+                    }
+                    ';' if !entered => {
+                        // Brace-less gated item (e.g. `#[cfg(test)] use …;`).
+                        for t in test.iter_mut().take(l + 1).skip(start) {
+                            *t = true;
+                        }
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    test
+}
+
+/// Returns 0-indexed lines on which `pattern` occurs in scrubbed code with
+/// word-ish boundaries: the character before must not be an identifier
+/// character (so `unsafe_code` does not match `unsafe`), and when
+/// `boundary_after` is set the character after must not be one either.
+pub fn code_match_lines(sf: &SourceFile, pattern: &str, boundary_after: bool) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for (l, code) in sf.code_lines.iter().enumerate() {
+        if find_boundary(code, pattern, boundary_after).is_some() {
+            lines.push(l);
+        }
+    }
+    lines
+}
+
+/// First boundary-respecting occurrence of `pattern` in `s` (byte offset).
+pub fn find_boundary(s: &str, pattern: &str, boundary_after: bool) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = s[from..].find(pattern) {
+        let at = from + rel;
+        let before_ok = at == 0
+            || !s[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + pattern.len();
+        let after_ok = !boundary_after
+            || !s[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + pattern.len().max(1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan(src)
+    }
+
+    #[test]
+    fn line_comments_are_scrubbed_but_captured() {
+        let sf = scan("let x = 1; // SAFETY: not really code panic!()\nlet y = 2;\n");
+        assert!(!sf.code(0).contains("panic!"));
+        assert!(sf.code(0).contains("let x = 1;"));
+        assert!(sf.line_comments[0].contains("SAFETY: not really code"));
+        assert!(sf.line_comments[1].is_empty());
+    }
+
+    #[test]
+    fn nested_block_comments_scrub_to_the_outer_close() {
+        let src = "a /* outer /* inner */ still comment */ b\nc\n";
+        let sf = scan(src);
+        assert!(sf.code(0).contains('a'));
+        assert!(sf.code(0).contains('b'));
+        assert!(!sf.code(0).contains("inner"));
+        assert!(!sf.code(0).contains("still"));
+        assert!(sf.line_comments[0].contains("inner"));
+        assert_eq!(sf.code(1).trim(), "c");
+    }
+
+    #[test]
+    fn multi_line_block_comment_marks_every_line() {
+        let src = "code();\n/* one\n   two unwrap()\n   three */ tail();\n";
+        let sf = scan(src);
+        assert!(sf.code(2).trim().is_empty(), "comment interior is scrubbed");
+        assert!(sf.code(3).contains("tail()"));
+        assert!(sf.line_comments[2].contains("unwrap"));
+    }
+
+    #[test]
+    fn string_contents_are_scrubbed_including_escaped_quotes() {
+        let src = r#"let s = "panic! \" unwrap() // not a comment"; real();"#;
+        let sf = scan(src);
+        assert!(!sf.code(0).contains("panic!"));
+        assert!(!sf.code(0).contains("unwrap"));
+        assert!(sf.code(0).contains("real();"));
+        assert!(
+            sf.line_comments[0].is_empty(),
+            "// inside a string is not a comment"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_scrubbed_to_their_true_end() {
+        let src = "let s = r#\"contains \" quote and panic!\"# ; after();\n";
+        let sf = scan(src);
+        assert!(!sf.code(0).contains("panic!"));
+        assert!(sf.code(0).contains("after();"));
+
+        // Two hashes: a `"#` inside does NOT terminate.
+        let src2 = "let s = r##\"inner \"# still panic!\"## ; tail();\n";
+        let sf2 = scan(src2);
+        assert!(!sf2.code(0).contains("panic!"));
+        assert!(sf2.code(0).contains("tail();"));
+    }
+
+    #[test]
+    fn char_literals_with_quote_and_slashes_do_not_derail_the_lexer() {
+        let src = "let q = '\"'; let s = '/'; let e = '\\''; live();\n// comment\n";
+        let sf = scan(src);
+        assert!(sf.code(0).contains("live();"));
+        assert!(sf.line_comments[0].is_empty());
+        assert!(sf.line_comments[1].contains("comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // tail\n";
+        let sf = scan(src);
+        assert!(sf.code(0).contains("{ x }"));
+        assert!(sf.line_comments[0].contains("tail"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_scrubbed() {
+        let src = "let a = b\"panic!\"; let b = br#\"unwrap()\"#; go();\n";
+        let sf = scan(src);
+        assert!(!sf.code(0).contains("panic!"));
+        assert!(!sf.code(0).contains("unwrap"));
+        assert!(sf.code(0).contains("go();"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn prod() { x[0]; }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let sf = scan(src);
+        assert!(!sf.test_lines[0]);
+        assert!(sf.test_lines[1]);
+        assert!(sf.test_lines[2]);
+        assert!(sf.test_lines[3]);
+        assert!(sf.test_lines[4]);
+        assert!(!sf.test_lines[5]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_marks_only_that_fn() {
+        let src = "#[test]\nfn t() {\n    a.unwrap();\n}\nfn prod() {}\n";
+        let sf = scan(src);
+        assert!(sf.test_lines[0] && sf.test_lines[1] && sf.test_lines[2] && sf.test_lines[3]);
+        assert!(!sf.test_lines[4]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn prod() {}\n";
+        let sf = scan(src);
+        assert!(sf.test_lines[0] && sf.test_lines[1]);
+        assert!(!sf.test_lines[2]);
+    }
+
+    #[test]
+    fn boundary_matching_rejects_identifier_tails() {
+        let sf = scan("#![forbid(unsafe_code)]\nunsafe { x }\n");
+        let hits = code_match_lines(&sf, "unsafe", true);
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let src = "/// panic! in docs\npub fn f() {}\n//! module docs unwrap()\n";
+        let sf = scan(src);
+        assert!(!sf.code(0).contains("panic!"));
+        assert!(sf.line_comments[0].contains("panic! in docs"));
+        assert!(!sf.code(2).contains("unwrap"));
+    }
+}

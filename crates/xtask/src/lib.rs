@@ -1,0 +1,135 @@
+//! Workspace-internal static analysis (`cargo xtask lint`).
+//!
+//! The workspace's load-bearing invariants — every parallel kernel runs on
+//! the persistent pool, steady-state hot paths neither allocate nor panic,
+//! `unsafe` stays confined and argued — were established by PRs 1–2 as
+//! *convention*. This crate makes them machine-checked: a small
+//! comment/string/raw-string-aware tokenizer ([`lexer`]), a suite of
+//! repo-specific lints ([`lints`], IDs `L001`–`L007`), per-crate scoping
+//! via `lint.toml` ([`config`]), and inline waivers
+//! (`// lint:allow(<ID>): <reason>`) whose reasons are mandatory.
+//!
+//! Three enforcement points share this library:
+//!
+//! 1. `cargo run -p xtask -- lint --deny` (aliased `cargo xtask lint`),
+//! 2. the tier-1 `tests/lint_gate.rs` integration test, which shells out to
+//!    the same binary so `cargo test` enforces the invariants offline,
+//! 3. the `static-analysis` CI job.
+//!
+//! No external parser is used: the environment is offline and `syn` is not
+//! vendored, so the tokenizer recognizes exactly the lexical structure the
+//! lints need (comments, strings, raw strings, char literals, `cfg(test)`
+//! regions) and nothing more.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use lints::{known_lint, Diagnostic, LINTS};
+
+/// Result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unwaived findings (including `L000` waiver problems), sorted by
+    /// file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Total waivers honored across the file set.
+    pub waived: usize,
+}
+
+/// Directories never descended into, regardless of configuration.
+const ALWAYS_SKIP: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Collects the workspace-relative `.rs` files to lint under `root`.
+pub fn collect_files(root: &Path, cfg: &Config) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for scan_root in &cfg.scan_roots {
+        walk(&root.join(scan_root), root, cfg, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let rel = rel_str(&path, root);
+        if path.is_dir() {
+            if ALWAYS_SKIP.contains(&name) || Config::path_in(&rel, &cfg.scan_skip) {
+                continue;
+            }
+            walk(&path, root, cfg, out);
+        } else if name.ends_with(".rs") && !Config::path_in(&rel, &cfg.scan_skip) {
+            out.push(path);
+        }
+    }
+}
+
+/// Workspace-relative, `/`-separated form of `path`.
+pub fn rel_str(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every file in `files` (absolute paths) against `cfg`.
+pub fn run(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
+    let mut report = Report::default();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        report.files += 1;
+        let rel = rel_str(path, root);
+        let sf = lexer::SourceFile::scan(&text);
+        let before = count_raw(&rel, &sf, cfg);
+        let diags = lints::lint_file(&rel, &sf, cfg);
+        // Waived = findings the raw lints produced minus what survived
+        // (excluding L000 meta-diagnostics, which waivers never cover).
+        let survived = diags.iter().filter(|d| d.lint != "L000").count();
+        report.waived += before.saturating_sub(survived);
+        report.diagnostics.extend(diags);
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    report
+}
+
+/// Raw (pre-waiver) finding count for a file, used for the waived tally.
+fn count_raw(rel: &str, sf: &lexer::SourceFile, cfg: &Config) -> usize {
+    // Re-running the lints without waivers would duplicate logic; instead,
+    // lint_file is the only entry point and we recover the raw count from a
+    // waiver-stripped variant of the source. Cheaper: count how many
+    // honored waivers exist by linting and diffing — which requires the raw
+    // count. Simplest correct approach: strip waiver markers and re-lint.
+    let stripped = lints::lint_file(
+        rel,
+        &lexer::SourceFile::scan(&sf.raw.replace("lint:allow", "lint-stripped")),
+        cfg,
+    );
+    stripped.iter().filter(|d| d.lint != "L000").count()
+}
+
+/// Convenience: load config, collect files, lint the whole workspace.
+pub fn lint_workspace(root: &Path) -> Result<Report, config::ConfigError> {
+    let cfg = Config::load(root)?;
+    let files = collect_files(root, &cfg);
+    Ok(run(root, &files, &cfg))
+}

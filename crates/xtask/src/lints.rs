@@ -1,0 +1,780 @@
+//! The repo-specific lint suite (L001–L007) and the waiver machinery.
+//!
+//! Each lint is grounded in an invariant earlier PRs established by
+//! convention; see `DESIGN.md` ("Static analysis") for the full catalog.
+//! Diagnostics that cannot be fixed are waived *in the source*, next to the
+//! offending line, with a mandatory reason:
+//!
+//! ```text
+//! // lint:allow(L005): K-sized accumulator per share; bounded by max K
+//! let mut acc = vec![0.0f32; k];
+//! ```
+//!
+//! A waiver on a comment-only line covers the next code line; a trailing
+//! waiver covers its own line. `lint:allow-file(ID)` covers the whole file.
+//! A waiver without a reason — or one that never matches a diagnostic — is
+//! itself reported.
+
+use crate::config::Config;
+use crate::lexer::{code_match_lines, find_boundary, SourceFile};
+
+/// Description of one lint, for `--explain` and the docs.
+pub struct LintInfo {
+    /// Stable ID (`L001` …).
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The lint catalog, in ID order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        id: "L001",
+        summary: "every `unsafe` block/impl/fn is immediately preceded by a `// SAFETY:` comment",
+    },
+    LintInfo {
+        id: "L002",
+        summary: "no thread spawning (`thread::spawn`, `thread::Builder`, `crossbeam::scope`) outside the pool crate",
+    },
+    LintInfo {
+        id: "L003",
+        summary: "no `unwrap()`/bare `expect()`/`panic!`-family, and no unexplained `[]` indexing, in hot-path modules",
+    },
+    LintInfo {
+        id: "L004",
+        summary: "every `pub fn *_into` in the kernel/matrix crates calls a dimension-check helper before looping",
+    },
+    LintInfo {
+        id: "L005",
+        summary: "no allocating calls (Vec::new, vec![], collect, to_vec, Box::new, format!) in hot-path modules",
+    },
+    LintInfo {
+        id: "L006",
+        summary: "`Ordering::Relaxed` outside the pool crate requires a waiver stating the ordering argument",
+    },
+    LintInfo {
+        id: "L007",
+        summary: "every plain-`pub` item in the core library crates carries a doc comment",
+    },
+];
+
+/// Is `id` a known lint ID (including `L000`, the waiver meta-lint)?
+pub fn known_lint(id: &str) -> bool {
+    id == "L000" || LINTS.iter().any(|l| l.id == id)
+}
+
+/// One finding, attributed to a file/line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint ID (`L000` marks waiver problems).
+    pub lint: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(lint: &str, file: &str, line0: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            lint: lint.to_string(),
+            file: file.to_string(),
+            line: line0 + 1,
+            message,
+        }
+    }
+}
+
+/// A parsed `lint:allow` waiver.
+#[derive(Debug)]
+struct Waiver {
+    lints: Vec<String>,
+    /// 0-based line the waiver covers (`None` = whole file).
+    covers: Option<usize>,
+    /// 0-based line the waiver text sits on (for unused-waiver reports).
+    at: usize,
+    reason: String,
+    used: std::cell::Cell<bool>,
+}
+
+/// Outcome of linting one file: violations, plus waiver bookkeeping
+/// already applied (waived findings removed, malformed/unused waivers
+/// reported as `L000`).
+pub fn lint_file(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let exempt_file = is_test_path(path);
+
+    let mut run = |id: &str, f: &dyn Fn(&str, &SourceFile, &Config) -> Vec<Diagnostic>| {
+        if cfg.disabled.iter().any(|d| d == id) {
+            return;
+        }
+        let test_exempt = cfg.tests_exempt.iter().any(|e| e == id);
+        if test_exempt && exempt_file {
+            return;
+        }
+        for d in f(path, sf, cfg) {
+            if test_exempt && sf.test_lines.get(d.line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            raw.push(d);
+        }
+    };
+
+    run("L001", &l001_safety_comments);
+    run("L002", &l002_no_thread_spawn);
+    run("L003", &l003_panic_freedom);
+    run("L004", &l004_dimension_checks);
+    run("L005", &l005_zero_alloc);
+    run("L006", &l006_relaxed_ordering);
+    run("L007", &l007_pub_docs);
+
+    apply_waivers(path, sf, raw)
+}
+
+/// Does the path denote test/bench/example code exempt from hot-path lints?
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+        || path.ends_with("_test.rs")
+}
+
+// --- waivers ---------------------------------------------------------------
+
+fn parse_waivers(path: &str, sf: &SourceFile) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    let mut waivers = Vec::new();
+    let mut problems = Vec::new();
+    for (l, comment) in sf.line_comments.iter().enumerate() {
+        // Doc comments are documentation, not directives: they may quote
+        // waiver syntax (as this module's own docs do) without enacting it.
+        let raw = sf.raw_lines[l].trim_start();
+        if raw.starts_with("///")
+            || raw.starts_with("//!")
+            || raw.starts_with("/**")
+            || raw.starts_with("/*!")
+        {
+            continue;
+        }
+        let mut rest = comment.as_str();
+        while let Some(at) = rest.find("lint:allow") {
+            let tail = &rest[at + "lint:allow".len()..];
+            let (file_scope, tail) = match tail.strip_prefix("-file") {
+                Some(t) => (true, t),
+                None => (false, tail),
+            };
+            let Some(tail) = tail.strip_prefix('(') else {
+                problems.push(Diagnostic::new(
+                    "L000",
+                    path,
+                    l,
+                    "malformed waiver: expected `lint:allow(<ID>): <reason>`".into(),
+                ));
+                break;
+            };
+            let Some(close) = tail.find(')') else {
+                problems.push(Diagnostic::new(
+                    "L000",
+                    path,
+                    l,
+                    "malformed waiver: unterminated lint ID list".into(),
+                ));
+                break;
+            };
+            let ids: Vec<String> = tail[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let after = &tail[close + 1..];
+            let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+            if ids.is_empty() || ids.iter().any(|id| !known_lint(id)) {
+                problems.push(Diagnostic::new(
+                    "L000",
+                    path,
+                    l,
+                    format!(
+                        "waiver names unknown lint ID(s): `{}`",
+                        tail[..close].trim()
+                    ),
+                ));
+            } else if reason.is_empty() {
+                problems.push(Diagnostic::new(
+                    "L000",
+                    path,
+                    l,
+                    format!(
+                        "waiver for {} has no reason — `lint:allow({}): <why this is sound>`",
+                        ids.join(","),
+                        ids.join(",")
+                    ),
+                ));
+            } else {
+                let covers = if file_scope {
+                    None
+                } else if sf.is_comment_or_blank(l) {
+                    // Standalone comment: covers the next code line.
+                    ((l + 1)..sf.nlines()).find(|&n| !sf.is_comment_or_blank(n))
+                } else {
+                    Some(l)
+                };
+                waivers.push(Waiver {
+                    lints: ids,
+                    covers,
+                    at: l,
+                    reason: reason.to_string(),
+                    used: std::cell::Cell::new(false),
+                });
+            }
+            rest = &rest[at + "lint:allow".len()..];
+        }
+    }
+    (waivers, problems)
+}
+
+fn apply_waivers(path: &str, sf: &SourceFile, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let (waivers, mut out) = parse_waivers(path, sf);
+    for d in raw {
+        let line0 = d.line - 1;
+        let waived = waivers
+            .iter()
+            .find(|w| w.lints.contains(&d.lint) && (w.covers.is_none() || w.covers == Some(line0)));
+        match waived {
+            Some(w) => w.used.set(true),
+            None => out.push(d),
+        }
+    }
+    for w in &waivers {
+        if !w.used.get() {
+            out.push(Diagnostic::new(
+                "L000",
+                path,
+                w.at,
+                format!(
+                    "unused waiver for {} (reason: \"{}\") — the violation it covered is gone; remove it",
+                    w.lints.join(","),
+                    w.reason
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// --- L001 ------------------------------------------------------------------
+
+fn l001_safety_comments(path: &str, sf: &SourceFile, _cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for l in code_match_lines(sf, "unsafe", true) {
+        if has_safety_rationale(sf, l) {
+            continue;
+        }
+        out.push(Diagnostic::new(
+            "L001",
+            path,
+            l,
+            "`unsafe` without an immediately preceding `// SAFETY:` comment arguing soundness"
+                .into(),
+        ));
+    }
+    out
+}
+
+/// A `SAFETY:` comment counts when it is on the same line or in the
+/// comment/attribute block directly above (attributes may sit between the
+/// comment and the `unsafe` item).
+fn has_safety_rationale(sf: &SourceFile, line: usize) -> bool {
+    if sf.line_comments[line].contains("SAFETY") {
+        return true;
+    }
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let code = sf.code(l).trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#![");
+        if !(code.is_empty() || is_attr) {
+            return false;
+        }
+        if sf.line_comments[l].contains("SAFETY") {
+            return true;
+        }
+        // A fully blank line breaks "immediately preceding".
+        if sf.raw_lines[l].trim().is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+// --- L002 ------------------------------------------------------------------
+
+const SPAWN_PATTERNS: &[&str] = &["thread::spawn", "thread::Builder", "crossbeam::scope"];
+
+fn l002_no_thread_spawn(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if Config::path_in(path, &cfg.spawn_allowed) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for pat in SPAWN_PATTERNS {
+        for l in code_match_lines(sf, pat, true) {
+            out.push(Diagnostic::new(
+                "L002",
+                path,
+                l,
+                format!(
+                    "`{pat}` outside the pool crate — parallel work must go through `kernels::pool` \
+                     (spawn-once contract; see crates/pool docs)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// --- L003 ------------------------------------------------------------------
+
+const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+fn l003_panic_freedom(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !Config::path_in(path, &cfg.hot_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (l, code) in sf.code_lines.iter().enumerate() {
+        if code.contains(".unwrap()") {
+            out.push(Diagnostic::new(
+                "L003",
+                path,
+                l,
+                "`.unwrap()` in a hot-path module — return a kernel error or use \
+                 `.expect(\"<stated invariant>\")`"
+                    .into(),
+            ));
+        }
+        if let Some(at) = code.find(".expect(") {
+            if !expect_states_invariant(&sf.raw_lines[l], at) {
+                out.push(Diagnostic::new(
+                    "L003",
+                    path,
+                    l,
+                    "`.expect()` without a multi-word invariant message in a hot-path module"
+                        .into(),
+                ));
+            }
+        }
+        for pat in PANIC_MACROS {
+            if find_boundary(code, pat, false).is_some() {
+                out.push(Diagnostic::new(
+                    "L003",
+                    path,
+                    l,
+                    format!("`{pat}(…)` in a hot-path module — hot paths must not panic"),
+                ));
+            }
+        }
+    }
+    // Direct indexing requires the module to document its bounds argument.
+    let has_bounds_rationale = sf.line_comments.iter().any(|c| c.contains("BOUNDS:"));
+    if !has_bounds_rationale {
+        for (l, code) in sf.code_lines.iter().enumerate() {
+            if has_direct_index(code) {
+                out.push(Diagnostic::new(
+                    "L003",
+                    path,
+                    l,
+                    "direct `[]` indexing in a hot-path module without a `// BOUNDS:` comment \
+                     documenting why indices are in range"
+                        .into(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `.expect(` is compliant when followed on the same raw line by a string
+/// literal containing a space — a stated invariant, not a bare token.
+fn expect_states_invariant(raw_line: &str, at: usize) -> bool {
+    let Some(tail) = raw_line.get(at..) else {
+        return false;
+    };
+    let Some(q0) = tail.find('"') else {
+        return false;
+    };
+    let body = &tail[q0 + 1..];
+    let mut msg = String::new();
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if !escaped => escaped = true,
+            '"' if !escaped => break,
+            _ => {
+                escaped = false;
+                msg.push(c);
+            }
+        }
+    }
+    msg.trim().contains(' ')
+}
+
+/// An indexing expression: identifier/`)`/`]` immediately followed by `[`
+/// (excludes attributes `#[…]`, macros `vec![…]`, and slice types `[f32]`).
+fn has_direct_index(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            return true;
+        }
+    }
+    false
+}
+
+// --- L004 ------------------------------------------------------------------
+
+fn l004_dimension_checks(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !Config::path_in(path, &cfg.dim_check_crates) {
+        return Vec::new();
+    }
+    let code: String = sf.code_lines.iter().map(|l| format!("{l}\n")).collect();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("pub fn ") {
+        let at = from + rel;
+        from = at + "pub fn ".len();
+        let name: String = code[from..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.ends_with("_into") {
+            continue;
+        }
+        let line0 = code[..at].matches('\n').count();
+        if sf.test_lines.get(line0).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(body) = fn_body(&code, at) else {
+            continue;
+        };
+        let first_loop = find_boundary(body, "for", true)
+            .into_iter()
+            .chain(find_boundary(body, "while", true))
+            .min()
+            .unwrap_or(body.len());
+        let checked = cfg.dim_check_helpers.iter().any(|h| {
+            let mut pos = 0usize;
+            while let Some(p) = find_boundary(&body[pos..], h, true) {
+                let abs = pos + p;
+                let after = abs + h.len();
+                if body[after..].trim_start().starts_with('(') && abs < first_loop {
+                    return true;
+                }
+                pos = after.max(pos + 1);
+            }
+            false
+        });
+        if !checked {
+            out.push(Diagnostic::new(
+                "L004",
+                path,
+                line0,
+                format!(
+                    "`pub fn {name}` does not call a dimension-check helper ({}) before its \
+                     first loop — `*_into` kernels must validate shapes before touching data",
+                    cfg.dim_check_helpers.join("/")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// The `{…}` body of the fn whose `pub fn` starts at byte `at` (brace
+/// matching over scrubbed code, so strings cannot unbalance it).
+fn fn_body(code: &str, at: usize) -> Option<&str> {
+    let open = at + code[at..].find('{')?;
+    let mut depth = 0i32;
+    for (i, c) in code[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&code[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// --- L005 ------------------------------------------------------------------
+
+const ALLOC_PATTERNS: &[&str] = &[
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    ".collect()",
+    ".collect::<",
+    ".to_vec()",
+    "Box::new",
+    "String::new",
+    ".to_owned()",
+    ".to_string()",
+    "format!",
+];
+
+fn l005_zero_alloc(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !Config::path_in(path, &cfg.hot_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for pat in ALLOC_PATTERNS {
+        for l in code_match_lines(sf, pat, false) {
+            out.push(Diagnostic::new(
+                "L005",
+                path,
+                l,
+                format!(
+                    "allocating call `{pat}` in a hot module — steady-state kernels must not \
+                     allocate (counting-allocator guarantee); use pool scratch or a waiver"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// --- L006 ------------------------------------------------------------------
+
+fn l006_relaxed_ordering(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if Config::path_in(path, &cfg.relaxed_allowed) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for l in code_match_lines(sf, "Ordering::Relaxed", true) {
+        out.push(Diagnostic::new(
+            "L006",
+            path,
+            l,
+            "`Ordering::Relaxed` outside the pool crate — waive with the memory-ordering \
+             argument (why no acquire/release pairing is needed)"
+                .into(),
+        ));
+    }
+    out
+}
+
+// --- L007 ------------------------------------------------------------------
+
+const DOC_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "unsafe",
+];
+
+fn l007_pub_docs(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !Config::path_in(path, &cfg.docs_crates) || !path.contains("/src/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (l, code) in sf.code_lines.iter().enumerate() {
+        let trimmed = code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        // `pub(crate)`/`pub(super)` are not part of the public API surface.
+        let keyword = rest.split_whitespace().next().unwrap_or("");
+        if !DOC_ITEM_KEYWORDS.contains(&keyword) {
+            continue;
+        }
+        if sf.test_lines.get(l).copied().unwrap_or(false) {
+            continue;
+        }
+        if !has_doc_above(sf, l) {
+            let item: String = rest
+                .chars()
+                .take_while(|c| *c != '{' && *c != '(' && *c != '<' && *c != ';')
+                .collect();
+            out.push(Diagnostic::new(
+                "L007",
+                path,
+                l,
+                format!("public item `pub {}` has no doc comment", item.trim()),
+            ));
+        }
+    }
+    out
+}
+
+/// Walks up over attributes/derives looking for a `///` doc line (or a
+/// `/** … */` block, which the lexer records as comment text on its lines).
+fn has_doc_above(sf: &SourceFile, line: usize) -> bool {
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let raw = sf.raw_lines[l].trim_start();
+        if raw.starts_with("///") || raw.starts_with("#[doc") || raw.starts_with("/**") {
+            return true;
+        }
+        let code = sf.code(l).trim();
+        let is_attr = code.starts_with("#[") || code.ends_with(")]") || code.ends_with("]");
+        let is_comment_only = code.is_empty() && !sf.line_comments[l].trim().is_empty();
+        if !(is_attr || is_comment_only) {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_with(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        lint_file(path, &SourceFile::scan(src), cfg)
+    }
+
+    fn hot_cfg(path: &str) -> Config {
+        Config {
+            hot_paths: vec![path.to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn waiver_on_preceding_comment_line_covers_next_code_line() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let src = "// BOUNDS: all indices below len\n\
+                   // lint:allow(L005): startup-only table\n\
+                   fn f() { let v = Vec::new(); }\n";
+        let diags = lint_with("crates/k/src/hot.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_reported() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let src = "// BOUNDS: fine\n// lint:allow(L005)\nfn f() { let v = Vec::new(); }\n";
+        let diags = lint_with("crates/k/src/hot.rs", src, &cfg);
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == "L000" && d.message.contains("no reason")));
+        // The violation itself is NOT waived by a malformed waiver.
+        assert!(diags.iter().any(|d| d.lint == "L005"));
+    }
+
+    #[test]
+    fn unused_waivers_are_reported() {
+        let cfg = Config::default();
+        let src = "// lint:allow(L002): not actually spawning\nfn f() {}\n";
+        let diags = lint_with("crates/k/src/a.rs", src, &cfg);
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == "L000" && d.message.contains("unused waiver")));
+    }
+
+    #[test]
+    fn waiver_syntax_quoted_in_doc_comments_is_inert() {
+        let cfg = Config::default();
+        let src = "//! Waive with `lint:allow(<ID>): <reason>`.\n\
+                   /// Example: `// lint:allow(L005): startup table`.\n\
+                   pub fn f() {}\n";
+        let diags = lint_with("crates/k/src/a.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn file_scope_waiver_covers_every_line() {
+        let cfg = Config::default();
+        let src = "// lint:allow-file(L006): single-writer counters throughout\n\
+                   fn a() { x.load(Ordering::Relaxed); }\n\
+                   fn b() { y.load(Ordering::Relaxed); }\n";
+        let diags = lint_with("crates/k/src/a.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn expect_with_invariant_message_is_compliant() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let src = "// BOUNDS: no indexing here\n\
+                   fn f() { g().expect(\"partition always has a first element\"); }\n";
+        assert!(lint_with("crates/k/src/hot.rs", src, &cfg).is_empty());
+        let bad = "// BOUNDS: no indexing here\nfn f() { g().expect(\"oops\"); }\n";
+        let diags = lint_with("crates/k/src/hot.rs", bad, &cfg);
+        assert!(diags.iter().any(|d| d.lint == "L003"));
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt_from_hot_path_lints() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let src = "// BOUNDS: prod indexes nothing\n\
+                   fn prod() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let v: Vec<u32> = (0..3).collect(); v[0]; x.unwrap(); }\n\
+                   }\n";
+        let diags = lint_with("crates/k/src/hot.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn indexing_without_bounds_comment_fires_and_comment_silences() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let bad = "fn f(x: &[f32]) -> f32 { x[0] }\n";
+        assert!(lint_with("crates/k/src/hot.rs", bad, &cfg)
+            .iter()
+            .any(|d| d.lint == "L003" && d.message.contains("BOUNDS")));
+        let good =
+            "// BOUNDS: callers guarantee non-empty input\nfn f(x: &[f32]) -> f32 { x[0] }\n";
+        assert!(lint_with("crates/k/src/hot.rs", good, &cfg).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_missing_check_and_accepts_helper() {
+        let cfg = Config {
+            dim_check_crates: vec!["crates/k".into()],
+            dim_check_helpers: vec!["check".into()],
+            ..Config::default()
+        };
+        let bad = "pub fn spmm_into(a: &A, out: &mut B) -> R {\n    for i in 0..a.n { out.x += 1; }\n    Ok(())\n}\n";
+        assert!(lint_with("crates/k/src/m.rs", bad, &cfg)
+            .iter()
+            .any(|d| d.lint == "L004"));
+        let good = "pub fn spmm_into(a: &A, out: &mut B) -> R {\n    check(\"spmm\", a)?;\n    for i in 0..a.n { out.x += 1; }\n    Ok(())\n}\n";
+        assert!(lint_with("crates/k/src/m.rs", good, &cfg).is_empty());
+        // Helper appearing only AFTER the loop does not count.
+        let late = "pub fn spmm_into(a: &A, out: &mut B) -> R {\n    for i in 0..a.n { out.x += 1; }\n    check(\"spmm\", a)?;\n    Ok(())\n}\n";
+        assert!(lint_with("crates/k/src/m.rs", late, &cfg)
+            .iter()
+            .any(|d| d.lint == "L004"));
+    }
+
+    #[test]
+    fn l001_accepts_safety_above_attributes_and_same_line() {
+        let cfg = Config::default();
+        let ok = "// SAFETY: pointer is valid for the call\n#[inline]\nunsafe fn f() {}\n";
+        assert!(lint_with("crates/k/src/a.rs", ok, &cfg).is_empty());
+        let trailing = "let x = unsafe { p.read() }; // SAFETY: p is aligned and live\n";
+        assert!(lint_with("crates/k/src/a.rs", trailing, &cfg).is_empty());
+        let bad = "fn g() {}\nunsafe fn f() {}\n";
+        assert!(lint_with("crates/k/src/a.rs", bad, &cfg)
+            .iter()
+            .any(|d| d.lint == "L001"));
+    }
+
+    #[test]
+    fn l007_requires_docs_on_plain_pub_items_only() {
+        let cfg = Config {
+            docs_crates: vec!["crates/k".into()],
+            ..Config::default()
+        };
+        let src =
+            "/// Documented.\npub fn a() {}\npub fn b() {}\npub(crate) fn c() {}\npub use x::y;\n";
+        let diags = lint_with("crates/k/src/m.rs", src, &cfg);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("pub fn b"));
+    }
+}

@@ -1,0 +1,140 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo xtask lint               # report violations, exit 1 if any
+//! cargo xtask lint --deny        # also fail on warnings (CI mode)
+//! cargo xtask lint path/a.rs …   # lint a subset of files
+//! cargo xtask lint --explain     # print the lint catalog
+//! cargo xtask lint --waivers     # list every honored waiver with its reason
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtask::{collect_files, lints, rel_str, Config};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "usage: cargo xtask lint [--deny] [--quiet] [--explain] [--waivers] [files…]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // The xtask manifest lives at <root>/crates/xtask; walking up from the
+    // compile-time manifest dir is robust to the caller's CWD.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut explain = false;
+    let mut waivers = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--quiet" | "-q" => quiet = true,
+            "--explain" => explain = true,
+            "--waivers" => waivers = true,
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+
+    if explain {
+        println!("workspace lints (waive with `// lint:allow(<ID>): <reason>`):");
+        for lint in lints::LINTS {
+            println!("  {}  {}", lint.id, lint.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = workspace_root();
+    let cfg = match Config::load(&root) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = if files.is_empty() {
+        collect_files(&root, &cfg)
+    } else {
+        files
+            .into_iter()
+            .map(|f| if f.is_absolute() { f } else { root.join(f) })
+            .collect()
+    };
+
+    if waivers {
+        return list_waivers(&root, &files);
+    }
+
+    let report = xtask::run(&root, &files, &cfg);
+    let violations = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint != "L000")
+        .count();
+    let warnings = report.diagnostics.len() - violations;
+
+    if !quiet {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.lint, d.message);
+        }
+    }
+    let fail = violations > 0 || (deny && warnings > 0);
+    if !quiet || fail {
+        println!(
+            "xtask lint: {violations} violation(s), {warnings} warning(s), {} waived, {} file(s)",
+            report.waived, report.files
+        );
+    }
+    if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints every honored waiver as `file:line [IDs] reason`, so reviewers
+/// can audit the full exception surface in one listing.
+fn list_waivers(root: &Path, files: &[PathBuf]) -> ExitCode {
+    let mut count = 0usize;
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = rel_str(path, root);
+        for (l, line) in text.lines().enumerate() {
+            if let Some(at) = line.find("lint:allow") {
+                println!("{}:{}: {}", rel, l + 1, line[at..].trim());
+                count += 1;
+            }
+        }
+    }
+    println!("{count} waiver(s)");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,109 @@
+//! Fixture-based self-tests: every lint has one failing and one passing
+//! fixture under `fixtures/`. Each fixture is linted under a *pseudo-path*
+//! that places it in the lint's scope according to the real workspace
+//! `lint.toml`, so these tests also pin the shipped configuration (e.g. if
+//! `crates/kernels/src/spmm.rs` ever left the hot list, the L003/L005
+//! fixtures would stop tripping and fail here).
+//!
+//! The fixtures directory itself is excluded from workspace scans both by
+//! `lint.toml` (`[scan] skip`) and by the walker's hard skip list, so the
+//! deliberately-bad files never pollute `cargo xtask lint`.
+
+use std::path::{Path, PathBuf};
+use xtask::lexer::SourceFile;
+use xtask::lints::{lint_file, Diagnostic};
+use xtask::Config;
+
+/// Pseudo-path inside the hot list (`[hot] paths` in lint.toml).
+const HOT: &str = "crates/kernels/src/spmm.rs";
+/// Pseudo-path in a kernel crate: in scope for L004 (`[dim-check]`),
+/// L007 (`[docs]`), and outside the spawn/relaxed allow-lists.
+const KERNEL_SRC: &str = "crates/kernels/src/fixture.rs";
+
+/// (lint ID, failing fixture, passing fixture, pseudo-path).
+const CASES: &[(&str, &str, &str, &str)] = &[
+    ("L001", "l001_bad.rs", "l001_good.rs", KERNEL_SRC),
+    ("L002", "l002_bad.rs", "l002_good.rs", KERNEL_SRC),
+    ("L003", "l003_bad.rs", "l003_good.rs", HOT),
+    ("L004", "l004_bad.rs", "l004_good.rs", KERNEL_SRC),
+    ("L005", "l005_bad.rs", "l005_good.rs", HOT),
+    ("L006", "l006_bad.rs", "l006_good.rs", KERNEL_SRC),
+    ("L007", "l007_bad.rs", "l007_good.rs", KERNEL_SRC),
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn workspace_config() -> Config {
+    Config::load(&workspace_root()).expect("workspace lint.toml parses")
+}
+
+fn lint_fixture(file: &str, pseudo_path: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(file);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    lint_file(pseudo_path, &SourceFile::scan(&text), cfg)
+}
+
+#[test]
+fn every_lint_has_a_case() {
+    let seen: Vec<&str> = CASES.iter().map(|c| c.0).collect();
+    for info in xtask::LINTS {
+        assert!(seen.contains(&info.id), "no fixture case for {}", info.id);
+    }
+}
+
+#[test]
+fn failing_fixtures_trip_their_lint() {
+    let cfg = workspace_config();
+    for (lint, bad, _, pseudo) in CASES {
+        let diags = lint_fixture(bad, pseudo, &cfg);
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.lint == *lint).collect();
+        assert!(
+            !hits.is_empty(),
+            "{bad} (as {pseudo}) should trip {lint}; got only {diags:?}"
+        );
+        for d in hits {
+            assert!(
+                d.line > 0,
+                "{lint} diagnostic has no line attribution: {d:?}"
+            );
+            assert_eq!(d.file, *pseudo);
+        }
+    }
+}
+
+#[test]
+fn passing_fixtures_are_clean_for_their_lint() {
+    let cfg = workspace_config();
+    for (lint, _, good, pseudo) in CASES {
+        let diags = lint_fixture(good, pseudo, &cfg);
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.lint == *lint).collect();
+        assert!(
+            hits.is_empty(),
+            "{good} (as {pseudo}) should be clean for {lint}; got {hits:?}"
+        );
+        // Waiver-carrying fixtures must not leak L000 (malformed/unused
+        // waiver) diagnostics either.
+        assert!(
+            !diags.iter().any(|d| d.lint == "L000"),
+            "{good} has waiver problems: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn fixtures_are_excluded_from_workspace_scans() {
+    let cfg = workspace_config();
+    let files = xtask::collect_files(&workspace_root(), &cfg);
+    for f in &files {
+        let rel = xtask::rel_str(f, &workspace_root());
+        assert!(
+            !rel.contains("xtask/fixtures"),
+            "fixture {rel} leaked into the workspace scan"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Tier-1 static-analysis gate: `cargo test` fails if the workspace does
+//! not pass `cargo xtask lint --deny`.
+//!
+//! The gate shells out to the xtask binary (rather than linking the
+//! library) so the test exercises exactly what CI and developers run, CLI
+//! parsing included. Everything is offline: xtask has no dependencies
+//! outside the workspace, and `$CARGO` builds it from the local source.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn workspace_passes_xtask_lint_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-p", "xtask", "--quiet", "--", "lint", "--deny"])
+        .current_dir(root)
+        .output()
+        .expect("spawning `cargo run -p xtask` succeeds");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "`cargo xtask lint --deny` failed (status {:?}).\n\
+         Fix the violations below or waive them in-source with\n\
+         `// lint:allow(<ID>): <reason>` (see DESIGN.md, \"Static analysis\").\n\
+         --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status.code()
+    );
+    // The summary line doubles as a sanity check that the linter actually
+    // scanned the tree rather than exiting early on an empty file set.
+    let summary = stdout
+        .lines()
+        .find(|l| l.starts_with("xtask lint:"))
+        .unwrap_or_else(|| panic!("no summary line in output: {stdout}"));
+    assert!(
+        !summary.contains(" 0 file(s)"),
+        "linter scanned zero files: {summary}"
+    );
+}

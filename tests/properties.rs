@@ -172,7 +172,7 @@ proptest! {
         fanout in 1usize..5,
     ) {
         let g = Graph::rmat(&RmatConfig::power_law(6, 4), 17);
-        let sub = piuma_gcn::graph::sampling::sample_neighbors(&g, &seeds, hops, fanout, 3);
+        let sub = graph::sampling::sample_neighbors(&g, &seeds, hops, fanout, 3);
         sub.adjacency.validate().unwrap();
         // Every (deduplicated) seed is present, in order, at the front.
         let mut seen = std::collections::HashSet::new();
@@ -262,7 +262,7 @@ proptest! {
         let n = 1usize << scale;
         // Alternate between the uniform control and the skewed RMAT family.
         let graph = if seed % 2 == 0 {
-            piuma_gcn::graph::generators::erdos_renyi(n, n * degree / 2, seed)
+            graph::generators::erdos_renyi(n, n * degree / 2, seed)
         } else {
             Graph::rmat(&RmatConfig::power_law(scale, degree), seed)
         };
