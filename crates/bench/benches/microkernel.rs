@@ -1,0 +1,267 @@
+//! Dense micro-kernel engine: packed register-tiled GEMM vs the scalar
+//! baselines, and the widened-AXPY SpMM path across feature widths.
+//!
+//! Two question sets, matching the paper's two pillars of a GCN layer:
+//!
+//! * **GEMM GFLOPS** at 512x512x512, single-threaded: naive triple loop vs
+//!   the cache-blocked scalar kernel (`matmul_blocked`, the pre-microkernel
+//!   production path) vs the packed register-tiled engine on each available
+//!   backend (scalar / portable / AVX2+FMA). The acceptance bar is packed
+//!   beating blocked by >= 2x.
+//! * **SpMM effective GB/s** at F in {16, 64, 256} on an RMAT graph, using
+//!   the paper's traffic model (CSR read + one feature-row read per
+//!   non-zero + output write) — feature-width scaling is exactly the lever
+//!   the Harvard embedding study identifies, and the widened AXPY is what
+//!   moves it.
+//!
+//! Alongside the interactive criterion groups, medians of explicit
+//! wall-clock reps are written to `results/BENCH_microkernel.json`.
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graph::rmat::RmatConfig;
+use graph::Graph;
+use matrix::gemm::{gemm_flops, matmul_blocked, matmul_naive};
+use matrix::microkernel::{avx2_available, matmul_packed_with, Backend, KernelDispatch};
+use matrix::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparse::Csr;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// GEMM edge for the measured numbers (the acceptance-criteria shape).
+const GEMM_DIM: usize = 512;
+/// Wall-clock repetitions per measured kernel (median reported).
+const REPS: usize = 5;
+/// log2 vertex count of the SpMM fixture graph.
+const SPMM_SCALE: u32 = 14;
+/// Average degree of the SpMM fixture graph.
+const SPMM_DEGREE: usize = 8;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> DenseMatrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    DenseMatrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// Median of `REPS` wall-clock timings of `f` (one warmup call first).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    f(); // warmup: touches buffers, grows pool scratch to capacity
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The packed-GEMM backends worth measuring on this machine, most capable
+/// last; the final entry equals what `KernelDispatch::get()` resolves to
+/// (absent `MICROKERNEL_FORCE`).
+fn backends() -> Vec<KernelDispatch> {
+    let mut v = vec![
+        KernelDispatch::with_backend(Backend::Scalar),
+        KernelDispatch::with_backend(Backend::Portable),
+    ];
+    if avx2_available() {
+        v.push(KernelDispatch::with_backend(Backend::Avx2Fma));
+    }
+    v
+}
+
+/// Effective SpMM traffic in bytes under the paper's model: each non-zero
+/// reads one `u32` column index + one `f32` value + one `F`-wide feature
+/// row, and every output element is written once (read-modify-write
+/// counted as one access each way).
+fn spmm_traffic_bytes(a: &Csr, f: usize) -> f64 {
+    let nnz = a.nnz() as f64;
+    let n = a.nrows() as f64;
+    nnz * 8.0 + nnz * (f as f64) * 4.0 + 2.0 * n * (f as f64) * 4.0
+}
+
+struct GemmMeasurement {
+    name: String,
+    median_s: f64,
+    gflops: f64,
+}
+
+fn measure_gemm() -> Vec<GemmMeasurement> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let a = random_matrix(&mut rng, GEMM_DIM, GEMM_DIM);
+    let b = random_matrix(&mut rng, GEMM_DIM, GEMM_DIM);
+    let flops = gemm_flops(GEMM_DIM, GEMM_DIM, GEMM_DIM);
+    let mut out = Vec::new();
+    let mut push = |name: String, median_s: f64| {
+        out.push(GemmMeasurement {
+            name,
+            median_s,
+            gflops: flops / median_s / 1e9,
+        });
+    };
+    push(
+        "naive".into(),
+        median_secs(|| {
+            matmul_naive(&a, &b).unwrap();
+        }),
+    );
+    push(
+        "blocked".into(),
+        median_secs(|| {
+            matmul_blocked(&a, &b).unwrap();
+        }),
+    );
+    let mut c = DenseMatrix::default();
+    for kd in backends() {
+        push(
+            format!("packed_{}", kd.backend().name()),
+            median_secs(|| {
+                matmul_packed_with(kd, &a, &b, 1, &mut c).unwrap();
+            }),
+        );
+    }
+    out
+}
+
+struct SpmmMeasurement {
+    f: usize,
+    median_s: f64,
+    gbps: f64,
+}
+
+fn measure_spmm(a: &Csr) -> Vec<SpmmMeasurement> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 0x5A11);
+    let mut out = DenseMatrix::default();
+    [16usize, 64, 256]
+        .into_iter()
+        .map(|f| {
+            let h = random_matrix(&mut rng, a.ncols(), f);
+            let median_s = median_secs(|| {
+                kernels::spmm::spmm_sequential_into(a, &h, &mut out).unwrap();
+            });
+            SpmmMeasurement {
+                f,
+                median_s,
+                gbps: spmm_traffic_bytes(a, f) / median_s / 1e9,
+            }
+        })
+        .collect()
+}
+
+fn write_stats(a: &Csr) {
+    let gemm = measure_gemm();
+    let spmm = measure_spmm(a);
+    let blocked = gemm
+        .iter()
+        .find(|m| m.name == "blocked")
+        .map_or(0.0, |m| m.gflops);
+    let packed_best = gemm
+        .iter()
+        .filter(|m| m.name.starts_with("packed_"))
+        .map(|m| m.gflops)
+        .fold(0.0, f64::max);
+    let speedup = if blocked > 0.0 {
+        packed_best / blocked
+    } else {
+        0.0
+    };
+
+    let mut kernels_json = String::new();
+    for (i, m) in gemm.iter().enumerate() {
+        if i > 0 {
+            kernels_json.push(',');
+        }
+        write!(
+            kernels_json,
+            "\n      {{\"name\": \"{}\", \"median_ms\": {:.3}, \"gflops\": {:.3}}}",
+            m.name,
+            m.median_s * 1e3,
+            m.gflops
+        )
+        .expect("writing to a String cannot fail");
+    }
+    let mut widths_json = String::new();
+    for (i, m) in spmm.iter().enumerate() {
+        if i > 0 {
+            widths_json.push(',');
+        }
+        write!(
+            widths_json,
+            "\n      {{\"f\": {}, \"median_ms\": {:.3}, \"gbps\": {:.3}}}",
+            m.f,
+            m.median_s * 1e3,
+            m.gbps
+        )
+        .expect("writing to a String cannot fail");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"microkernel\",\n  \"seed\": {BENCH_SEED},\n  \
+         \"dispatch\": \"{}\",\n  \"gemm\": {{\n    \"m\": {GEMM_DIM}, \"k\": {GEMM_DIM}, \
+         \"n\": {GEMM_DIM},\n    \"flops\": {:.0},\n    \"reps\": {REPS},\n    \
+         \"threads\": 1,\n    \"kernels\": [{kernels_json}\n    ],\n    \
+         \"packed_vs_blocked_speedup\": {speedup:.3}\n  }},\n  \"spmm\": {{\n    \
+         \"graph\": \"rmat_{SPMM_SCALE}\", \"vertices\": {}, \"nnz\": {},\n    \
+         \"reps\": {REPS},\n    \"traffic_model\": \"nnz*8 + nnz*F*4 + 2*n*F*4 bytes\",\n    \
+         \"widths\": [{widths_json}\n    ]\n  }}\n}}\n",
+        KernelDispatch::get().backend().name(),
+        gemm_flops(GEMM_DIM, GEMM_DIM, GEMM_DIM),
+        a.nrows(),
+        a.nnz(),
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(format!("{dir}/BENCH_microkernel.json"), &json))
+    {
+        eprintln!("microkernel: failed to write stats JSON: {e}");
+    } else {
+        eprintln!("microkernel: wrote {dir}/BENCH_microkernel.json");
+    }
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel/gemm");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let a = random_matrix(&mut rng, GEMM_DIM, GEMM_DIM);
+    let b = random_matrix(&mut rng, GEMM_DIM, GEMM_DIM);
+    group.bench_function("blocked_scalar", |bch| {
+        bch.iter(|| matmul_blocked(&a, &b).unwrap())
+    });
+    let mut out = DenseMatrix::default();
+    for kd in backends() {
+        let name = kd.backend().name();
+        group.bench_with_input(BenchmarkId::new("packed", name), &kd, |bch, &kd| {
+            bch.iter(|| matmul_packed_with(kd, &a, &b, 1, &mut out).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("microkernel/spmm_axpy");
+    group.sample_size(10);
+    let graph = Graph::rmat(&RmatConfig::power_law(SPMM_SCALE, SPMM_DEGREE), 3);
+    let a = graph.normalized_adjacency().unwrap();
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let mut out = DenseMatrix::default();
+    for f in [16usize, 64, 256] {
+        let h = random_matrix(&mut rng, a.ncols(), f);
+        group.bench_with_input(BenchmarkId::new("sequential", f), &f, |bch, _| {
+            bch.iter(|| kernels::spmm::spmm_sequential_into(&a, &h, &mut out).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    let graph = Graph::rmat(&RmatConfig::power_law(SPMM_SCALE, SPMM_DEGREE), 3);
+    let a = graph.normalized_adjacency().unwrap();
+    write_stats(&a);
+    bench_gemm(c);
+    bench_spmm(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

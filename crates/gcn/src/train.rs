@@ -107,6 +107,9 @@ pub struct Trainer {
     slots: Vec<AdamSlot>,
     /// Steps taken (Adam bias correction).
     steps: u64,
+    /// Reusable weight-gradient buffer: `matmul_at_into` writes `dW` here
+    /// every layer of every step instead of allocating a fresh matrix.
+    dw: DenseMatrix,
 }
 
 impl Default for Trainer {
@@ -124,6 +127,7 @@ impl Trainer {
             optimizer: OptimizerKind::Sgd,
             slots: Vec::new(),
             steps: 0,
+            dw: DenseMatrix::default(),
         }
     }
 
@@ -234,7 +238,12 @@ impl Trainer {
 
             // dW = (A_hat H)^T dZ ; db = column sums of dZ ;
             // dH = A_hat^T (dZ W^T) — A_hat is symmetric, so A_hat works.
-            let dw = matrix::gemm::matmul_at(&cache.aggregated, &dz)?;
+            // The trainer-owned `dw` buffer is taken out for the borrow
+            // checker's sake (`self.slots` is mutably borrowed below) and
+            // restored after the update, so its capacity is reused across
+            // layers and steps.
+            let mut dw = std::mem::take(&mut self.dw);
+            matrix::gemm::matmul_at_into(&cache.aggregated, &dz, &mut dw)?;
             let db = dz.column_sums();
             let dh = self
                 .strategy
@@ -287,6 +296,7 @@ impl Trainer {
                     }
                 }
             }
+            self.dw = dw;
             let _ = &cache.input;
             grad = dh;
         }

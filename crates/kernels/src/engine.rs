@@ -20,6 +20,12 @@
 //! atomic adds only pay off on hardware with cheap remote atomics (PIUMA),
 //! not on the CPUs this crate targets. It remains available as an explicit
 //! choice for measuring exactly that gap.
+//!
+//! Whichever strategy is selected, the inner feature accumulation — and,
+//! in a planned layer, the dense `H * W` transform — runs on the SIMD
+//! micro-kernel dispatch ([`matrix::microkernel::KernelDispatch`]);
+//! [`crate::plan::SpmmPlan`] captures that dispatch at plan time so
+//! strategy resolution and backend selection happen together, once.
 
 use matrix::{DenseMatrix, MatrixError};
 use sparse::{Csr, DegreeStats};

@@ -110,7 +110,10 @@ pub fn gcn_layer_fused_into(
 /// [`gcn_layer_fused_into`] running the aggregation along a precomputed
 /// [`SpmmPlan`] instead of a per-call strategy: the degree scan, partition,
 /// and strategy selection were all paid once at plan time. The dense update
-/// uses the pool's full width.
+/// uses the pool's full width and runs the packed register-tiled GEMM on
+/// the plan's cached [`matrix::microkernel::KernelDispatch`]
+/// ([`SpmmPlan::dense_kernel`]), so plan resolution fixes the SIMD path for
+/// both pillars of the layer.
 ///
 /// # Errors
 ///
@@ -132,13 +135,14 @@ pub fn gcn_layer_planned_into(
     let k_in = w.rows();
     let k_out = w.cols();
     let threads = pool::global().width();
+    let kd = plan.dense_kernel();
 
     let order = if k_in <= k_out {
         plan.run_into(a, h, mid)?;
-        gemm::matmul_parallel_into(mid, w, threads, out)?;
+        matrix::microkernel::matmul_packed_with(kd, mid, w, threads, out)?;
         FusedOrder::AggregateFirst
     } else {
-        gemm::matmul_parallel_into(h, w, threads, mid)?;
+        matrix::microkernel::matmul_packed_with(kd, h, w, threads, mid)?;
         plan.run_into(a, mid, out)?;
         FusedOrder::UpdateFirst
     };

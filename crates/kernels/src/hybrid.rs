@@ -149,6 +149,8 @@ pub fn spmm_hybrid_into(
 
     let cols = a.col_idx();
     let vals = a.values();
+    // Resolve the micro-kernel backend once, outside the broadcast.
+    let kd = matrix::microkernel::KernelDispatch::get();
     pool::global().broadcast(
         threads.min(works.len().max(1)),
         works.len(),
@@ -160,10 +162,7 @@ pub fn spmm_hybrid_into(
                 for e in *e0..*e1 {
                     let v = cols[e] as usize;
                     let w = vals[e];
-                    let feat = h.row(v);
-                    for j in 0..k {
-                        acc[j] += w * feat[j];
-                    }
+                    kd.axpy(&mut acc, w, h.row(v));
                 }
                 let mut row_out = hub_slots[*slot].lock();
                 for (o, x) in row_out.iter_mut().zip(&acc) {

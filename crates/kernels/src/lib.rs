@@ -28,6 +28,13 @@
 //! has a `*_into` variant writing into a caller-owned [`matrix::DenseMatrix`]
 //! so steady-state inference performs no output-sized allocations.
 //!
+//! The per-non-zero feature accumulation of every row-oriented kernel runs
+//! through the SIMD micro-kernel layer
+//! ([`matrix::microkernel::KernelDispatch`]) as a widened AXPY over the
+//! feature panel — the same runtime-dispatched backend (AVX2+FMA where
+//! detected, autovectorized portable otherwise) that powers the packed
+//! dense GEMM, so both pillars of a GCN layer share one SIMD path.
+//!
 //! # Examples
 //!
 //! ```

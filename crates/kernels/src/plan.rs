@@ -19,12 +19,13 @@
 //! plan per graph without holding a borrow — `gcn::InferenceWorkspace`
 //! does exactly that.
 
+use matrix::microkernel::KernelDispatch;
 use matrix::{DenseMatrix, MatrixError};
 use parking_lot::Mutex;
 use sparse::{Csr, DegreeStats};
 
 use crate::engine::{SpmmStrategy, AUTO_SEQUENTIAL_WORK, AUTO_SKEW_CV, AUTO_WIDE_K};
-use crate::spmm::spmm_rows;
+use crate::spmm::spmm_rows_with;
 
 // BOUNDS: indexing in this module walks partition boundary vectors whose
 // construction guarantees `0 <= p[i] < p[i+1] <= nrows` (see
@@ -197,6 +198,10 @@ pub struct SpmmPlan {
     /// Column tile schedule `[t0, t1)` for the feature-parallel path;
     /// empty unless `exec` is `FeatureParallel`.
     tiles: Vec<(usize, usize)>,
+    /// Micro-kernel backend captured at plan time: the sparse row loops and
+    /// the layer's dense transform both run this dispatch, so one plan
+    /// fixes the whole layer's SIMD path.
+    kernel: KernelDispatch,
 }
 
 impl SpmmPlan {
@@ -226,6 +231,7 @@ impl SpmmPlan {
             exec: PlannedExec::Sequential,
             // lint:allow(L005): plan construction, paid once per adjacency.
             tiles: Vec::new(),
+            kernel: KernelDispatch::get(),
         };
         plan.exec = plan.resolve(k, width);
         if let PlannedExec::FeatureParallel { threads } = plan.exec {
@@ -301,6 +307,14 @@ impl SpmmPlan {
         &self.tiles
     }
 
+    /// The micro-kernel backend resolved at plan time. The planned GCN
+    /// layer ([`crate::fused::gcn_layer_planned_into`]) runs its dense
+    /// `H * W` transform on this same dispatch, so sparse and dense pillars
+    /// of a planned layer always agree on the SIMD path.
+    pub fn dense_kernel(&self) -> KernelDispatch {
+        self.kernel
+    }
+
     /// Runs `out = a * h` along the planned path.
     ///
     /// # Errors
@@ -336,7 +350,7 @@ impl SpmmPlan {
         match exec {
             PlannedExec::Sequential => crate::spmm::spmm_sequential_into(a, h, out),
             PlannedExec::NnzBalanced { threads } => {
-                spmm_nnz_balanced_into(a, h, &self.partition, threads, out)
+                spmm_nnz_balanced_with(self.kernel, a, h, &self.partition, threads, out)
             }
             PlannedExec::FeatureParallel { threads } => {
                 if k == self.k && !self.tiles.is_empty() {
@@ -436,6 +450,26 @@ pub fn spmm_nnz_balanced_into(
     out: &mut DenseMatrix,
 ) -> Result<(), MatrixError> {
     crate::spmm::check("spmm_nnz_balanced", a, h)?;
+    spmm_nnz_balanced_with(KernelDispatch::get(), a, h, partition, threads, out)
+}
+
+/// [`spmm_nnz_balanced_into`] on an explicit [`KernelDispatch`] — the entry
+/// point [`SpmmPlan::run_into`] uses so the plan's cached backend drives
+/// the row loops instead of re-resolving per call.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_nnz_balanced_with(
+    kd: KernelDispatch,
+    a: &Csr,
+    h: &DenseMatrix,
+    partition: &[usize],
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    crate::spmm::check("spmm_nnz_balanced", a, h)?;
     if threads == 0 {
         return Err(MatrixError::ZeroThreads);
     }
@@ -446,7 +480,7 @@ pub fn spmm_nnz_balanced_into(
         return Ok(());
     }
     if threads == 1 || partition.len() < 3 {
-        spmm_rows(a, h, out.as_mut_slice(), 0, n, k);
+        spmm_rows_with(kd, a, h, out.as_mut_slice(), 0, n, k);
         return Ok(());
     }
 
@@ -465,7 +499,7 @@ pub fn spmm_nnz_balanced_into(
     let slots = slices.len();
     pool::global().broadcast(threads.min(slots), slots, |s| {
         let mut slice = slices[s].lock();
-        spmm_rows(a, h, &mut slice, partition[s], partition[s + 1], k);
+        spmm_rows_with(kd, a, h, &mut slice, partition[s], partition[s + 1], k);
     });
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! [`DenseMatrix`], which the GCN inference path uses to ping-pong between
 //! two activation buffers without per-layer allocation.
 
+use matrix::microkernel::KernelDispatch;
 use matrix::{DenseMatrix, MatrixError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -41,8 +42,24 @@ pub(crate) fn check(op: &'static str, a: &Csr, h: &DenseMatrix) -> Result<(), Ma
 
 /// Computes rows `[row_start, row_end)` of `A * H` into `out_rows`
 /// (row-major, `(row_end - row_start) * k` elements). The shared inner
-/// loop of the sequential, vertex-parallel, and hybrid kernels.
+/// loop of the sequential, vertex-parallel, and hybrid kernels; resolves
+/// the micro-kernel dispatch once and delegates to [`spmm_rows_with`].
 pub(crate) fn spmm_rows(
+    a: &Csr,
+    h: &DenseMatrix,
+    out_rows: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    k: usize,
+) {
+    spmm_rows_with(KernelDispatch::get(), a, h, out_rows, row_start, row_end, k)
+}
+
+/// [`spmm_rows`] on an explicit [`KernelDispatch`]: each non-zero becomes
+/// one widened AXPY over the `k`-wide feature panel, so the SpMM inner loop
+/// runs the same SIMD backend as the dense GEMM.
+pub(crate) fn spmm_rows_with(
+    kd: KernelDispatch,
     a: &Csr,
     h: &DenseMatrix,
     out_rows: &mut [f32],
@@ -54,10 +71,7 @@ pub(crate) fn spmm_rows(
     for u in row_start..row_end {
         let row_out = &mut out_rows[(u - row_start) * k..(u - row_start + 1) * k];
         for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
-            let feat = h.row(v as usize);
-            for j in 0..k {
-                row_out[j] += w * feat[j];
-            }
+            kd.axpy(row_out, w, h.row(v as usize));
         }
     }
 }
@@ -278,6 +292,8 @@ pub fn spmm_edge_parallel_into(
     // Equal-|E| shares, one per executor (Algorithm 2's static partition).
     let shares = threads.min(nnz);
     let pool = pool::global();
+    // Resolve the micro-kernel backend once, outside the broadcast.
+    let kd = KernelDispatch::get();
     let out_slice = out.as_mut_slice();
     pool.scratch().with_zeroed_u32(n * k, |out_atomic| {
         pool.broadcast(shares, shares, |t| {
@@ -307,10 +323,7 @@ pub fn spmm_edge_parallel_into(
                 }
                 let v = cols[e] as usize;
                 let w = vals[e];
-                let feat = h.row(v);
-                for j in 0..k {
-                    acc[j] += w * feat[j];
-                }
+                kd.axpy(&mut acc, w, h.row(v));
             }
             flush_row(out_atomic, u, k, &mut acc);
         });

@@ -59,16 +59,14 @@ pub fn spmm_feature_tiled_into(
     let k = h.cols();
     let tile = if tile == 0 { DEFAULT_TILE } else { tile };
     out.resize_zeroed(a.nrows(), k);
+    let kd = matrix::microkernel::KernelDispatch::get();
     let mut t0 = 0;
     while t0 < k {
         let t1 = (t0 + tile).min(k);
         for u in 0..a.nrows() {
             let row_out = &mut out.row_mut(u)[t0..t1];
             for (&v, &w) in a.row_cols(u).iter().zip(a.row_values(u)) {
-                let feat = &h.row(v as usize)[t0..t1];
-                for (o, f) in row_out.iter_mut().zip(feat) {
-                    *o += w * f;
-                }
+                kd.axpy(row_out, w, &h.row(v as usize)[t0..t1]);
             }
         }
         t0 = t1;

@@ -172,14 +172,15 @@ impl DenseMatrix {
         out
     }
 
-    /// Multiplies `self * rhs` using the blocked GEMM kernel.
+    /// Multiplies `self * rhs` using the packed register-tiled GEMM engine
+    /// ([`crate::microkernel::matmul_packed`]).
     ///
     /// # Errors
     ///
     /// Returns [`MatrixError::DimensionMismatch`] if
     /// `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
-        crate::gemm::matmul_blocked(self, rhs)
+        crate::microkernel::matmul_packed(self, rhs)
     }
 
     /// Applies an activation function element-wise, in place.

@@ -18,8 +18,21 @@ use crate::Result;
 /// per row block keeps three blocks of typical GCN operand widths in L1.
 const BLOCK: usize = 64;
 
-fn check_shapes(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
+pub(crate) fn check_shapes(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
     if a.cols() != b.rows() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Dimension check for the transpose-GEMM path: `A^T * B` needs the two
+/// operands to agree on their *row* count (the contraction dimension).
+fn check_rows(op: &'static str, a: &DenseMatrix, b: &DenseMatrix) -> Result<()> {
+    if a.rows() != b.rows() {
         return Err(MatrixError::DimensionMismatch {
             op,
             lhs: a.shape(),
@@ -122,6 +135,12 @@ pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Resu
 /// call) the output is computed without touching the allocator. On error
 /// `c` is left unchanged.
 ///
+/// Since the micro-kernel engine landed this routes through
+/// [`crate::microkernel::matmul_packed_with`] — panel-packed, register-tiled
+/// inner loops on the process-wide [`crate::microkernel::KernelDispatch`] —
+/// rather than the scalar cache-blocked loop (which survives as the
+/// [`matmul_blocked`] baseline).
+///
 /// # Errors
 ///
 /// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
@@ -133,39 +152,13 @@ pub fn matmul_parallel_into(
     c: &mut DenseMatrix,
 ) -> Result<()> {
     check_shapes("matmul_parallel", a, b)?;
-    if threads == 0 {
-        return Err(MatrixError::ZeroThreads);
-    }
-    let (m, k) = a.shape();
-    let n = b.cols();
-    c.resize_zeroed(m, n);
-    let threads = threads.min(m.max(1));
-    if threads <= 1 || m == 0 || n == 0 {
-        gemm_into(a, b, c.as_mut_slice(), 0, m, k, n);
-        return Ok(());
-    }
-
-    // Finer shares than executors lets the pool's dynamic claiming absorb
-    // stragglers; each share still owns its output slice exclusively.
-    let shares = (threads * 4).min(m);
-    let rows_per = m.div_ceil(shares);
-    let chunks: Vec<std::sync::Mutex<&mut [f32]>> = c
-        .as_mut_slice()
-        .chunks_mut(rows_per * n)
-        .map(std::sync::Mutex::new)
-        // lint:allow(L005): per-call chunk table of ~4x-threads pointers —
-        // orders of magnitude below the counting-allocator budget.
-        .collect();
-    pool::global().broadcast(threads, chunks.len(), |t| {
-        let row_start = t * rows_per;
-        let row_end = (row_start + rows_per).min(m);
-        // Each share index locks a distinct chunk, so this never contends;
-        // a poisoned lock only means another worker panicked, and the
-        // slice it guards is still structurally valid to hand back.
-        let mut chunk = chunks[t].lock().unwrap_or_else(|e| e.into_inner());
-        gemm_into(a, b, &mut chunk, row_start, row_end, k, n);
-    });
-    Ok(())
+    crate::microkernel::matmul_packed_with(
+        crate::microkernel::KernelDispatch::get(),
+        a,
+        b,
+        threads,
+        c,
+    )
 }
 
 /// Spawn-per-call GEMM baseline: identical partitioning to
@@ -225,16 +218,29 @@ pub fn matmul_parallel_spawn(
 ///
 /// Returns [`MatrixError::DimensionMismatch`] if `a.rows() != b.rows()`.
 pub fn matmul_at(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
-    if a.rows() != b.rows() {
-        return Err(MatrixError::DimensionMismatch {
-            op: "matmul_at",
-            lhs: a.shape(),
-            rhs: b.shape(),
-        });
-    }
+    let mut c = DenseMatrix::default();
+    matmul_at_into(a, b, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul_at`] writing into a caller-owned output matrix.
+///
+/// `c` is reshaped to `(a.cols(), b.cols())` with
+/// [`DenseMatrix::resize_zeroed`], so the per-step weight-gradient GEMM of
+/// the training loop reuses one buffer instead of allocating every call.
+/// The outer-product row accumulation runs through the micro-kernel AXPY
+/// ([`crate::microkernel::KernelDispatch::axpy`]), vectorizing over the
+/// output width. On error `c` is left unchanged.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.rows() != b.rows()`.
+pub fn matmul_at_into(a: &DenseMatrix, b: &DenseMatrix, c: &mut DenseMatrix) -> Result<()> {
+    check_rows("matmul_at", a, b)?;
     let (rows, m) = a.shape();
     let n = b.cols();
-    let mut c = DenseMatrix::zeros(m, n);
+    c.resize_zeroed(m, n);
+    let kd = crate::microkernel::KernelDispatch::get();
     for p in 0..rows {
         let arow = a.row(p);
         let brow = b.row(p);
@@ -242,18 +248,22 @@ pub fn matmul_at(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
             if aip == 0.0 {
                 continue;
             }
-            let crow = c.row_mut(i);
-            for (cij, &bpj) in crow.iter_mut().zip(brow) {
-                *cij += aip * bpj;
-            }
+            kd.axpy(c.row_mut(i), aip, brow);
         }
     }
-    Ok(c)
+    Ok(())
 }
 
-/// FLOP count of a GEMM with these operand shapes (`2 * m * k * n`).
+/// FLOP count of a GEMM with these operand shapes (`2 * m * k * n`),
+/// saturating instead of overflowing on huge synthetic shapes: the product
+/// is formed in `u128` with saturating multiplies before the final `f64`
+/// conversion, so `usize::MAX`-scale inputs report `u128::MAX` FLOPs
+/// (~3.4e38) rather than a wrapped garbage count.
 pub fn gemm_flops(m: usize, k: usize, n: usize) -> f64 {
-    2.0 * m as f64 * k as f64 * n as f64
+    (m as u128)
+        .saturating_mul(k as u128)
+        .saturating_mul(n as u128)
+        .saturating_mul(2) as f64
 }
 
 #[cfg(test)]
@@ -398,7 +408,45 @@ mod tests {
     }
 
     #[test]
+    fn matmul_at_into_reuses_buffer_and_clears_stale_values() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = random_matrix(&mut rng, 19, 11);
+        let b = random_matrix(&mut rng, 19, 7);
+        let reference = matmul_at(&a, &b).unwrap();
+        let mut c = DenseMatrix::filled(30, 30, f32::NAN);
+        let ptr = c.as_slice().as_ptr();
+        matmul_at_into(&a, &b, &mut c).unwrap();
+        assert!(reference.max_abs_diff(&c) < 1e-4);
+        assert_eq!(
+            c.as_slice().as_ptr(),
+            ptr,
+            "capacity was large enough: no realloc"
+        );
+        matmul_at_into(&a, &b, &mut c).unwrap();
+        assert!(reference.max_abs_diff(&c) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_at_into_rejects_mismatched_rows_and_preserves_output() {
+        let a = DenseMatrix::zeros(3, 2);
+        let b = DenseMatrix::zeros(4, 2);
+        let mut c = DenseMatrix::filled(1, 1, 42.0);
+        assert!(matmul_at_into(&a, &b, &mut c).is_err());
+        assert_eq!(c.shape(), (1, 1));
+        assert_eq!(c.as_slice()[0], 42.0);
+    }
+
+    #[test]
     fn gemm_flop_count_matches_formula() {
         assert_eq!(gemm_flops(10, 20, 30), 12000.0);
+    }
+
+    #[test]
+    fn gemm_flop_count_saturates_on_huge_shapes() {
+        let huge = gemm_flops(usize::MAX, usize::MAX, usize::MAX);
+        assert!(huge.is_finite());
+        assert_eq!(huge, u128::MAX as f64);
+        // Saturation must not disturb realistic shapes.
+        assert_eq!(gemm_flops(512, 512, 512), 2.0 * 512.0f64.powi(3));
     }
 }

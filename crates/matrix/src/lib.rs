@@ -6,12 +6,15 @@
 //! lives here.
 //!
 //! The centerpiece is [`DenseMatrix`], a row-major `f32` matrix, together
-//! with three GEMM implementations of increasing sophistication:
+//! with GEMM implementations of increasing sophistication:
 //!
 //! * [`gemm::matmul_naive`] — triple loop, the correctness reference,
-//! * [`gemm::matmul_blocked`] — cache-blocked ikj ordering,
-//! * [`gemm::matmul_parallel`] — row-partitioned multi-threaded GEMM built on
-//!   `crossbeam::scope`.
+//! * [`gemm::matmul_blocked`] — cache-blocked ikj ordering (the scalar
+//!   baseline the micro-kernel speedups are measured against),
+//! * [`gemm::matmul_parallel`] — row-partitioned multi-threaded GEMM,
+//! * [`microkernel::matmul_packed`] — panel-packed, register-tiled GEMM with
+//!   runtime SIMD dispatch; [`DenseMatrix::matmul`] and the parallel `_into`
+//!   entry points route through it.
 //!
 //! # Examples
 //!
@@ -24,7 +27,9 @@
 //! assert_eq!(c, a);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; only `microkernel` opts back in for its
+// runtime-dispatched `std::arch` SIMD paths, each with a SAFETY argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Elementwise activations (ReLU, softmax, …).
@@ -37,6 +42,9 @@ pub mod error;
 pub mod gemm;
 /// Weight initialization schemes (Xavier/Glorot, …).
 pub mod init;
+/// Register-tiled SIMD micro-kernels (packed GEMM, widened AXPY) with
+/// runtime backend dispatch.
+pub mod microkernel;
 
 pub use activation::Activation;
 pub use dense::DenseMatrix;

@@ -1,0 +1,716 @@
+//! Register-tiled SIMD micro-kernels: packed GEMM and widened AXPY.
+//!
+//! This module is the dense-arithmetic engine behind both pillars of a GCN
+//! layer. The paper's characterization makes the case directly: SpMM inner
+//! work is dense row accumulation over the feature dimension, and the dense
+//! update `H * W` is the second pillar — so one set of micro-kernels can
+//! serve both if it exposes (a) a packed, cache-blocked GEMM and (b) a
+//! feature-panel AXPY (`y += alpha * x`) for the sparse row loops.
+//!
+//! # Kernel backends
+//!
+//! Three implementations of the same 8x8-register-tile contract, selected
+//! **once per process** by [`KernelDispatch::get`] and cached:
+//!
+//! * [`Backend::Avx2Fma`] — `std::arch` intrinsics behind a runtime
+//!   `is_x86_feature_detected!("avx2")` + `"fma"` check; 8 YMM accumulators,
+//!   one `vbroadcastss` + `vfmadd` per packed A lane.
+//! * [`Backend::Portable`] — safe Rust written so LLVM autovectorizes it
+//!   (fixed 8-wide inner loops over packed panels); the default everywhere
+//!   AVX2 is absent and the forced path in CI's `MICROKERNEL_FORCE=portable`
+//!   job.
+//! * [`Backend::Scalar`] — the deliberately plain reference used by the
+//!   dispatch-agreement tests.
+//!
+//! The environment variable `MICROKERNEL_FORCE` (`portable` / `scalar` /
+//! `avx2`) overrides detection; forcing `avx2` on hardware without it
+//! silently falls back to `portable` so a [`KernelDispatch`] can never name
+//! an unavailable instruction set — that invariant is what makes calling
+//! the `#[target_feature]` functions sound.
+//!
+//! # Packing layout
+//!
+//! The blocked GEMM follows the classic Goto/BLIS decomposition: `KC`-deep
+//! slices of the operands are packed into pool-owned scratch
+//! ([`pool::ScratchArena::with_f32`], 64-byte aligned) as **micro-panels**:
+//!
+//! * A panels: `MR = 8` rows interleaved lane-major — element `(r, p)` of
+//!   the block lands at `p * 8 + r`, so the micro-kernel broadcasts one
+//!   contiguous lane group per depth step;
+//! * B panels: `NR = 8` columns row-major — element `(p, j)` at `p * 8 + j`,
+//!   one aligned 8-float vector load per depth step.
+//!
+//! Partial edge tiles are zero-padded inside the panels, so the inner
+//! kernel always runs the full 8x8 shape and the write-back masks rows and
+//! columns that fall outside `C`. `B` is packed once per `(jc, pc)` block
+//! and shared read-only by every executor; each executor owns a private A
+//! panel carved from the same scratch borrow.
+
+// Explicit SIMD intrinsics are the point of this module; the crate-level
+// deny stays in force for everything else in `matrix`.
+#![allow(unsafe_code)]
+
+// BOUNDS: all `[]` indexing here is over (a) packed panels sliced as
+// `[idx * kc * 8 .. (idx + 1) * kc * 8]` from buffers sized `>= panels * kc
+// * 8` at the single `with_f32` call, (b) operand rows via
+// `DenseMatrix::row` (length-checked by construction) with sub-ranges
+// clamped by `.min(..)` against the operand shape, (c) the fixed
+// `[f32; 64]` accumulator tile indexed by `r * 8 + j` with `r, j < 8`, and
+// (d) output chunks carved by `chunks_mut(rows_per * n)` from a buffer
+// sized `m * n`; `check_shapes` ties the operand dimensions together at
+// every entry point.
+
+use crate::dense::DenseMatrix;
+use crate::error::MatrixError;
+use crate::gemm::check_shapes;
+use crate::Result;
+use std::sync::{Mutex, OnceLock};
+
+/// Register-tile height: rows of `A` (and `C`) per micro-kernel call. Eight
+/// rows = eight YMM accumulators on AVX2, the full logical register budget
+/// with room for the broadcast and the `B` vector.
+pub const MR: usize = 8;
+
+/// Register-tile width: columns of `B` (and `C`) per micro-kernel call.
+/// Eight `f32` = one 256-bit vector, so a tile row is exactly one register.
+pub const NR: usize = 8;
+
+/// Depth (`k`) block: how many A/B lanes are packed per panel. 256 keeps an
+/// 8-lane B micro-panel at 8 KB — resident in L1 across all A panels of an
+/// `MC` block.
+const KC: usize = 256;
+
+/// Row block: rows of `A` packed per executor per depth block. `MC * KC`
+/// floats = 64 KB of packed A, sized for L2.
+const MC: usize = 64;
+
+/// Column block: columns of `B` packed per depth block (bounds the shared
+/// B panel at `KC * NC` floats = 512 KB).
+const NC: usize = 512;
+
+/// Which micro-kernel implementation a [`KernelDispatch`] routes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `std::arch` AVX2 + FMA intrinsics (runtime-detected, x86-64 only).
+    Avx2Fma,
+    /// Safe autovectorizable Rust — default wherever AVX2 is unavailable.
+    Portable,
+    /// Plain scalar reference implementation.
+    Scalar,
+}
+
+impl Backend {
+    /// Detects the best available backend, honouring the
+    /// `MICROKERNEL_FORCE` environment variable (`portable` / `scalar` /
+    /// `avx2`; unknown values are ignored).
+    pub fn detect() -> Backend {
+        match std::env::var("MICROKERNEL_FORCE").ok().as_deref() {
+            Some("portable") => return Backend::Portable,
+            Some("scalar") => return Backend::Scalar,
+            // "avx2" falls through to detection: forcing it cannot bypass
+            // the hardware check, only request it explicitly.
+            _ => {}
+        }
+        if avx2_available() {
+            Backend::Avx2Fma
+        } else {
+            Backend::Portable
+        }
+    }
+
+    /// Human-readable backend name (used by benches and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Avx2Fma => "avx2+fma",
+            Backend::Portable => "portable",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// True when the CPU supports AVX2 and FMA (always false off x86-64).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// A resolved micro-kernel selection, cheap to copy and pass down call
+/// chains (e.g. cached inside `kernels::plan::SpmmPlan`).
+///
+/// Invariant: `backend == Backend::Avx2Fma` only when [`avx2_available`]
+/// returned true at construction — both constructors enforce it, which is
+/// what makes the `unsafe` AVX2 calls below sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDispatch {
+    backend: Backend,
+}
+
+impl KernelDispatch {
+    /// The process-wide dispatch, selected once (detection + env override)
+    /// and cached for every later call.
+    pub fn get() -> KernelDispatch {
+        static DISPATCH: OnceLock<KernelDispatch> = OnceLock::new();
+        *DISPATCH.get_or_init(|| KernelDispatch {
+            backend: Backend::detect(),
+        })
+    }
+
+    /// A dispatch handle for an explicit backend — the hook the
+    /// dispatch-agreement tests and the `microkernel` bench use to compare
+    /// implementations side by side. Requesting [`Backend::Avx2Fma`] on
+    /// hardware without it downgrades to [`Backend::Portable`].
+    pub fn with_backend(backend: Backend) -> KernelDispatch {
+        let backend = match backend {
+            Backend::Avx2Fma if !avx2_available() => Backend::Portable,
+            b => b,
+        };
+        KernelDispatch { backend }
+    }
+
+    /// The backend this handle routes to.
+    pub fn backend(self) -> Backend {
+        self.backend
+    }
+
+    /// Widened AXPY over a feature panel: `y[j] += alpha * x[j]` for
+    /// `j < min(y.len(), x.len())`. This is the SpMM inner loop — one call
+    /// per non-zero, vectorized over the feature width.
+    #[inline]
+    pub fn axpy(self, y: &mut [f32], alpha: f32, x: &[f32]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, so the
+            // target features of `axpy_avx2` are supported here.
+            Backend::Avx2Fma => unsafe { axpy_avx2(y, alpha, x) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2Fma => axpy_portable(y, alpha, x),
+            Backend::Portable => axpy_portable(y, alpha, x),
+            Backend::Scalar => axpy_scalar(y, alpha, x),
+        }
+    }
+
+    /// Runs the 8x`kc` register-tiled inner kernel: `acc` is overwritten
+    /// with the product of one packed A micro-panel and one packed B
+    /// micro-panel (both `kc * 8` elements).
+    #[inline]
+    fn mk8x8(self, ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, and the
+            // callers below slice `ap`/`bp` to exactly `kc * 8` elements.
+            Backend::Avx2Fma => unsafe { mk8x8_avx2(ap, bp, kc, acc) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2Fma => mk8x8_portable(ap, bp, kc, acc),
+            Backend::Portable => mk8x8_portable(ap, bp, kc, acc),
+            Backend::Scalar => mk8x8_scalar(ap, bp, kc, acc),
+        }
+    }
+}
+
+/// Convenience wrapper: [`KernelDispatch::axpy`] through the process-wide
+/// cached dispatch.
+#[inline]
+pub fn axpy_f32(y: &mut [f32], alpha: f32, x: &[f32]) {
+    KernelDispatch::get().axpy(y, alpha, x)
+}
+
+// ---------------------------------------------------------------------------
+// AXPY backends
+// ---------------------------------------------------------------------------
+
+/// Autovectorizable AXPY: fixed 8-wide chunks so LLVM emits vector
+/// mul/add at whatever width the build targets.
+fn axpy_portable(y: &mut [f32], alpha: f32, x: &[f32]) {
+    // Truncate both sides to the common length up front: the two
+    // `chunks_exact` remainders only describe the same lanes when the
+    // slices are equally long.
+    let n = y.len().min(x.len());
+    let (y, x) = (&mut y[..n], &x[..n]);
+    let mut yc = y.chunks_exact_mut(8);
+    let mut xc = x.chunks_exact(8);
+    for (yv, xv) in yc.by_ref().zip(xc.by_ref()) {
+        for (yi, &xi) in yv.iter_mut().zip(xv) {
+            *yi += alpha * xi;
+        }
+    }
+    for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Plain scalar AXPY reference.
+fn axpy_scalar(y: &mut [f32], alpha: f32, x: &[f32]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// AVX2 + FMA AXPY: 8-float vectors with a scalar tail.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn axpy_avx2(y: &mut [f32], alpha: f32, x: &[f32]) {
+    use std::arch::x86_64::*;
+    let n = y.len().min(x.len());
+    let av = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n <= y.len()` and `n <= x.len()`, so both
+        // 8-float loads and the store stay inside their slices.
+        unsafe {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+        }
+        i += 8;
+    }
+    for (yi, &xi) in y[i..n].iter_mut().zip(&x[i..n]) {
+        *yi += alpha * xi;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8x8 register-tile micro-kernels
+// ---------------------------------------------------------------------------
+
+/// Portable register-tile kernel: the loops are shaped (fixed 8-wide inner
+/// trip counts over contiguous packed panels) so LLVM autovectorizes them.
+fn mk8x8_portable(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    *acc = [0.0; MR * NR];
+    for p in 0..kc {
+        let a8 = &ap[p * MR..p * MR + MR];
+        let b8 = &bp[p * NR..p * NR + NR];
+        for (r, &ar) in a8.iter().enumerate() {
+            let row = &mut acc[r * NR..r * NR + NR];
+            for (c, &bv) in row.iter_mut().zip(b8) {
+                *c += ar * bv;
+            }
+        }
+    }
+}
+
+/// Scalar register-tile reference: index arithmetic kept deliberately
+/// plain so it stays the easy-to-audit baseline of the agreement tests.
+// The indexed form *is* the point here — it mirrors the textbook loop.
+#[allow(clippy::needless_range_loop)]
+fn mk8x8_scalar(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    *acc = [0.0; MR * NR];
+    for p in 0..kc {
+        for r in 0..MR {
+            let ar = ap[p * MR + r];
+            for j in 0..NR {
+                acc[r * NR + j] += ar * bp[p * NR + j];
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA register-tile kernel: 8 YMM accumulators (one per A lane),
+/// one vector load of B and 8 broadcast+FMA per depth step.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant) and that `ap.len() >= kc * 8` and
+/// `bp.len() >= kc * 8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn mk8x8_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut c0 = _mm256_setzero_ps();
+    let mut c1 = _mm256_setzero_ps();
+    let mut c2 = _mm256_setzero_ps();
+    let mut c3 = _mm256_setzero_ps();
+    let mut c4 = _mm256_setzero_ps();
+    let mut c5 = _mm256_setzero_ps();
+    let mut c6 = _mm256_setzero_ps();
+    let mut c7 = _mm256_setzero_ps();
+    let a_ptr = ap.as_ptr();
+    let b_ptr = bp.as_ptr();
+    for p in 0..kc {
+        // SAFETY: `p < kc` and both panels hold at least `kc * 8` floats
+        // (caller contract, debug-asserted above), so every offset below is
+        // in bounds.
+        unsafe {
+            let b = _mm256_loadu_ps(b_ptr.add(p * NR));
+            let al = a_ptr.add(p * MR);
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(*al), b, c0);
+            c1 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(1)), b, c1);
+            c2 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(2)), b, c2);
+            c3 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(3)), b, c3);
+            c4 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(4)), b, c4);
+            c5 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(5)), b, c5);
+            c6 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(6)), b, c6);
+            c7 = _mm256_fmadd_ps(_mm256_set1_ps(*al.add(7)), b, c7);
+        }
+    }
+    // SAFETY: `acc` is exactly 64 floats; the eight stores cover
+    // `[0, 64)` in disjoint 8-float rows.
+    unsafe {
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_ps(out, c0);
+        _mm256_storeu_ps(out.add(8), c1);
+        _mm256_storeu_ps(out.add(16), c2);
+        _mm256_storeu_ps(out.add(24), c3);
+        _mm256_storeu_ps(out.add(32), c4);
+        _mm256_storeu_ps(out.add(40), c5);
+        _mm256_storeu_ps(out.add(48), c6);
+        _mm256_storeu_ps(out.add(56), c7);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panel packing
+// ---------------------------------------------------------------------------
+
+/// Packs rows `[ic, ie)` x depth `[pc, pe)` of `a` into lane-major A
+/// micro-panels: element `(r, p)` of micro-panel `ir` lands at
+/// `ir * kc * MR + p * MR + r`. Rows beyond `ie` are zero-padded so the
+/// inner kernel always sees a full `MR`-lane group.
+fn pack_a_block(a: &DenseMatrix, ic: usize, ie: usize, pc: usize, pe: usize, dst: &mut [f32]) {
+    let kc = pe - pc;
+    let panels = (ie - ic).div_ceil(MR);
+    for ir in 0..panels {
+        let panel = &mut dst[ir * kc * MR..(ir + 1) * kc * MR];
+        let i0 = ic + ir * MR;
+        let rows = (ie - i0).min(MR);
+        if rows < MR {
+            panel.fill(0.0);
+        }
+        for r in 0..rows {
+            let arow = &a.row(i0 + r)[pc..pe];
+            for (p, &v) in arow.iter().enumerate() {
+                panel[p * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Packs depth `[pc, pe)` x columns `[jc, je)` of `b` into row-major B
+/// micro-panels: element `(p, j)` of micro-panel `jr` lands at
+/// `jr * kc * NR + p * NR + j`. Columns beyond `je` are zero-padded.
+fn pack_b_block(b: &DenseMatrix, pc: usize, pe: usize, jc: usize, je: usize, dst: &mut [f32]) {
+    let kc = pe - pc;
+    let panels = (je - jc).div_ceil(NR);
+    for jr in 0..panels {
+        let panel = &mut dst[jr * kc * NR..(jr + 1) * kc * NR];
+        let j0 = jc + jr * NR;
+        let cols = (je - j0).min(NR);
+        if cols < NR {
+            panel.fill(0.0);
+        }
+        for p in 0..kc {
+            let brow = &b.row(pc + p)[j0..j0 + cols];
+            panel[p * NR..p * NR + cols].copy_from_slice(brow);
+        }
+    }
+}
+
+/// Adds the masked `rows x cols` corner of a full accumulator tile into
+/// the output chunk (`row0` is chunk-local, `col0` global; `n` is the
+/// output row stride).
+fn add_tile(
+    c_chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    acc: &[f32; MR * NR],
+) {
+    for r in 0..rows {
+        let base = (row0 + r) * n + col0;
+        let dst = &mut c_chunk[base..base + cols];
+        for (d, &v) in dst.iter_mut().zip(&acc[r * NR..r * NR + cols]) {
+            *d += v;
+        }
+    }
+}
+
+/// One executor's work for one `(jc, pc)` block: packs its own A panels
+/// (`MC` rows at a time) and accumulates every micro-tile of its row range
+/// against the shared packed B panel.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    kd: KernelDispatch,
+    a: &DenseMatrix,
+    c_chunk: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    n: usize,
+    jc: usize,
+    je: usize,
+    pc: usize,
+    pe: usize,
+    apanel: &mut [f32],
+    bpanel: &[f32],
+) {
+    let kc = pe - pc;
+    let jpanels = (je - jc).div_ceil(NR);
+    let mut acc = [0.0f32; MR * NR];
+    let mut ic = row_start;
+    while ic < row_end {
+        let ie = (ic + MC).min(row_end);
+        pack_a_block(a, ic, ie, pc, pe, apanel);
+        let ipanels = (ie - ic).div_ceil(MR);
+        // B micro-panel outermost: it stays hot in L1 across every A panel
+        // of this MC block.
+        for jr in 0..jpanels {
+            let bp = &bpanel[jr * kc * NR..(jr + 1) * kc * NR];
+            let j0 = jc + jr * NR;
+            let cols = (je - j0).min(NR);
+            for ir in 0..ipanels {
+                let ap = &apanel[ir * kc * MR..(ir + 1) * kc * MR];
+                let i0 = ic + ir * MR;
+                let rows = (ie - i0).min(MR);
+                kd.mk8x8(ap, bp, kc, &mut acc);
+                add_tile(c_chunk, n, i0 - row_start, j0, rows, cols, &acc);
+            }
+        }
+        ic = ie;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked drivers
+// ---------------------------------------------------------------------------
+
+/// Packed register-tiled GEMM through the process-wide cached dispatch;
+/// see [`matmul_packed_with`].
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()`.
+pub fn matmul_packed(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
+    let mut c = DenseMatrix::default();
+    matmul_packed_with(KernelDispatch::get(), a, b, 1, &mut c)?;
+    Ok(c)
+}
+
+/// [`matmul_packed`] writing into a caller-owned output across `threads`
+/// executors of the global pool.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_packed_into(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+    c: &mut DenseMatrix,
+) -> Result<()> {
+    check_shapes("matmul_packed", a, b)?;
+    matmul_packed_with(KernelDispatch::get(), a, b, threads, c)
+}
+
+/// Cache-blocked, panel-packed GEMM `C = A * B` running its inner tiles on
+/// an explicit [`KernelDispatch`].
+///
+/// Rows of `A` are split contiguously across `threads` pool executors;
+/// each executor packs its own A micro-panels into a private slice of one
+/// pool-owned, 64-byte-aligned scratch borrow, while the B panel for the
+/// current `(jc, pc)` block is packed once and shared read-only. `c` is
+/// reshaped with [`DenseMatrix::resize_zeroed`], so steady-state calls at
+/// fixed shapes never touch the allocator for the output.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()` and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_packed_with(
+    kd: KernelDispatch,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+    c: &mut DenseMatrix,
+) -> Result<()> {
+    check_shapes("matmul_packed", a, b)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    c.resize_zeroed(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let pool = pool::global();
+    let executors = threads.clamp(1, pool.width()).min(m);
+    let rows_per = m.div_ceil(executors);
+    // Each executor owns a contiguous row range of C exclusively; the
+    // mutexes never contend, they only hand `&mut` slices through `Fn`.
+    let chunks: Vec<Mutex<&mut [f32]>> = c
+        .as_mut_slice()
+        .chunks_mut(rows_per * n)
+        .map(Mutex::new)
+        // lint:allow(L005): per-call chunk table of <= threads pointers —
+        // orders of magnitude below the counting-allocator budget.
+        .collect();
+    let executors = chunks.len();
+
+    let kc_max = KC.min(k);
+    let bp_len = kc_max * (NC.min(n)).div_ceil(NR) * NR;
+    let ap_len = kc_max * MC;
+    pool.scratch()
+        .with_f32(bp_len + executors * ap_len, |scratch| {
+            let (bpanel, ap_all) = scratch.split_at_mut(bp_len);
+            let apanels: Vec<Mutex<&mut [f32]>> = ap_all
+                .chunks_mut(ap_len)
+                .take(executors)
+                .map(Mutex::new)
+                // lint:allow(L005): per-call panel table of <= threads
+                // pointers into the single pool scratch borrow.
+                .collect();
+            let mut jc = 0;
+            while jc < n {
+                let je = (jc + NC).min(n);
+                let mut pc = 0;
+                while pc < k {
+                    let pe = (pc + KC).min(k);
+                    pack_b_block(b, pc, pe, jc, je, bpanel);
+                    let bp: &[f32] = bpanel;
+                    pool.broadcast(executors, executors, |t| {
+                        let row_start = t * rows_per;
+                        let row_end = (row_start + rows_per).min(m);
+                        // Share index t locks only its own chunk and panel, so
+                        // neither lock ever contends; a poisoned lock only means
+                        // another worker panicked and the guarded slice is still
+                        // structurally valid to hand back.
+                        let mut chunk = chunks[t].lock().unwrap_or_else(|e| e.into_inner());
+                        let mut ap = apanels[t].lock().unwrap_or_else(|e| e.into_inner());
+                        gemm_block(
+                            kd, a, &mut chunk, row_start, row_end, n, jc, je, pc, pe, &mut ap, bp,
+                        );
+                    });
+                    pc = pe;
+                }
+                jc = je;
+            }
+        });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_naive;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> DenseMatrix {
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        DenseMatrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    fn all_backends() -> Vec<KernelDispatch> {
+        let mut v = vec![
+            KernelDispatch::with_backend(Backend::Portable),
+            KernelDispatch::with_backend(Backend::Scalar),
+        ];
+        if avx2_available() {
+            v.push(KernelDispatch::with_backend(Backend::Avx2Fma));
+        }
+        v
+    }
+
+    #[test]
+    fn packed_matches_naive_across_shapes_and_backends() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 8, 8),
+            (3, 5, 7),
+            (17, 0, 9),
+            (65, 129, 33),
+            (100, 300, 50),
+            (70, 64, 1),
+        ] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let reference = matmul_naive(&a, &b).unwrap();
+            for kd in all_backends() {
+                for threads in [1, 4] {
+                    let mut c = DenseMatrix::filled(3, 3, f32::NAN);
+                    matmul_packed_with(kd, &a, &b, threads, &mut c).unwrap();
+                    assert!(
+                        reference.max_abs_diff(&c) < 1e-4,
+                        "({m},{k},{n}) backend={} threads={threads}",
+                        kd.backend().name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_backends_agree_including_tails() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Mismatched (y_len, x_len) pairs included on purpose: the update
+        // covers only the common prefix, and the vector remainders must
+        // still pair identical lanes when the lengths differ.
+        for (y_len, x_len) in [
+            (0usize, 0usize),
+            (1, 1),
+            (7, 7),
+            (8, 8),
+            (9, 9),
+            (31, 31),
+            (64, 64),
+            (100, 100),
+            (58, 69),
+            (69, 58),
+            (10, 3),
+        ] {
+            let x: Vec<f32> = (0..x_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let base: Vec<f32> = (0..y_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let alpha = rng.gen_range(-2.0..2.0);
+            let mut want = base.clone();
+            axpy_scalar(&mut want, alpha, &x);
+            for kd in all_backends() {
+                let mut y = base.clone();
+                kd.axpy(&mut y, alpha, &x);
+                for (w, g) in want.iter().zip(&y) {
+                    assert!(
+                        (w - g).abs() < 1e-5,
+                        "y_len={y_len} x_len={x_len} backend={}",
+                        kd.backend().name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_backend_downgrade_never_yields_unavailable_avx2() {
+        let kd = KernelDispatch::with_backend(Backend::Avx2Fma);
+        if !avx2_available() {
+            assert_eq!(kd.backend(), Backend::Portable);
+        } else {
+            assert_eq!(kd.backend(), Backend::Avx2Fma);
+        }
+    }
+
+    #[test]
+    fn global_dispatch_is_stable() {
+        assert_eq!(KernelDispatch::get(), KernelDispatch::get());
+    }
+}

@@ -44,8 +44,9 @@
 
 #![warn(missing_docs)]
 
-// BOUNDS: the only non-test indexing is the scratch arena's `&buf[..len]`,
-// taken immediately after the buffer is grown to at least `len` entries.
+// BOUNDS: the only non-test indexing is the scratch arena's `&buf[..len]`
+// and `&mut buf[offset..offset + len]`, both taken immediately after the
+// buffer is grown to at least `offset + len` entries.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -379,7 +380,16 @@ pub fn global() -> &'static ThreadPool {
 #[derive(Default)]
 pub struct ScratchArena {
     u32_buf: Mutex<Vec<AtomicU32>>,
+    f32_buf: Mutex<Vec<f32>>,
 }
+
+/// Alignment (bytes) guaranteed for slices handed out by
+/// [`ScratchArena::with_f32`]: one cache line, which also covers every SIMD
+/// vector width the micro-kernels use (32 B for AVX2).
+pub const SCRATCH_ALIGN: usize = 64;
+
+/// `SCRATCH_ALIGN` expressed in `f32` elements.
+const SCRATCH_ALIGN_F32S: usize = SCRATCH_ALIGN / size_of::<f32>();
 
 impl ScratchArena {
     /// Creates an empty arena.
@@ -411,9 +421,46 @@ impl ScratchArena {
         result
     }
 
+    /// Calls `f` with a `&mut [f32]` of length `len` whose first element is
+    /// aligned to [`SCRATCH_ALIGN`] bytes, reusing the cached buffer when
+    /// possible. The slice's **contents are unspecified** (stale values from
+    /// earlier borrowers): callers must write before reading — the GEMM
+    /// panel-packing routines, which fully overwrite every region they later
+    /// read, are the intended consumers. Concurrent borrowers fall back to a
+    /// fresh allocation rather than blocking.
+    pub fn with_f32<R>(&self, len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        let mut buf = {
+            let mut cached = self.f32_buf.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *cached)
+        };
+        // Over-allocate by one alignment quantum so an aligned window of
+        // `len` elements always exists, then locate it in safe code. A `Vec`
+        // never moves its allocation unless it grows, so the offset computed
+        // here stays valid for the borrow below.
+        let need = len + SCRATCH_ALIGN_F32S;
+        if buf.len() < need {
+            buf.resize(need, 0.0);
+        }
+        let misalign = (buf.as_ptr() as usize) % SCRATCH_ALIGN;
+        // `Vec<f32>` allocations are at least 4-byte aligned, so the byte
+        // distance to the next 64-byte boundary is an exact element count.
+        let offset = ((SCRATCH_ALIGN - misalign) % SCRATCH_ALIGN) / size_of::<f32>();
+        let result = f(&mut buf[offset..offset + len]);
+        let mut cached = self.f32_buf.lock().unwrap_or_else(|e| e.into_inner());
+        if cached.len() < buf.len() {
+            *cached = buf;
+        }
+        result
+    }
+
     /// Capacity (in `u32` slots) currently cached by the arena.
     pub fn cached_len(&self) -> usize {
         self.u32_buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Capacity (in `f32` slots) currently cached by the arena.
+    pub fn cached_f32_len(&self) -> usize {
+        self.f32_buf.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 
@@ -532,6 +579,26 @@ mod tests {
         // Growing keeps the larger buffer cached.
         arena.with_zeroed_u32(128, |s| assert_eq!(s.len(), 128));
         assert_eq!(arena.cached_len(), 128);
+    }
+
+    #[test]
+    fn f32_scratch_is_aligned_and_reused() {
+        let arena = ScratchArena::new();
+        arena.with_f32(100, |s| {
+            assert_eq!(s.len(), 100);
+            assert_eq!(s.as_ptr() as usize % SCRATCH_ALIGN, 0, "not 64B-aligned");
+            s.fill(3.25);
+        });
+        assert!(arena.cached_f32_len() >= 100);
+        // A second borrow reuses the cached buffer and stays aligned; the
+        // contents are unspecified, so only alignment and length are pinned.
+        arena.with_f32(64, |s| {
+            assert_eq!(s.len(), 64);
+            assert_eq!(s.as_ptr() as usize % SCRATCH_ALIGN, 0);
+        });
+        // Growing works and keeps the larger buffer cached.
+        arena.with_f32(5000, |s| assert_eq!(s.len(), 5000));
+        assert!(arena.cached_f32_len() >= 5000);
     }
 
     #[test]
