@@ -30,6 +30,8 @@ pub mod config;
 pub mod error;
 /// The GCN layer stack and full-graph inference entry points.
 pub mod model;
+/// Guarded (budget/cancel) and fault-tolerant inference entry points.
+pub mod resilient;
 /// Neighborhood-sampled mini-batch inference (GraphSAGE-style).
 pub mod sampled;
 /// Training loop: node classification, optimizers, per-step stats.
@@ -38,5 +40,6 @@ pub mod train;
 pub use config::GcnConfig;
 pub use error::GcnError;
 pub use model::{GcnLayer, GcnModel, InferenceWorkspace};
+pub use resilient::InferenceRun;
 pub use sampled::{SampledBatch, SamplingScheme};
 pub use train::{NodeClassification, OptimizerKind, StepStats, Trainer};

@@ -46,6 +46,24 @@ impl InferenceWorkspace {
         &self.h
     }
 
+    /// Mutable access to the output/activation buffer, for entry points
+    /// that seed it with the input features before the layer loop.
+    pub fn output_mut(&mut self) -> &mut DenseMatrix {
+        &mut self.h
+    }
+
+    /// Splits the workspace into its three layer-loop buffers:
+    /// `(current activations, spare output, fused intermediate)`.
+    pub fn buffers_mut(&mut self) -> (&mut DenseMatrix, &mut DenseMatrix, &mut DenseMatrix) {
+        (&mut self.h, &mut self.next, &mut self.mid)
+    }
+
+    /// Promotes the spare buffer written by the last layer to be the
+    /// current activations (the ping-pong swap).
+    pub fn swap_output(&mut self) {
+        std::mem::swap(&mut self.h, &mut self.next);
+    }
+
     /// The cached execution plan, if a planned inference has run.
     pub fn plan(&self) -> Option<&SpmmPlan> {
         self.plan.as_ref()

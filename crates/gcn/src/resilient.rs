@@ -1,0 +1,456 @@
+//! Guarded and fault-tolerant inference entry points.
+//!
+//! Two concerns layer on top of [`GcnModel`]'s plain inference:
+//!
+//! * **Run guards** — [`GcnModel::infer_guarded_with`] checks a
+//!   [`RunGuard`] (wall-clock budget and/or cooperative cancellation)
+//!   between layers and returns a typed partial result instead of running
+//!   past its budget: the workspace holds the activations of the last
+//!   *completed* layer, and the outcome says how many layers finished and
+//!   why the run stopped.
+//! * **Retry + degradation** — [`GcnModel::infer_resilient_with`]
+//!   validates inputs up front (dimension checks plus a NaN/Inf sweep over
+//!   features and weights), then executes each layer under
+//!   [`resilience::retry`], degrading the SpMM strategy one rung at a time
+//!   (via [`kernels::resilient::fallback_of`]) when a layer keeps failing.
+//!   Everything that happened — attempts, recovered panics, strategy
+//!   fallbacks, SIMD-backend downgrades — is reported in the returned
+//!   [`InferenceRun`].
+//!
+//! Retrying a layer is sound because the fused layer kernel fully
+//! overwrites its two output buffers; a crashed attempt leaves no state a
+//! later attempt can observe.
+
+use crate::error::GcnError;
+use crate::model::{GcnModel, InferenceWorkspace};
+use kernels::fused::gcn_layer_fused_into;
+use kernels::resilient::{fallback_of, Degradation, ExecutionReport};
+use kernels::SpmmStrategy;
+use matrix::{DenseMatrix, MatrixError};
+use resilience::guard::{RunGuard, RunOutcome, StopReason};
+use resilience::retry::{self, Failure, RetryPolicy};
+use sparse::Csr;
+
+/// How a resilient inference run completed: progress, stop reason (if the
+/// guard fired), and the merged per-layer [`ExecutionReport`].
+#[derive(Debug, Clone, Default)]
+pub struct InferenceRun {
+    /// Layers fully executed; the workspace output reflects exactly these.
+    pub layers_done: usize,
+    /// Layers the model has in total.
+    pub total_layers: usize,
+    /// Why the run stopped early, if it did.
+    pub stopped: Option<StopReason>,
+    /// Attempts, recoveries, and degradations accumulated across layers.
+    pub report: ExecutionReport,
+}
+
+impl InferenceRun {
+    /// Did every layer run to completion?
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none() && self.layers_done == self.total_layers
+    }
+}
+
+impl GcnModel {
+    /// Shape and finiteness validation shared by the hardened entry
+    /// points: dimension checks, then a NaN/Inf sweep over the feature
+    /// matrix and every layer's weights and bias.
+    ///
+    /// # Errors
+    ///
+    /// [`GcnError::FeatureDimMismatch`] / [`GcnError::VertexCountMismatch`]
+    /// on shape violations; [`GcnError::Normalize`] if the adjacency fails
+    /// its structural check ([`Csr::validate`]); [`GcnError::Kernel`]
+    /// wrapping [`MatrixError::NonFinite`] naming the first offending
+    /// entry.
+    pub fn validate_inputs(&self, a_hat: &Csr, features: &DenseMatrix) -> Result<(), GcnError> {
+        if features.cols() != self.input_dim() {
+            return Err(GcnError::FeatureDimMismatch {
+                expected: self.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        if features.rows() != a_hat.nrows() {
+            return Err(GcnError::VertexCountMismatch {
+                graph: a_hat.nrows(),
+                features: features.rows(),
+            });
+        }
+        a_hat.validate()?;
+        features.validate_finite("features")?;
+        for (t, layer) in self.layers().iter().enumerate() {
+            layer.weight.validate_finite("layer weight")?;
+            if let Some(bias) = &layer.bias {
+                if let Some(col) = bias.iter().position(|b| !b.is_finite()) {
+                    return Err(GcnError::Kernel(MatrixError::NonFinite {
+                        what: "layer bias",
+                        row: t,
+                        col,
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`GcnModel::infer_normalized_with`] under a [`RunGuard`]: the guard
+    /// is checked before every layer, and a fired guard ends the run with
+    /// a typed partial result instead of an error. On a partial return the
+    /// workspace output holds the activations of the last completed layer
+    /// and the outcome value is the number of layers done.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`]; guard stops are *not*
+    /// errors.
+    pub fn infer_guarded_with(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        strategy: SpmmStrategy,
+        guard: &RunGuard,
+        workspace: &mut InferenceWorkspace,
+    ) -> Result<RunOutcome<usize>, GcnError> {
+        self.validate_inputs(a_hat, features)?;
+        workspace.output_mut().copy_from(features);
+        for (done, layer) in self.layers().iter().enumerate() {
+            if let Some(reason) = guard.should_stop() {
+                return Ok(RunOutcome::Partial {
+                    value: done,
+                    reason,
+                });
+            }
+            let (h, next, mid) = workspace.buffers_mut();
+            gcn_layer_fused_into(
+                a_hat,
+                h,
+                &layer.weight,
+                layer.bias.as_deref(),
+                layer.activation,
+                strategy,
+                mid,
+                next,
+            )?;
+            workspace.swap_output();
+        }
+        Ok(RunOutcome::Complete(self.layers().len()))
+    }
+
+    /// Fully hardened inference: validated inputs, per-layer bounded retry
+    /// with panic capture, strategy degradation on persistent failure, and
+    /// a [`RunGuard`] checked between layers (and between degradation
+    /// rungs). Returns an [`InferenceRun`] describing exactly how the
+    /// result was obtained; the output lands in the workspace.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as in [`GcnModel::validate_inputs`], or the final
+    /// rung's typed error once a layer has exhausted retry *and* the
+    /// entire degradation chain.
+    pub fn infer_resilient_with(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        strategy: SpmmStrategy,
+        policy: &RetryPolicy,
+        guard: &RunGuard,
+        workspace: &mut InferenceWorkspace,
+    ) -> Result<InferenceRun, GcnError> {
+        self.validate_inputs(a_hat, features)?;
+        let mut run = InferenceRun {
+            total_layers: self.layers().len(),
+            report: ExecutionReport::new(),
+            ..InferenceRun::default()
+        };
+        workspace.output_mut().copy_from(features);
+        for layer in self.layers() {
+            if let Some(reason) = guard.should_stop() {
+                run.stopped = Some(reason);
+                return Ok(run);
+            }
+            let mut current = match strategy {
+                SpmmStrategy::Auto => SpmmStrategy::select(a_hat, layer.out_dim()),
+                s => s,
+            };
+            loop {
+                let (h, next, mid) = workspace.buffers_mut();
+                let outcome = retry::run(policy, || -> Result<(), MatrixError> {
+                    resilience::fault_point_err!(
+                        "gcn.layer",
+                        MatrixError::Fault { site: "gcn.layer" }
+                    );
+                    gcn_layer_fused_into(
+                        a_hat,
+                        h,
+                        &layer.weight,
+                        layer.bias.as_deref(),
+                        layer.activation,
+                        current,
+                        mid,
+                        next,
+                    )
+                    .map(|_| ())
+                });
+                match outcome {
+                    Ok(rec) => {
+                        run.report.attempts += rec.attempts;
+                        run.report.recovered_panics += rec.recovered_panics;
+                        run.report.recovered_errors += rec.recovered_errors;
+                        break;
+                    }
+                    Err(err) => {
+                        run.report.attempts += err.attempts;
+                        let Some(fallback) = fallback_of(current) else {
+                            return Err(match err.last {
+                                Failure::Error(e) => GcnError::Kernel(e),
+                                Failure::Panic(_) => GcnError::Kernel(MatrixError::Fault {
+                                    site: "gcn.layer: unrecovered panic",
+                                }),
+                            });
+                        };
+                        run.report.degradations.push(Degradation {
+                            from: current.to_string(),
+                            to: fallback.to_string(),
+                            cause: err.last.to_string(),
+                        });
+                        current = fallback;
+                        if let Some(reason) = guard.should_stop() {
+                            run.stopped = Some(reason);
+                            return Ok(run);
+                        }
+                    }
+                }
+            }
+            workspace.swap_output();
+            run.layers_done += 1;
+            run.report.completed_with = Some(current.to_string());
+        }
+        Ok(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GcnConfig;
+    use graph::rmat::RmatConfig;
+    use graph::Graph;
+    use resilience::fault::{self, FaultConfig, FaultKind};
+    use resilience::guard::CancelToken;
+    use std::time::Duration;
+
+    fn setup() -> (Csr, DenseMatrix, GcnModel) {
+        let g = Graph::rmat(&RmatConfig::power_law(7, 4), 13);
+        let model = GcnModel::new(&GcnConfig::paper_model(8, 16, 4), 3);
+        let x = g.random_features(8, 5);
+        let a_hat = g.normalized_adjacency().unwrap();
+        (a_hat, x, model)
+    }
+
+    #[test]
+    fn unbounded_guard_completes_and_matches_plain_inference() {
+        let (a_hat, x, model) = setup();
+        let expected = model
+            .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
+            .unwrap();
+        let mut ws = InferenceWorkspace::new();
+        let outcome = model
+            .infer_guarded_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Sequential,
+                &RunGuard::unbounded(),
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(outcome, RunOutcome::Complete(3));
+        assert_eq!(expected, *ws.output());
+    }
+
+    #[test]
+    fn cancelled_token_yields_typed_partial_result() {
+        let (a_hat, x, model) = setup();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut ws = InferenceWorkspace::new();
+        let outcome = model
+            .infer_guarded_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Sequential,
+                &RunGuard::with_token(token),
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(
+            outcome,
+            RunOutcome::Partial {
+                value: 0,
+                reason: StopReason::Cancelled
+            }
+        );
+        // Zero layers ran: the workspace still holds the input features.
+        assert_eq!(*ws.output(), x);
+    }
+
+    #[test]
+    fn zero_budget_stops_before_the_first_layer() {
+        let (a_hat, x, model) = setup();
+        let mut ws = InferenceWorkspace::new();
+        let outcome = model
+            .infer_guarded_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Sequential,
+                &RunGuard::with_budget(Duration::ZERO),
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(
+            outcome,
+            RunOutcome::Partial {
+                value: 0,
+                reason: StopReason::BudgetExceeded
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_features_are_rejected_before_any_kernel_runs() {
+        let (a_hat, mut x, model) = setup();
+        x.as_mut_slice()[7] = f32::NAN;
+        let mut ws = InferenceWorkspace::new();
+        let err = model
+            .infer_guarded_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Sequential,
+                &RunGuard::unbounded(),
+                &mut ws,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GcnError::Kernel(MatrixError::NonFinite {
+                what: "features",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        let (a_hat, x, mut model) = setup();
+        model.layers_mut()[1].weight.as_mut_slice()[0] = f32::INFINITY;
+        assert!(matches!(
+            model.validate_inputs(&a_hat, &x),
+            Err(GcnError::Kernel(MatrixError::NonFinite {
+                what: "layer weight",
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn resilient_inference_recovers_injected_layer_faults() {
+        let (a_hat, x, model) = setup();
+        let expected = model
+            .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
+            .unwrap();
+        let _armed = fault::arm(FaultConfig::new(17).point("gcn.layer", FaultKind::Error, 0.4));
+        let mut ws = InferenceWorkspace::new();
+        let run = model
+            .infer_resilient_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Sequential,
+                &RetryPolicy::immediate(10),
+                &RunGuard::unbounded(),
+                &mut ws,
+            )
+            .unwrap();
+        assert!(run.is_complete());
+        assert_eq!(run.layers_done, 3);
+        // Retries re-run the same deterministic kernel, so the recovered
+        // result is bitwise identical to an undisturbed run.
+        assert_eq!(expected, *ws.output());
+    }
+
+    #[test]
+    fn resilient_inference_degrades_strategy_and_reports_it() {
+        let (a_hat, x, model) = setup();
+        let expected = model
+            .infer_normalized(&a_hat, &x, SpmmStrategy::Sequential)
+            .unwrap();
+        // Find a seed whose decision stream (probed on the real site name,
+        // which keys the hash) lets every layer finish within its
+        // degradation chain while forcing at least one fallback. Each
+        // layer walks hybrid → vertex-parallel → sequential with one
+        // attempt per rung, consuming one decision per attempt.
+        let seed = (0..256u64)
+            .find(|&s| {
+                let _g = fault::arm(FaultConfig::new(s).point("gcn.layer", FaultKind::Error, 0.5));
+                let mut fires = [false; 16];
+                for f in fires.iter_mut() {
+                    *f = fault::should_fail("gcn.layer");
+                }
+                let mut i = 0;
+                let mut any_fire = false;
+                let all_layers_ok = (0..3).all(|_| {
+                    for rung in 0..3 {
+                        let fired = fires[i];
+                        i += 1;
+                        if !fired {
+                            return true;
+                        }
+                        any_fire = true;
+                        if rung == 2 {
+                            return false;
+                        }
+                    }
+                    false
+                });
+                all_layers_ok && any_fire
+            })
+            .expect("some seed degrades at least one layer yet completes");
+        let _armed = fault::arm(FaultConfig::new(seed).point("gcn.layer", FaultKind::Error, 0.5));
+        let mut ws = InferenceWorkspace::new();
+        let run = model
+            .infer_resilient_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Hybrid { threads: 2 },
+                &RetryPolicy::immediate(1),
+                &RunGuard::unbounded(),
+                &mut ws,
+            )
+            .unwrap();
+        assert!(run.is_complete());
+        assert!(!run.report.degradations.is_empty());
+        assert_eq!(run.report.degradations[0].from, "hybrid x2");
+        assert_eq!(run.report.degradations[0].to, "vertex-parallel x2");
+        assert!(expected.max_abs_diff(ws.output()) < 1e-4);
+    }
+
+    #[test]
+    fn exhausted_chain_surfaces_the_typed_error() {
+        let (a_hat, x, model) = setup();
+        let _armed = fault::arm(FaultConfig::new(5).point("gcn.layer", FaultKind::Error, 1.0));
+        let mut ws = InferenceWorkspace::new();
+        let err = model
+            .infer_resilient_with(
+                &a_hat,
+                &x,
+                SpmmStrategy::Hybrid { threads: 2 },
+                &RetryPolicy::immediate(2),
+                &RunGuard::unbounded(),
+                &mut ws,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GcnError::Kernel(MatrixError::Fault { site: "gcn.layer" })
+        ));
+    }
+}

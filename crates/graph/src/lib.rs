@@ -48,6 +48,7 @@ pub mod sampling;
 
 pub use datasets::{DatasetStats, OgbDataset};
 pub use graph_type::Graph;
+pub use io::GraphError;
 pub use reorder::{ReorderKind, ReorderedGraph};
 pub use rmat::RmatConfig;
 pub use sampling::Subgraph;

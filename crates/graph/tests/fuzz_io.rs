@@ -1,0 +1,71 @@
+//! Property tests: the loaders are total functions over arbitrary bytes —
+//! any input yields `Ok` or a typed [`GraphError`], never a panic.
+
+use graph::io::{read_edge_list, read_matrix_market};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn edge_list_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..255, 0..512)) {
+        let _ = read_edge_list(Cursor::new(bytes.clone()), None);
+        let _ = read_edge_list(Cursor::new(bytes), Some(8));
+    }
+
+    #[test]
+    fn matrix_market_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..255, 0..512)) {
+        let _ = read_matrix_market(Cursor::new(bytes));
+    }
+
+    /// Near-miss inputs: a valid header followed by arbitrary printable
+    /// garbage reaches the entry parser instead of dying at the header.
+    #[test]
+    fn matrix_market_never_panics_past_a_valid_header(bytes in proptest::collection::vec(9u8..127, 0..256)) {
+        let body: String = bytes
+            .iter()
+            .map(|&b| if b.is_ascii_graphic() || b == b' ' { b as char } else { '\n' })
+            .collect();
+        let text = format!("%%MatrixMarket matrix coordinate real general\n{body}");
+        let _ = read_matrix_market(Cursor::new(text));
+    }
+
+    /// Structured fuzz: random sizes and entries, some out of bounds, some
+    /// duplicated. Every accepted matrix must pass structural validation.
+    #[test]
+    fn accepted_matrices_always_validate(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        entries in proptest::collection::vec((1usize..16, 1usize..16, -8i32..8), 0..24),
+    ) {
+        let mut text = format!(
+            "%%MatrixMarket matrix coordinate real general\n{rows} {cols} {}\n",
+            entries.len()
+        );
+        for (r, c, v) in &entries {
+            text.push_str(&format!("{r} {c} {v}\n"));
+        }
+        if let Ok(csr) = read_matrix_market(Cursor::new(text)) {
+            prop_assert!(csr.validate().is_ok());
+            prop_assert_eq!(csr.shape(), (rows, cols));
+        }
+    }
+
+    /// Edge lists with random ids and a pinned vertex count: either every
+    /// id is in range (and the graph loads) or the error is typed.
+    #[test]
+    fn pinned_edge_lists_load_or_reject(
+        n in 1usize..10,
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..24),
+    ) {
+        let mut text = String::new();
+        for (u, v) in &edges {
+            text.push_str(&format!("{u} {v}\n"));
+        }
+        let all_in_range = edges.iter().all(|&(u, v)| u < n && v < n);
+        let got = read_edge_list(Cursor::new(text), Some(n));
+        prop_assert_eq!(got.is_ok(), all_in_range);
+        if let Ok(g) = got {
+            prop_assert_eq!(g.vertices(), n);
+        }
+    }
+}

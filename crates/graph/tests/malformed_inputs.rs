@@ -1,0 +1,68 @@
+//! Fixture-driven loader hardening: every malformed file in
+//! `tests/fixtures/` must come back as a typed [`GraphError`], never a
+//! panic, and the well-formed control fixture must still load.
+
+use graph::io::{read_edge_list, read_matrix_market, GraphError};
+use std::io::Cursor;
+
+#[test]
+fn truncated_matrix_market_is_reported_with_counts() {
+    let err = read_matrix_market(Cursor::new(include_str!("fixtures/truncated.mtx"))).unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::Truncated {
+            expected: 6,
+            found: 3
+        }
+    ));
+}
+
+#[test]
+fn out_of_bounds_column_is_reported_with_its_line() {
+    let err = read_matrix_market(Cursor::new(include_str!("fixtures/oob_column.mtx"))).unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::IndexOutOfBounds {
+            line: 5,
+            row: 1,
+            col: 8,
+            shape: (3, 3)
+        }
+    ));
+}
+
+#[test]
+fn array_format_header_is_rejected() {
+    let err = read_matrix_market(Cursor::new(include_str!("fixtures/bad_header.mtx"))).unwrap_err();
+    assert!(matches!(err, GraphError::BadHeader { .. }));
+}
+
+#[test]
+fn non_finite_entry_is_rejected() {
+    let err = read_matrix_market(Cursor::new(include_str!("fixtures/nonfinite.mtx"))).unwrap_err();
+    assert!(err.to_string().contains("non-finite"));
+}
+
+#[test]
+fn edge_list_beyond_pinned_vertex_count_is_rejected() {
+    let err =
+        read_edge_list(Cursor::new(include_str!("fixtures/oob_edges.txt")), Some(4)).unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::IndexOutOfBounds {
+            row: 2,
+            col: 7,
+            shape: (4, 4),
+            ..
+        }
+    ));
+}
+
+#[test]
+fn well_formed_control_fixture_loads_and_validates() {
+    let csr = read_matrix_market(Cursor::new(include_str!("fixtures/valid.mtx"))).unwrap();
+    assert_eq!(csr.shape(), (4, 4));
+    // Symmetric: 3 off-diagonal entries mirrored + 1 diagonal.
+    assert_eq!(csr.nnz(), 7);
+    csr.validate().unwrap();
+}

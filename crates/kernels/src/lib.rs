@@ -63,6 +63,8 @@ pub mod fused;
 pub mod hybrid;
 /// NNZ-balanced execution plans ([`SpmmPlan`]) built once, run many times.
 pub mod plan;
+/// Retry + strategy-degradation wrappers ([`ExecutionReport`]).
+pub mod resilient;
 /// Baseline sequential and parallel CSR SpMM kernels.
 pub mod spmm;
 /// Cache-blocked (tiled) SpMM over column strips.
@@ -71,3 +73,5 @@ pub mod tiled;
 pub use engine::SpmmStrategy;
 pub use plan::SpmmPlan;
 pub use pool;
+pub use resilience;
+pub use resilient::{run_resilient_into, ExecutionReport};

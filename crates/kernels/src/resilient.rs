@@ -1,0 +1,395 @@
+//! Retry + graceful-degradation wrapper around the SpMM engine.
+//!
+//! A resilient run executes a kernel under [`resilience::retry`] (panics
+//! become caught failures, attempts are bounded with backoff) and, when a
+//! strategy keeps failing, walks a degradation chain toward simpler
+//! kernels: Hybrid / EdgeParallel / FeatureParallel → VertexParallel →
+//! Sequential. The sequential kernel touches no pool, no atomics, and no
+//! scratch arena, so it is the last resort that a single surviving thread
+//! can always execute. Every recovery and fallback is recorded in an
+//! [`ExecutionReport`] so callers (and chaos tests) can see exactly how a
+//! result was obtained.
+//!
+//! This is sound to retry because every `*_into` kernel fully overwrites
+//! its output: a half-written buffer from a crashed attempt is erased by
+//! the next attempt regardless of strategy.
+
+use crate::engine::SpmmStrategy;
+use crate::plan::SpmmPlan;
+use matrix::microkernel::{self, Backend};
+use matrix::{DenseMatrix, MatrixError};
+use resilience::retry::{self, Failure, RetryPolicy};
+use sparse::Csr;
+
+/// One strategy fallback taken during a resilient run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Display form of the strategy that failed.
+    pub from: String,
+    /// Display form of the strategy tried next.
+    pub to: String,
+    /// Rendering of the failure that forced the fallback.
+    pub cause: String,
+}
+
+/// How a resilient execution actually completed: attempts, recoveries,
+/// strategy fallbacks, and any micro-kernel backend downgrade.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionReport {
+    /// Kernel attempts made, including the successful one.
+    pub attempts: u32,
+    /// Panics caught and retried.
+    pub recovered_panics: u32,
+    /// Typed errors retried.
+    pub recovered_errors: u32,
+    /// Strategy fallbacks taken, in order.
+    pub degradations: Vec<Degradation>,
+    /// `(preferred, chosen)` if the micro-kernel dispatch probe downgraded
+    /// the SIMD backend at process start ([`microkernel::probe_fallback`]).
+    pub backend_fallback: Option<(Backend, Backend)>,
+    /// Display form of the strategy that finally produced the result.
+    pub completed_with: Option<String>,
+}
+
+impl ExecutionReport {
+    /// An empty report, pre-seeded with the process-wide backend-probe
+    /// downgrade (if one was taken).
+    pub fn new() -> Self {
+        ExecutionReport {
+            backend_fallback: microkernel::probe_fallback(),
+            ..ExecutionReport::default()
+        }
+    }
+
+    /// Did this run need any recovery at all (retries, strategy fallback,
+    /// or a degraded SIMD backend)?
+    pub fn degraded(&self) -> bool {
+        self.attempts > 1 || !self.degradations.is_empty() || self.backend_fallback.is_some()
+    }
+
+    fn absorb(&mut self, rec: &retry::Recovery<()>) {
+        self.attempts += rec.attempts;
+        self.recovered_panics += rec.recovered_panics;
+        self.recovered_errors += rec.recovered_errors;
+    }
+}
+
+/// Next-simpler strategy in the degradation chain (`None` after
+/// [`SpmmStrategy::Sequential`]). `Auto` must be resolved before walking
+/// the chain.
+pub fn fallback_of(s: SpmmStrategy) -> Option<SpmmStrategy> {
+    match s {
+        SpmmStrategy::Hybrid { threads }
+        | SpmmStrategy::EdgeParallel { threads }
+        | SpmmStrategy::FeatureParallel { threads } => {
+            Some(SpmmStrategy::VertexParallel { threads })
+        }
+        SpmmStrategy::VertexParallel { .. } | SpmmStrategy::FeatureTiled { .. } => {
+            Some(SpmmStrategy::Sequential)
+        }
+        SpmmStrategy::Sequential => None,
+        SpmmStrategy::Auto => Some(SpmmStrategy::Sequential),
+    }
+}
+
+fn terminal_error(last: Failure<MatrixError>) -> MatrixError {
+    match last {
+        Failure::Error(e) => e,
+        // The payload text is reported through the `Display` of the retry
+        // error before we get here; the typed variant keeps the site.
+        Failure::Panic(_) => MatrixError::Fault {
+            site: "kernels.exec: unrecovered panic",
+        },
+    }
+}
+
+/// Runs `out = a * h` with bounded retry and strategy degradation,
+/// returning how the result was obtained.
+///
+/// `strategy` is resolved (for [`SpmmStrategy::Auto`]) once up front; each
+/// rung of the chain gets `policy.attempts` tries before degrading. The
+/// final [`SpmmStrategy::Sequential`] rung failing is the only way this
+/// returns `Err`.
+///
+/// # Errors
+///
+/// The last rung's typed error (or a [`MatrixError::Fault`] naming an
+/// unrecovered panic) once the whole chain is exhausted.
+pub fn run_resilient_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    strategy: SpmmStrategy,
+    policy: &RetryPolicy,
+    out: &mut DenseMatrix,
+) -> Result<ExecutionReport, MatrixError> {
+    crate::spmm::check("run_resilient_into", a, h)?;
+    let mut report = ExecutionReport::new();
+    let mut current = match strategy {
+        SpmmStrategy::Auto => SpmmStrategy::select(a, h.cols()),
+        s => s,
+    };
+    loop {
+        let outcome = retry::run(policy, || -> Result<(), MatrixError> {
+            // Typed-error injection site for the whole execution path; the
+            // retry loop above recovers it like any kernel failure.
+            resilience::fault_point_err!(
+                "kernels.exec",
+                MatrixError::Fault {
+                    site: "kernels.exec",
+                }
+            );
+            current.run_into(a, h, out)
+        });
+        match outcome {
+            Ok(rec) => {
+                report.absorb(&rec);
+                report.completed_with = Some(current.to_string());
+                return Ok(report);
+            }
+            Err(err) => {
+                report.attempts += err.attempts;
+                let Some(next) = fallback_of(current) else {
+                    return Err(terminal_error(err.last));
+                };
+                report.degradations.push(Degradation {
+                    from: current.to_string(),
+                    to: next.to_string(),
+                    cause: err.last.to_string(),
+                });
+                current = next;
+            }
+        }
+    }
+}
+
+/// Planned counterpart of [`run_resilient_into`]: tries the plan's cached
+/// execution path first, then degrades through the plan's
+/// strategy-equivalent chain (e.g. a planned Hybrid falls back to
+/// VertexParallel, then Sequential).
+///
+/// # Errors
+///
+/// See [`run_resilient_into`].
+pub fn run_planned_resilient_into(
+    plan: &SpmmPlan,
+    a: &Csr,
+    h: &DenseMatrix,
+    policy: &RetryPolicy,
+    out: &mut DenseMatrix,
+) -> Result<ExecutionReport, MatrixError> {
+    crate::spmm::check("run_planned_resilient_into", a, h)?;
+    let mut report = ExecutionReport::new();
+    let outcome = retry::run(policy, || -> Result<(), MatrixError> {
+        resilience::fault_point_err!(
+            "kernels.plan.exec",
+            MatrixError::Fault {
+                site: "kernels.plan.exec",
+            }
+        );
+        plan.run_into(a, h, out)
+    });
+    match outcome {
+        Ok(rec) => {
+            report.absorb(&rec);
+            report.completed_with = Some(format!("planned {}", plan.strategy_equivalent()));
+            Ok(report)
+        }
+        Err(err) => {
+            report.attempts += err.attempts;
+            let next = fallback_of(plan.strategy_equivalent()).unwrap_or(SpmmStrategy::Sequential);
+            report.degradations.push(Degradation {
+                from: format!("planned {}", plan.strategy_equivalent()),
+                to: next.to_string(),
+                cause: err.last.to_string(),
+            });
+            match run_resilient_into(a, h, next, policy, out) {
+                Ok(mut tail) => {
+                    tail.attempts += report.attempts;
+                    tail.degradations = {
+                        let mut d = report.degradations;
+                        d.extend(tail.degradations);
+                        d
+                    };
+                    Ok(tail)
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::fault::{self, FaultConfig, FaultKind};
+    use sparse::Coo;
+
+    fn small_problem() -> (Csr, DenseMatrix, DenseMatrix) {
+        let n = 64;
+        let mut coo = Coo::new(n, n);
+        for v in 0..n {
+            coo.push(v, (v * 7 + 1) % n, 1.0 + v as f32 * 0.25);
+            coo.push(v, (v * 3 + 2) % n, 0.5);
+        }
+        let a = Csr::from_coo(&coo);
+        let data = (0..n * 8).map(|i| (i % 23) as f32 * 0.125 - 1.0).collect();
+        let h = DenseMatrix::from_vec(n, 8, data).unwrap();
+        let expected = SpmmStrategy::Sequential.run(&a, &h).unwrap();
+        (a, h, expected)
+    }
+
+    #[test]
+    fn clean_run_is_not_degraded() {
+        let (a, h, expected) = small_problem();
+        let mut out = DenseMatrix::default();
+        let report = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::Hybrid { threads: 4 },
+            &RetryPolicy::immediate(3),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert!(!report.degraded() || report.backend_fallback.is_some());
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+        assert_eq!(report.completed_with.as_deref(), Some("hybrid x4"));
+    }
+
+    #[test]
+    fn injected_errors_are_retried_and_recovered() {
+        let (a, h, expected) = small_problem();
+        let mut out = DenseMatrix::default();
+        // Fail the first two visits deterministically? Rate 1.0 would fail
+        // every attempt; instead pin a mid rate and a seed known to pass
+        // within the retry budget — determinism makes this reproducible.
+        let _armed = fault::arm(FaultConfig::new(11).point("kernels.exec", FaultKind::Error, 0.5));
+        let report = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::VertexParallel { threads: 2 },
+            &RetryPolicy::immediate(8),
+            &mut out,
+        )
+        .unwrap();
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+        assert!(report.attempts >= 1);
+        let stats = fault::stats();
+        assert!(stats.sites.contains_key("kernels.exec"));
+    }
+
+    #[test]
+    fn exhausted_strategy_degrades_down_the_chain() {
+        let (a, h, expected) = small_problem();
+        let mut out = DenseMatrix::default();
+        // Error every attempt: each rung exhausts its retries and falls
+        // back; the chain must bottom out at Sequential... which also
+        // fails, so arm only long enough to kill the first rung? No —
+        // deterministic alternative: fail only the *parallel* path by
+        // injecting errors at the engine site while the retry budget is 1,
+        // and watch the chain walk Hybrid → VertexParallel → Sequential.
+        // With the site firing on every visit the terminal error must come
+        // back typed.
+        let _armed = fault::arm(FaultConfig::new(2).point("kernels.exec", FaultKind::Error, 1.0));
+        let err = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::Hybrid { threads: 4 },
+            &RetryPolicy::immediate(2),
+            &mut out,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::Fault {
+                site: "kernels.exec"
+            }
+        );
+        drop(_armed);
+        // Disarmed, the same call succeeds and reports a clean first try.
+        let report = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::Hybrid { threads: 4 },
+            &RetryPolicy::immediate(2),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(report.attempts, 1);
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+    }
+
+    #[test]
+    fn degradation_chain_is_recorded() {
+        let (a, h, expected) = small_problem();
+        let mut out = DenseMatrix::default();
+        // Fail only the hybrid rung: the site fires for the first
+        // `attempts` visits then the fallback rung runs clean. Pin the
+        // rate to 1.0 and disarm after the first rung by scoping the guard
+        // is racy — instead inject errors at a rate of 1.0 but give the
+        // chain a bigger budget than the armed visits... simplest reliable
+        // setup: arm, run with attempts=1 per rung, observe the terminal
+        // typed error and the recorded degradations.
+        let _armed = fault::arm(FaultConfig::new(4).point("kernels.exec", FaultKind::Error, 1.0));
+        let err = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::Hybrid { threads: 2 },
+            &RetryPolicy::immediate(1),
+            &mut out,
+        );
+        drop(_armed);
+        let err = err.unwrap_err();
+        assert!(matches!(err, MatrixError::Fault { .. }));
+        // And with partial failure (fallback succeeds), the report lists
+        // the taken fallbacks. The decision hash keys on (seed, site,
+        // visit), so probe the real site name: we need a stream that fires
+        // on visit 0 (hybrid rung fails, one attempt per rung) and passes
+        // on visit 1 or 2 (a fallback rung succeeds).
+        let seed = (0..256u64)
+            .find(|&s| {
+                let _g =
+                    fault::arm(FaultConfig::new(s).point("kernels.exec", FaultKind::Error, 0.5));
+                let first = fault::should_fail("kernels.exec");
+                let second = fault::should_fail("kernels.exec");
+                let third = fault::should_fail("kernels.exec");
+                first && (!second || !third)
+            })
+            .expect("some seed fires on visit 0 and passes within the chain");
+        let _armed =
+            fault::arm(FaultConfig::new(seed).point("kernels.exec", FaultKind::Error, 0.5));
+        let report = run_resilient_into(
+            &a,
+            &h,
+            SpmmStrategy::Hybrid { threads: 2 },
+            &RetryPolicy::immediate(1),
+            &mut out,
+        )
+        .unwrap();
+        assert!(!report.degradations.is_empty());
+        assert_eq!(report.degradations[0].from, "hybrid x2");
+        assert_eq!(report.degradations[0].to, "vertex-parallel x2");
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+    }
+
+    #[test]
+    fn planned_run_degrades_to_strategy_chain() {
+        let (a, h, expected) = small_problem();
+        let plan = SpmmPlan::new(&a, h.cols());
+        let mut out = DenseMatrix::default();
+        let report =
+            run_planned_resilient_into(&plan, &a, &h, &RetryPolicy::immediate(2), &mut out)
+                .unwrap();
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+        assert!(report.completed_with.is_some());
+        // Now fail the planned path outright; the strategy chain takes over.
+        let _armed =
+            fault::arm(FaultConfig::new(8).point("kernels.plan.exec", FaultKind::Error, 1.0));
+        let report =
+            run_planned_resilient_into(&plan, &a, &h, &RetryPolicy::immediate(2), &mut out)
+                .unwrap();
+        assert!(!report.degradations.is_empty(), "plan failure not recorded");
+        assert!(report.degradations[0].from.starts_with("planned"));
+        assert!(expected.max_abs_diff(&out) < 1e-4);
+    }
+}

@@ -313,6 +313,21 @@ impl DenseMatrix {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
     }
+
+    /// Typed-error variant of [`all_finite`](Self::all_finite): `Ok(())`
+    /// when every element is finite, otherwise
+    /// [`MatrixError::NonFinite`] locating the first offending element.
+    /// `what` names the operand in the error (e.g. `"features"`).
+    pub fn validate_finite(&self, what: &'static str) -> Result<()> {
+        match self.data.iter().position(|x| !x.is_finite()) {
+            None => Ok(()),
+            Some(flat) => Err(MatrixError::NonFinite {
+                what,
+                row: flat.checked_div(self.cols).unwrap_or(0),
+                col: flat.checked_rem(self.cols).unwrap_or(0),
+            }),
+        }
+    }
 }
 
 impl Index<(usize, usize)> for DenseMatrix {

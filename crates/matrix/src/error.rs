@@ -33,6 +33,23 @@ pub enum MatrixError {
     },
     /// A thread count of zero was requested for a parallel kernel.
     ZeroThreads,
+    /// A non-finite value (NaN or ±Inf) was found where finite data is
+    /// required — e.g. feature or weight matrices at an inference boundary.
+    NonFinite {
+        /// Which operand contained the value.
+        what: &'static str,
+        /// Row of the first offending element.
+        row: usize,
+        /// Column of the first offending element.
+        col: usize,
+    },
+    /// A fault-injection site fired (`resilience::fault_point_err!` sites
+    /// in kernels report through this variant; never produced in
+    /// production runs with injection disarmed).
+    Fault {
+        /// Name of the fault site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -56,6 +73,10 @@ impl fmt::Display for MatrixError {
                 "ragged rows: row {row} has {actual} elements, expected {expected}"
             ),
             MatrixError::ZeroThreads => write!(f, "parallel kernel requires at least one thread"),
+            MatrixError::NonFinite { what, row, col } => {
+                write!(f, "non-finite value in {what} at ({row}, {col})")
+            }
+            MatrixError::Fault { site } => write!(f, "injected fault at `{site}`"),
         }
     }
 }

@@ -140,6 +140,102 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// Next backend in the graceful-degradation chain, `None` after the last
+/// resort ([`Backend::Scalar`], which has no SIMD or autovectorization
+/// assumptions left to violate).
+fn downgrade(b: Backend) -> Option<Backend> {
+    match b {
+        Backend::Avx2Fma => Some(Backend::Portable),
+        Backend::Portable => Some(Backend::Scalar),
+        Backend::Scalar => None,
+    }
+}
+
+static PROBE_FALLBACK: OnceLock<Option<(Backend, Backend)>> = OnceLock::new();
+
+/// The `(preferred, chosen)` downgrade the dispatch probe took when
+/// [`KernelDispatch::get`] first ran, or `None` if the preferred backend
+/// passed its probe (or `get` has not run yet). Surfaced in
+/// `kernels::ExecutionReport`.
+pub fn probe_fallback() -> Option<(Backend, Backend)> {
+    PROBE_FALLBACK.get().copied().flatten()
+}
+
+/// Fault-injection hook for the probe, one named site per backend so chaos
+/// tests can fail a specific rung of the chain.
+fn probe_site(b: Backend) -> Result<()> {
+    match b {
+        Backend::Avx2Fma => {
+            // lint:allow(L008): probe path, runs once per process at
+            // dispatch selection — never on the per-call kernel path.
+            resilience::fault_point_err!(
+                "microkernel.probe.avx2",
+                MatrixError::Fault {
+                    site: "microkernel.probe.avx2",
+                }
+            );
+        }
+        Backend::Portable => {
+            // lint:allow(L008): probe path, see above.
+            resilience::fault_point_err!(
+                "microkernel.probe.portable",
+                MatrixError::Fault {
+                    site: "microkernel.probe.portable",
+                }
+            );
+        }
+        Backend::Scalar => {}
+    }
+    Ok(())
+}
+
+/// `true` when `kd`'s backend survives a tiny correctness probe: a 16-wide
+/// AXPY run under `catch_unwind`, checked elementwise against the analytic
+/// answer. Panics, wrong values, and non-finite output all fail the probe.
+/// Stack arrays only — the probe allocates nothing.
+fn probe(kd: KernelDispatch) -> bool {
+    if probe_site(kd.backend()).is_err() {
+        return false;
+    }
+    std::panic::catch_unwind(|| {
+        let mut y = [1.0f32; 16];
+        let mut x = [0.0f32; 16];
+        for (j, v) in x.iter_mut().enumerate() {
+            *v = j as f32 + 0.5;
+        }
+        kd.axpy(&mut y, 2.0, &x);
+        y.iter().enumerate().all(|(j, &v)| {
+            let want = 1.0 + 2.0 * (j as f32 + 0.5);
+            v.is_finite() && (v - want).abs() <= 1e-5
+        })
+    })
+    .unwrap_or(false)
+}
+
+/// Run the detection + probe chain from scratch (uncached): the backend
+/// [`Backend::detect`] prefers, degraded along [`downgrade`] until a rung
+/// passes [`probe`]. Returns the chosen dispatch and the `(preferred,
+/// chosen)` pair when a downgrade happened. [`KernelDispatch::get`] calls
+/// this once and caches; tests call it directly under armed injection.
+pub fn resolve_probed() -> (KernelDispatch, Option<(Backend, Backend)>) {
+    let preferred = Backend::detect();
+    let mut candidate = preferred;
+    loop {
+        let kd = KernelDispatch { backend: candidate };
+        if probe(kd) {
+            let fallback = (candidate != preferred).then_some((preferred, candidate));
+            return (kd, fallback);
+        }
+        match downgrade(candidate) {
+            Some(next) => candidate = next,
+            // Even a failing scalar probe (only reachable via injection on
+            // every rung) must yield a usable dispatch: scalar is the
+            // reference implementation.
+            None => return (kd, Some((preferred, Backend::Scalar))),
+        }
+    }
+}
+
 /// A resolved micro-kernel selection, cheap to copy and pass down call
 /// chains (e.g. cached inside `kernels::plan::SpmmPlan`).
 ///
@@ -152,12 +248,23 @@ pub struct KernelDispatch {
 }
 
 impl KernelDispatch {
-    /// The process-wide dispatch, selected once (detection + env override)
-    /// and cached for every later call.
+    /// The process-wide dispatch, selected once (detection + env override +
+    /// sanity probe) and cached for every later call.
+    ///
+    /// The preferred backend is *probed* before being cached: a tiny AXPY
+    /// is run under `catch_unwind` and its result checked against the
+    /// analytic answer. A backend that panics or produces wrong/non-finite
+    /// values is degraded along the Avx2Fma → Portable → Scalar chain
+    /// ([`probe_fallback`] reports a taken downgrade). In practice only
+    /// injected faults (`resilience`) trigger this; it exists so a
+    /// miscompiled or misdetected SIMD path degrades instead of corrupting
+    /// inference.
     pub fn get() -> KernelDispatch {
         static DISPATCH: OnceLock<KernelDispatch> = OnceLock::new();
-        *DISPATCH.get_or_init(|| KernelDispatch {
-            backend: Backend::detect(),
+        *DISPATCH.get_or_init(|| {
+            let (kd, fallback) = resolve_probed();
+            let _ = PROBE_FALLBACK.set(fallback);
+            kd
         })
     }
 

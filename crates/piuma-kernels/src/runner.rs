@@ -4,6 +4,7 @@ use crate::placement::Placement;
 use crate::programs::{partition_edges, DmaSpmmProgram, UnrolledSpmmProgram};
 use crate::variant::SpmmVariant;
 use analytic::{ElementSizes, SpmmTraffic};
+use piuma_sim::resilience::guard::{RunGuard, RunOutcome};
 use piuma_sim::{MachineConfig, SimError, SimResult, Simulator, ThreadSpec};
 use sparse::Csr;
 use std::sync::Arc;
@@ -87,6 +88,36 @@ impl SpmmSimulation {
     /// Propagates [`SimError`] from the engine (cannot occur for placements
     /// produced here, but the signature is honest).
     pub fn run(&self, a: &Csr, k: usize) -> Result<SpmmSimResult, SimError> {
+        let specs = self.build_specs(a, k);
+        let sim = Simulator::new(self.config.clone()).run(specs)?;
+        Ok(self.attach_roofline(a, k, sim))
+    }
+
+    /// Like [`SpmmSimulation::run`], but polls `guard` during the event
+    /// loop: a fired wall-clock budget or cancellation returns
+    /// [`RunOutcome::Partial`] with the statistics simulated so far instead
+    /// of letting a large graph monopolize the host. The roofline is
+    /// attached to partial results too, so a truncated run still reports a
+    /// (lower-bound) achieved throughput.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpmmSimulation::run`]; guard stops are not
+    /// errors.
+    pub fn run_guarded(
+        &self,
+        a: &Csr,
+        k: usize,
+        guard: &RunGuard,
+    ) -> Result<RunOutcome<SpmmSimResult>, SimError> {
+        let specs = self.build_specs(a, k);
+        let outcome = Simulator::new(self.config.clone()).run_guarded(specs, guard)?;
+        Ok(outcome.map(|sim| self.attach_roofline(a, k, sim)))
+    }
+
+    /// Builds the per-thread programs and placements for `a * H` (width
+    /// `k`) on this machine.
+    fn build_specs(&self, a: &Csr, k: usize) -> Vec<ThreadSpec> {
         let cfg = &self.config;
         let placement = Placement::new(cfg.total_slices(), cfg.cache_line_bytes);
         let csr = Arc::new(a.clone());
@@ -139,19 +170,22 @@ impl SpmmSimulation {
                 ThreadSpec::on_core(core, program)
             })
             .collect();
+        specs
+    }
 
-        let sim = Simulator::new(cfg.clone()).run(specs)?;
+    /// Pairs a raw simulator result with the Eq. 1–5 analytical roofline.
+    fn attach_roofline(&self, a: &Csr, k: usize, sim: SimResult) -> SpmmSimResult {
         let traffic = SpmmTraffic::compute(a.nrows(), a.nnz(), k, ElementSizes::default());
-        let bw = cfg.aggregate_bandwidth_gbps() * 1e9; // bytes/s
+        let bw = self.config.aggregate_bandwidth_gbps() * 1e9; // bytes/s
         let model_time_s = traffic.time_seconds(bw, bw);
         let model_gflops = traffic.flops / model_time_s / 1e9;
         let gflops = sim.gflops(traffic.flops);
-        Ok(SpmmSimResult {
+        SpmmSimResult {
             sim,
             flops: traffic.flops,
             gflops,
             model_gflops,
-        })
+        }
     }
 }
 
@@ -291,6 +325,26 @@ mod tests {
             edge_r.gflops,
             vertex_r.gflops
         );
+    }
+
+    #[test]
+    fn guarded_run_completes_or_truncates_cleanly() {
+        let a = test_graph(1 << 10, 8);
+        let sim = SpmmSimulation::new(MachineConfig::single_core(), SpmmVariant::Dma);
+        // Unbounded guard: identical to the plain run.
+        let plain = sim.run(&a, 16).unwrap();
+        let guard = RunGuard::unbounded();
+        let outcome = sim.run_guarded(&a, 16, &guard).unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.get().sim.total_ns, plain.sim.total_ns);
+
+        // Pre-cancelled token: partial, with the roofline still attached.
+        let token = piuma_sim::resilience::guard::CancelToken::new();
+        token.cancel();
+        let guard = RunGuard::with_token(token);
+        let outcome = sim.run_guarded(&a, 16, &guard).unwrap();
+        assert!(!outcome.is_complete());
+        assert!(outcome.get().model_gflops > 0.0);
     }
 
     #[test]

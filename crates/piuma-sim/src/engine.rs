@@ -4,10 +4,15 @@ use crate::config::MachineConfig;
 use crate::program::{Op, OpTag, Program};
 use crate::resources::{BandwidthResource, FifoResource};
 use crate::stats::{SimResult, TagStats};
+use resilience::guard::{RunGuard, RunOutcome, StopReason};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::error::Error;
 use std::fmt;
+
+/// How often (in processed events) a guarded run polls its [`RunGuard`].
+/// Power of two so the check compiles to a mask test.
+const GUARD_CHECK_EVENTS: u64 = 1024;
 
 /// Error produced when a simulation cannot run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +33,11 @@ pub enum SimError {
         /// Slices available.
         slices: usize,
     },
+    /// An injected fault from the resilience layer (testing only).
+    Fault {
+        /// The fault-point site name.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +53,7 @@ impl fmt::Display for SimError {
             SimError::BadSlice { slice, slices } => {
                 write!(f, "access to slice {slice} but machine has {slices} slices")
             }
+            SimError::Fault { site } => write!(f, "injected fault at `{site}`"),
         }
     }
 }
@@ -150,6 +161,42 @@ impl Simulator {
         threads: Vec<ThreadSpec>,
         max_events: usize,
     ) -> Result<(SimResult, Vec<TraceEvent>), SimError> {
+        let (result, trace, _) = self.run_inner(threads, max_events, None)?;
+        Ok((result, trace))
+    }
+
+    /// Like [`Simulator::run`], but polls `guard` every
+    /// [`GUARD_CHECK_EVENTS`] processed events: a fired wall-clock budget
+    /// or cancellation ends the simulation early with
+    /// [`RunOutcome::Partial`] carrying the statistics accumulated so far
+    /// (simulated time, traffic, and breakdowns of the events already
+    /// executed) instead of running an unbounded event loop to the end.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`]; guard stops are not errors.
+    pub fn run_guarded(
+        &self,
+        threads: Vec<ThreadSpec>,
+        guard: &RunGuard,
+    ) -> Result<RunOutcome<SimResult>, SimError> {
+        let (result, _, stopped) = self.run_inner(threads, 0, Some(guard))?;
+        Ok(match stopped {
+            None => RunOutcome::Complete(result),
+            Some(reason) => RunOutcome::Partial {
+                value: result,
+                reason,
+            },
+        })
+    }
+
+    fn run_inner(
+        &self,
+        threads: Vec<ThreadSpec>,
+        max_events: usize,
+        guard: Option<&RunGuard>,
+    ) -> Result<(SimResult, Vec<TraceEvent>, Option<StopReason>), SimError> {
+        resilience::fault_point_err!("sim.run", SimError::Fault { site: "sim.run" });
         let mut trace: Vec<TraceEvent> = Vec::new();
         let mut record = |event: TraceEvent| {
             if trace.len() < max_events {
@@ -208,7 +255,22 @@ impl Simulator {
         let mut parked: Vec<usize> = Vec::new();
         let mut barrier_horizon = 0.0f64;
 
+        let mut events: u64 = 0;
+        let mut stopped: Option<StopReason> = None;
+
         while let Some(Reverse((TimeKey(now), tid))) = heap.pop() {
+            // Poll before counting so a zero-budget guard stops ahead of the
+            // first event even in sims far smaller than the check interval.
+            if events & (GUARD_CHECK_EVENTS - 1) == 0 {
+                if let Some(g) = guard {
+                    if let Some(reason) = g.should_stop() {
+                        stopped = Some(reason);
+                        break;
+                    }
+                }
+            }
+            events += 1;
+            resilience::fault_point!("sim.event");
             let st = &mut states[tid];
             debug_assert_eq!(st.ready, now);
             let Some(op) = st.program.next_op() else {
@@ -416,6 +478,14 @@ impl Simulator {
             heap.push(Reverse((TimeKey(st.ready), tid)));
         }
 
+        // A guard stop leaves threads mid-program; fold their current
+        // positions in so the partial result reflects simulated time so far.
+        if stopped.is_some() {
+            for st in &states {
+                finish_time = finish_time.max(st.ready);
+            }
+        }
+
         // Drain: account for channel tails.
         for d in &dram {
             finish_time = finish_time.max(d.fifo().next_free());
@@ -452,6 +522,7 @@ impl Simulator {
                 thread_finish_ns: thread_finish,
             },
             trace,
+            stopped,
         ))
     }
 }
@@ -500,6 +571,7 @@ fn check_slice(slice: usize, slices: usize) -> Result<(), SimError> {
 mod tests {
     use super::*;
     use crate::program::VecProgram;
+    use resilience::guard::CancelToken;
 
     fn one_thread(config: MachineConfig, ops: Vec<Op>) -> SimResult {
         Simulator::new(config)
@@ -933,5 +1005,91 @@ mod tests {
             assert!((0.0..=1.0).contains(&u));
         }
         assert!(r.pipeline_utilization > 0.0);
+    }
+
+    fn load_program(n: usize) -> Vec<Op> {
+        vec![
+            Op::Load {
+                slice: 0,
+                bytes: 64.0,
+                tag: OpTag::FeatureRead,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn guarded_run_with_unbounded_guard_matches_plain_run() {
+        let cfg = MachineConfig::single_core();
+        let plain = one_thread(cfg.clone(), load_program(16));
+        let guard = RunGuard::unbounded();
+        let outcome = Simulator::new(cfg)
+            .run_guarded(
+                vec![ThreadSpec::on_core(
+                    0,
+                    Box::new(VecProgram::new(load_program(16))),
+                )],
+                &guard,
+            )
+            .unwrap();
+        match outcome {
+            RunOutcome::Complete(r) => assert_eq!(r.total_ns, plain.total_ns),
+            RunOutcome::Partial { .. } => panic!("unbounded guard stopped the run"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_yields_partial_before_first_event() {
+        let token = CancelToken::new();
+        token.cancel();
+        let guard = RunGuard::with_token(token);
+        let outcome = Simulator::new(MachineConfig::single_core())
+            .run_guarded(
+                vec![ThreadSpec::on_core(
+                    0,
+                    Box::new(VecProgram::new(load_program(16))),
+                )],
+                &guard,
+            )
+            .unwrap();
+        match outcome {
+            RunOutcome::Partial { reason, .. } => {
+                assert_eq!(reason, StopReason::Cancelled);
+            }
+            RunOutcome::Complete(_) => panic!("cancelled run completed"),
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_partial() {
+        let guard = RunGuard::with_budget(std::time::Duration::ZERO);
+        let outcome = Simulator::new(MachineConfig::single_core())
+            .run_guarded(
+                vec![ThreadSpec::on_core(
+                    0,
+                    Box::new(VecProgram::new(load_program(64))),
+                )],
+                &guard,
+            )
+            .unwrap();
+        match outcome {
+            RunOutcome::Partial { reason, .. } => {
+                assert_eq!(reason, StopReason::BudgetExceeded);
+            }
+            RunOutcome::Complete(_) => panic!("zero-budget run completed"),
+        }
+    }
+
+    #[test]
+    fn armed_sim_run_fault_surfaces_as_typed_error() {
+        use resilience::fault::{self, FaultConfig, FaultKind};
+        let _armed = fault::arm(FaultConfig::new(3).point("sim.run", FaultKind::Error, 1.0));
+        let err = Simulator::new(MachineConfig::single_core())
+            .run(vec![ThreadSpec::on_core(
+                0,
+                Box::new(VecProgram::new(load_program(4))),
+            )])
+            .unwrap_err();
+        assert_eq!(err, SimError::Fault { site: "sim.run" });
     }
 }

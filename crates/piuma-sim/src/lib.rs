@@ -61,3 +61,7 @@ pub use config::MachineConfig;
 pub use engine::{SimError, Simulator, ThreadSpec, TraceEvent};
 pub use program::{Op, OpTag, Program};
 pub use stats::SimResult;
+
+// Re-exported so downstream crates can build guards and arm fault points
+// against the exact resilience version the simulator was compiled with.
+pub use resilience;

@@ -2,14 +2,23 @@
 //!
 //! # Spawn-once contract
 //!
-//! A [`ThreadPool`] spawns its worker threads **exactly once**, at
-//! construction. Every subsequent [`ThreadPool::broadcast`] reuses those
-//! same OS threads; no kernel invocation ever spawns a thread. The global
-//! pool returned by [`global`] is created on first use and lives for the
-//! remainder of the process, so in steady state the only threads in the
-//! system are the caller and the pool's workers. The
-//! `pool_reuses_same_threads` test pins this down by intersecting observed
-//! `ThreadId`s across repeated broadcasts.
+//! A [`ThreadPool`] spawns its worker threads **once**, at construction.
+//! Every subsequent [`ThreadPool::broadcast`] reuses those same OS threads;
+//! no kernel invocation ever spawns a thread. The global pool returned by
+//! [`global`] is created on first use and lives for the remainder of the
+//! process, so in steady state the only threads in the system are the
+//! caller and the pool's workers. The `pool_reuses_same_threads` test pins
+//! this down by intersecting observed `ThreadId`s across repeated
+//! broadcasts.
+//!
+//! The single exception is crash recovery: if a worker thread *dies* (a
+//! panic escaped outside any share — in practice only injected faults, see
+//! [`resilience::fault`]), [`ThreadPool::heal`] reaps it and spawns a
+//! replacement on the same slot. A slot that keeps crashing is quarantined
+//! after [`QUARANTINE_AFTER`] respawns; broadcasts still complete because
+//! the calling thread always participates. [`ThreadPool::health`] reports
+//! live/quarantined/respawned counts plus the process-wide poisoned-lock
+//! recovery total from [`resilience::audit`].
 //!
 //! # Execution model
 //!
@@ -30,8 +39,11 @@
 //!
 //! A panicking share does not kill a worker: the payload is captured,
 //! remaining shares still run, and the first payload is re-raised on the
-//! **calling** thread after the broadcast completes. The pool stays fully
-//! usable afterwards.
+//! **calling** thread after the broadcast completes
+//! ([`ThreadPool::broadcast_caught`] returns it as a typed
+//! [`BroadcastError`] instead). The pool stays fully usable afterwards.
+//! Locks poisoned by panicking shares are recovered — and the recovery
+//! counted — through [`resilience::audit`].
 //!
 //! # Safety
 //!
@@ -48,9 +60,12 @@
 // and `&mut buf[offset..offset + len]`, both taken immediately after the
 // buffer is grown to at least `offset + len` entries.
 
+pub use resilience;
+
+use resilience::audit;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, ThreadId};
 
@@ -130,15 +145,21 @@ impl JobCore {
             // reaches `shares`, and `broadcast` keeps the closure alive
             // until that point (see module docs).
             let task = unsafe { &*self.task.0 };
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(share))) {
-                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                // lint:allow(L008): inside catch_unwind — an injected panic
+                // is captured like any share panic; disabled cost is one
+                // relaxed load.
+                resilience::fault_point!("pool.share");
+                task(share)
+            })) {
+                let mut slot = audit::recover("pool.job_panic", &self.panic);
                 slot.get_or_insert(payload);
             }
             // AcqRel: makes the share's writes visible to whoever observes
             // completion, and the caller's Acquire load pairs with it.
             let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
             if done == self.shares {
-                let _g = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+                let _g = audit::recover("pool.done", &self.done_mx);
                 self.done_cv.notify_all();
             }
         }
@@ -146,9 +167,9 @@ impl JobCore {
 
     /// Blocks until every share has finished.
     fn wait_done(&self) {
-        let mut g = self.done_mx.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = audit::recover("pool.done", &self.done_mx);
         while self.finished.load(Ordering::Acquire) < self.shares {
-            g = self.done_cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            g = audit::recover_wait("pool.done", &self.done_cv, g);
         }
     }
 }
@@ -168,7 +189,7 @@ struct Shared {
 
 impl Shared {
     fn lock(&self) -> std::sync::MutexGuard<'_, Slot> {
-        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+        audit::recover("pool.slot", &self.slot)
     }
 }
 
@@ -187,12 +208,16 @@ fn worker_loop(shared: Arc<Shared>) {
                         break Arc::clone(core);
                     }
                 }
-                slot = shared
-                    .job_ready
-                    .wait(slot)
-                    .unwrap_or_else(|e| e.into_inner());
+                slot = audit::recover_wait("pool.slot", &shared.job_ready, slot);
             }
         };
+        // Worker-death injection site: deliberately OUTSIDE any lock and
+        // BEFORE the budget decrement, so a killed worker never holds the
+        // slot mutex and never strands a claimed share — the broadcast
+        // still completes through the caller, and `heal` respawns us.
+        // lint:allow(L008): disabled cost is one relaxed load; placement
+        // argued above.
+        resilience::fault_point!("pool.worker");
         // Respect the broadcast's executor cap: workers beyond the budget
         // sit this job out.
         let admitted = core
@@ -205,12 +230,72 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// Consecutive crashes after which a worker slot is no longer respawned.
+///
+/// Each crash-and-respawn cycle increments the slot's counter; reaching
+/// this bound marks the slot quarantined. The pool keeps working at
+/// reduced width (the caller always participates in broadcasts).
+pub const QUARANTINE_AFTER: u32 = 3;
+
+/// One worker slot: the live handle plus its crash-recovery history.
+struct WorkerSlot {
+    /// `None` while quarantined (or mid-reap).
+    handle: Option<JoinHandle<()>>,
+    id: ThreadId,
+    /// Crashes observed on this slot so far.
+    respawns: u32,
+    quarantined: bool,
+}
+
+fn spawn_worker(index: usize, shared: Arc<Shared>) -> JoinHandle<()> {
+    thread::Builder::new()
+        // lint:allow(L005): worker naming at construction/respawn only.
+        .name(format!("pool-worker-{index}"))
+        .spawn(move || worker_loop(shared))
+        .expect("failed to spawn pool worker")
+}
+
+/// A share of a [`ThreadPool::broadcast_caught`] panicked; the first
+/// captured payload, rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BroadcastError {
+    /// The panic payload as a string (see
+    /// [`resilience::retry::panic_message`]).
+    pub message: String,
+}
+
+impl std::fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "broadcast share panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+/// Liveness snapshot reported by [`ThreadPool::health`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Worker count the pool was constructed with.
+    pub configured_workers: usize,
+    /// Workers currently alive (spawned and not finished).
+    pub live_workers: usize,
+    /// Slots retired after [`QUARANTINE_AFTER`] crashes.
+    pub quarantined_workers: usize,
+    /// Total crash-respawns over the pool's lifetime.
+    pub respawned_total: u64,
+    /// Process-wide poisoned-lock recoveries ([`audit::poison_recoveries`]).
+    pub poison_recoveries: u64,
+}
+
 /// A persistent pool of worker threads (see module docs for the
-/// spawn-once contract and execution model).
+/// spawn-once contract, crash recovery, and execution model).
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    worker_ids: Vec<ThreadId>,
+    workers: Mutex<Vec<WorkerSlot>>,
+    /// Worker count at construction; `width` stays stable across respawns
+    /// and quarantines so kernel strategy resolution is deterministic.
+    configured: usize,
+    respawned: AtomicU64,
     /// Serializes broadcasts: the single job slot holds one job at a time.
     submit: Mutex<()>,
     scratch: ScratchArena,
@@ -231,36 +316,41 @@ impl ThreadPool {
         });
         // lint:allow(L005): pool construction — runs once per process
         // under the spawn-once contract, never on the broadcast path.
-        let mut handles = Vec::with_capacity(workers);
+        let mut slots = Vec::with_capacity(workers);
         for i in 0..workers {
-            let shared = Arc::clone(&shared);
-            let handle = thread::Builder::new()
-                // lint:allow(L005): worker naming at construction only.
-                .name(format!("pool-worker-{i}"))
-                .spawn(move || worker_loop(shared))
-                .expect("failed to spawn pool worker");
-            handles.push(handle);
+            let handle = spawn_worker(i, Arc::clone(&shared));
+            slots.push(WorkerSlot {
+                id: handle.thread().id(),
+                handle: Some(handle),
+                respawns: 0,
+                quarantined: false,
+            });
         }
-        // lint:allow(L005): pool construction, once per process.
-        let worker_ids = handles.iter().map(|h| h.thread().id()).collect();
         ThreadPool {
             shared,
-            workers: handles,
-            worker_ids,
+            workers: Mutex::new(slots),
+            configured: workers,
+            respawned: AtomicU64::new(0),
             submit: Mutex::new(()),
             scratch: ScratchArena::new(),
         }
     }
 
-    /// Maximum parallelism of a broadcast: workers plus the caller.
+    /// Maximum parallelism of a broadcast: configured workers plus the
+    /// caller. Stable across crash recovery.
     pub fn width(&self) -> usize {
-        self.workers.len() + 1
+        self.configured + 1
     }
 
-    /// `ThreadId`s of the persistent workers, in spawn order. Stable for
-    /// the pool's lifetime — the basis of the spawn-once test.
-    pub fn worker_ids(&self) -> &[ThreadId] {
-        &self.worker_ids
+    /// `ThreadId`s of the current workers, in slot order. Stable for the
+    /// pool's lifetime except across crash respawns — the basis of the
+    /// spawn-once test.
+    pub fn worker_ids(&self) -> Vec<ThreadId> {
+        audit::recover("pool.workers", &self.workers)
+            .iter()
+            .map(|w| w.id)
+            // lint:allow(L005): diagnostic accessor, not on the broadcast path.
+            .collect()
     }
 
     /// Reusable zeroed scratch storage owned by the pool.
@@ -268,35 +358,86 @@ impl ThreadPool {
         &self.scratch
     }
 
-    /// Runs `task(share)` for every `share` in `0..shares` across at most
-    /// `executors` threads (the caller plus up to `executors - 1` workers),
-    /// blocking until all shares finish.
+    /// Reap worker threads that died (a panic escaped the share-level
+    /// `catch_unwind`) and respawn them on the same slot, quarantining
+    /// slots that crashed [`QUARANTINE_AFTER`] times. Returns how many
+    /// workers were respawned by this call.
     ///
-    /// Shares are claimed dynamically, so callers should size them at the
-    /// granularity they would hand to [`DynamicCounter`] — e.g. one share
-    /// per vertex chunk or feature tile.
-    ///
-    /// # Panics
-    ///
-    /// If any share panics, the first captured payload is re-raised here
-    /// after all shares have completed. The pool remains usable.
-    pub fn broadcast<F: Fn(usize) + Sync>(&self, executors: usize, shares: usize, task: F) {
+    /// Runs automatically at the start of every published broadcast; the
+    /// per-call cost when nothing died is one `is_finished` check (an
+    /// atomic load) per slot.
+    pub fn heal(&self) -> usize {
+        let mut workers = audit::recover("pool.workers", &self.workers);
+        let mut respawned = 0;
+        for (index, slot) in workers.iter_mut().enumerate() {
+            if slot.quarantined || !slot.handle.as_ref().is_some_and(JoinHandle::is_finished) {
+                continue;
+            }
+            let Some(handle) = slot.handle.take() else {
+                continue;
+            };
+            if handle.join().is_ok() {
+                // Clean exit: only happens at shutdown; leave the slot.
+                continue;
+            }
+            slot.respawns += 1;
+            self.respawned.fetch_add(1, Ordering::Relaxed);
+            if slot.respawns >= QUARANTINE_AFTER {
+                slot.quarantined = true;
+                continue;
+            }
+            // Crash-recovery path: runs only after a worker death, never
+            // on a healthy broadcast.
+            let handle = spawn_worker(index, Arc::clone(&self.shared));
+            slot.id = handle.thread().id();
+            slot.handle = Some(handle);
+            respawned += 1;
+        }
+        respawned
+    }
+
+    /// Liveness and crash-recovery counters for this pool.
+    pub fn health(&self) -> PoolHealth {
+        let workers = audit::recover("pool.workers", &self.workers);
+        PoolHealth {
+            configured_workers: self.configured,
+            live_workers: workers
+                .iter()
+                .filter(|w| w.handle.as_ref().is_some_and(|h| !h.is_finished()))
+                .count(),
+            quarantined_workers: workers.iter().filter(|w| w.quarantined).count(),
+            respawned_total: self.respawned.load(Ordering::Relaxed),
+            poison_recoveries: audit::poison_recoveries(),
+        }
+    }
+
+    /// Shared implementation of [`broadcast`](Self::broadcast) /
+    /// [`broadcast_caught`](Self::broadcast_caught): runs all shares,
+    /// returns the first captured panic payload instead of re-raising.
+    fn broadcast_impl<F: Fn(usize) + Sync>(
+        &self,
+        executors: usize,
+        shares: usize,
+        task: F,
+    ) -> Option<Box<dyn Any + Send + 'static>> {
         if shares == 0 {
-            return;
+            return None;
         }
         let executors = executors.clamp(1, self.width());
-        if executors == 1 || shares == 1 || self.workers.is_empty() {
+        if executors == 1 || shares == 1 || self.configured == 0 {
             // Inline fast path: no publication, no synchronization.
             let mut first_panic = None;
             for share in 0..shares {
-                if let Err(p) = catch_unwind(AssertUnwindSafe(|| task(share))) {
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                    // lint:allow(L008): inside catch_unwind, mirrors the
+                    // published path's share-level injection site.
+                    resilience::fault_point!("pool.share");
+                    task(share)
+                })) {
                     first_panic.get_or_insert(p);
                 }
             }
-            if let Some(p) = first_panic {
-                resume_unwind(p);
-            }
-            return;
+            return first_panic;
         }
 
         let erased: &(dyn Fn(usize) + Sync) = &task;
@@ -317,7 +458,8 @@ impl ThreadPool {
             done_cv: Condvar::new(),
         });
 
-        let _submit = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        let _submit = audit::recover("pool.submit", &self.submit);
+        self.heal();
         {
             let mut slot = self.shared.lock();
             slot.generation += 1;
@@ -334,12 +476,45 @@ impl ThreadPool {
         }
 
         let payload = {
-            let mut slot = core.panic.lock().unwrap_or_else(|e| e.into_inner());
+            let mut slot = audit::recover("pool.job_panic", &core.panic);
             slot.take()
         };
         drop(_submit);
-        if let Some(p) = payload {
+        payload
+    }
+
+    /// Runs `task(share)` for every `share` in `0..shares` across at most
+    /// `executors` threads (the caller plus up to `executors - 1` workers),
+    /// blocking until all shares finish.
+    ///
+    /// Shares are claimed dynamically, so callers should size them at the
+    /// granularity they would hand to [`DynamicCounter`] — e.g. one share
+    /// per vertex chunk or feature tile.
+    ///
+    /// # Panics
+    ///
+    /// If any share panics, the first captured payload is re-raised here
+    /// after all shares have completed. The pool remains usable.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, executors: usize, shares: usize, task: F) {
+        if let Some(p) = self.broadcast_impl(executors, shares, task) {
             resume_unwind(p);
+        }
+    }
+
+    /// Like [`broadcast`](Self::broadcast), but a panicking share yields a
+    /// typed [`BroadcastError`] instead of re-raising the payload — the
+    /// entry point for callers that retry or degrade rather than unwind.
+    pub fn broadcast_caught<F: Fn(usize) + Sync>(
+        &self,
+        executors: usize,
+        shares: usize,
+        task: F,
+    ) -> Result<(), BroadcastError> {
+        match self.broadcast_impl(executors, shares, task) {
+            None => Ok(()),
+            Some(p) => Err(BroadcastError {
+                message: resilience::retry::panic_message(p.as_ref()),
+            }),
         }
     }
 }
@@ -351,8 +526,11 @@ impl Drop for ThreadPool {
             slot.shutdown = true;
             self.shared.job_ready.notify_all();
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        let workers = self.workers.get_mut().unwrap_or_else(|e| e.into_inner());
+        for slot in workers.iter_mut() {
+            if let Some(handle) = slot.handle.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -401,7 +579,7 @@ impl ScratchArena {
     /// cached buffer when possible.
     pub fn with_zeroed_u32<R>(&self, len: usize, f: impl FnOnce(&[AtomicU32]) -> R) -> R {
         let mut buf = {
-            let mut cached = self.u32_buf.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cached = audit::recover("pool.scratch_u32", &self.u32_buf);
             std::mem::take(&mut *cached)
         };
         for a in buf.iter_mut() {
@@ -414,7 +592,7 @@ impl ScratchArena {
             }
         }
         let result = f(&buf[..len]);
-        let mut cached = self.u32_buf.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cached = audit::recover("pool.scratch_u32", &self.u32_buf);
         if cached.len() < buf.len() {
             *cached = buf;
         }
@@ -430,7 +608,7 @@ impl ScratchArena {
     /// fresh allocation rather than blocking.
     pub fn with_f32<R>(&self, len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
         let mut buf = {
-            let mut cached = self.f32_buf.lock().unwrap_or_else(|e| e.into_inner());
+            let mut cached = audit::recover("pool.scratch_f32", &self.f32_buf);
             std::mem::take(&mut *cached)
         };
         // Over-allocate by one alignment quantum so an aligned window of
@@ -446,7 +624,7 @@ impl ScratchArena {
         // distance to the next 64-byte boundary is an exact element count.
         let offset = ((SCRATCH_ALIGN - misalign) % SCRATCH_ALIGN) / size_of::<f32>();
         let result = f(&mut buf[offset..offset + len]);
-        let mut cached = self.f32_buf.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cached = audit::recover("pool.scratch_f32", &self.f32_buf);
         if cached.len() < buf.len() {
             *cached = buf;
         }
@@ -455,20 +633,22 @@ impl ScratchArena {
 
     /// Capacity (in `u32` slots) currently cached by the arena.
     pub fn cached_len(&self) -> usize {
-        self.u32_buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+        audit::recover("pool.scratch_u32", &self.u32_buf).len()
     }
 
     /// Capacity (in `f32` slots) currently cached by the arena.
     pub fn cached_f32_len(&self) -> usize {
-        self.f32_buf.lock().unwrap_or_else(|e| e.into_inner()).len()
+        audit::recover("pool.scratch_f32", &self.f32_buf).len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use resilience::fault::{self, FaultConfig, FaultKind};
     use std::collections::HashSet;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     #[test]
     fn dynamic_counter_covers_range_exactly_once() {
@@ -500,7 +680,7 @@ mod tests {
         pool.broadcast(2, 64, |_| {
             let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
-            thread::sleep(std::time::Duration::from_millis(1));
+            thread::sleep(Duration::from_millis(1));
             concurrent.fetch_sub(1, Ordering::SeqCst);
         });
         assert!(peak.load(Ordering::SeqCst) <= 2);
@@ -512,7 +692,7 @@ mod tests {
         let observe = || {
             let ids = Mutex::new(HashSet::new());
             pool.broadcast(pool.width(), 256, |_| {
-                thread::sleep(std::time::Duration::from_micros(50));
+                thread::sleep(Duration::from_micros(50));
                 ids.lock().unwrap().insert(thread::current().id());
             });
             ids.into_inner().unwrap()
@@ -546,6 +726,89 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn broadcast_caught_returns_typed_error() {
+        let pool = ThreadPool::new(2);
+        let err = pool
+            .broadcast_caught(3, 16, |i| {
+                if i == 3 {
+                    panic!("typed failure {i}");
+                }
+            })
+            .unwrap_err();
+        assert!(err.message.contains("typed failure 3"), "{err}");
+        // And a clean broadcast afterwards succeeds.
+        pool.broadcast_caught(3, 16, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn dead_workers_are_respawned_on_the_same_slots() {
+        let pool = ThreadPool::new(3);
+        let before: HashSet<ThreadId> = pool.worker_ids().into_iter().collect();
+        {
+            let _quiet = resilience::retry::quiet_panics();
+            let _armed =
+                fault::arm(FaultConfig::new(9).point("pool.worker", FaultKind::Panic, 1.0));
+            // Workers die at the injection site; the caller still completes
+            // every share. Shares are slowed down so the workers actually
+            // wake up and reach the injection site before the caller
+            // drains the whole job.
+            let hits = AtomicUsize::new(0);
+            pool.broadcast(pool.width(), 64, |_| {
+                thread::sleep(Duration::from_millis(1));
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64);
+        }
+        // Wait for the kills to land, then heal and verify replacements.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut respawned = 0;
+        while respawned == 0 && std::time::Instant::now() < deadline {
+            respawned = pool.heal();
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert!(respawned > 0, "no worker was respawned");
+        let health = pool.health();
+        assert_eq!(health.configured_workers, 3);
+        assert!(health.respawned_total >= respawned as u64);
+        let after: HashSet<ThreadId> = pool.worker_ids().into_iter().collect();
+        assert_ne!(before, after, "respawned workers must be new threads");
+        // The healed pool serves broadcasts on its new workers.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(pool.width(), 128, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn crashing_slots_are_quarantined_after_bound() {
+        let pool = ThreadPool::new(1);
+        let _quiet = resilience::retry::quiet_panics();
+        let _armed = fault::arm(FaultConfig::new(3).point("pool.worker", FaultKind::Panic, 1.0));
+        // Every published broadcast kills the (re)spawned worker; heal on
+        // the next broadcast reaps it. After QUARANTINE_AFTER crashes the
+        // slot must stop being respawned.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.health().quarantined_workers == 0 && std::time::Instant::now() < deadline {
+            pool.broadcast(pool.width(), 8, |_| {});
+            thread::sleep(Duration::from_millis(2));
+            pool.heal();
+        }
+        let health = pool.health();
+        assert_eq!(
+            health.quarantined_workers, 1,
+            "slot not quarantined: {health:?}"
+        );
+        assert_eq!(health.respawned_total, u64::from(QUARANTINE_AFTER));
+        // Still fully functional through the caller.
+        let hits = AtomicUsize::new(0);
+        pool.broadcast(pool.width(), 32, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Bounded retry with backoff, converting escaped panics into values.
+//!
+//! The retry loop wraps each attempt in `catch_unwind`, so a panicking
+//! kernel (injected or real) becomes a recoverable [`Failure::Panic`]
+//! rather than taking the process down. This is only sound for attempts
+//! that are *idempotent re-runs from scratch*: every `*_into` kernel in
+//! this workspace fully overwrites its output buffer, so a half-written
+//! buffer from a crashed attempt is erased by the next one.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// How many attempts to make and how long to pause between them.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts, including the first (`0` is treated as `1`).
+    pub attempts: u32,
+    /// Pause before the first re-attempt.
+    pub backoff: Duration,
+    /// Multiplier applied to the pause after each failed attempt.
+    pub multiplier: u32,
+    /// Upper bound on the pause between attempts.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 1 ms → 2 ms → 4 ms backoff.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(1),
+            multiplier: 2,
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` tries and no pause between them.
+    pub fn immediate(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            backoff: Duration::ZERO,
+            multiplier: 1,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// One failed attempt: a typed error or a caught panic.
+#[derive(Debug)]
+pub enum Failure<E> {
+    /// The attempt returned `Err`.
+    Error(E),
+    /// The attempt panicked; the payload rendered as text.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for Failure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::Error(e) => write!(f, "error: {e}"),
+            Failure::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// All attempts failed.
+#[derive(Debug)]
+pub struct RetryError<E> {
+    /// How many attempts were made.
+    pub attempts: u32,
+    /// The failure from the final attempt.
+    pub last: Failure<E>,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {} attempts failed; last: {}",
+            self.attempts, self.last
+        )
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for RetryError<E> {}
+
+/// A successful value plus how much recovery it took to get it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery<T> {
+    /// The successful result.
+    pub value: T,
+    /// Attempts made, including the successful one (`1` = first try).
+    pub attempts: u32,
+    /// Panics caught and retried on the way.
+    pub recovered_panics: u32,
+    /// Typed errors retried on the way.
+    pub recovered_errors: u32,
+}
+
+/// Render a caught panic payload as text (`&str` and `String` payloads
+/// pass through; anything else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` until it succeeds or the policy is exhausted, catching panics.
+///
+/// `f` must be an idempotent re-run from scratch (see module docs) — that
+/// is why wrapping it in `AssertUnwindSafe` is sound: no attempt observes
+/// state a previous crashed attempt left behind.
+pub fn run<T, E, F>(policy: &RetryPolicy, mut f: F) -> Result<Recovery<T>, RetryError<E>>
+where
+    F: FnMut() -> Result<T, E>,
+{
+    let attempts = policy.attempts.max(1);
+    let mut pause = policy.backoff;
+    let mut recovered_panics = 0;
+    let mut recovered_errors = 0;
+    let mut made = 0;
+    loop {
+        made += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(&mut f));
+        let failure = match outcome {
+            Ok(Ok(value)) => {
+                return Ok(Recovery {
+                    value,
+                    attempts: made,
+                    recovered_panics,
+                    recovered_errors,
+                })
+            }
+            Ok(Err(e)) => Failure::Error(e),
+            Err(payload) => Failure::Panic(panic_message(payload.as_ref())),
+        };
+        if made >= attempts {
+            return Err(RetryError {
+                attempts: made,
+                last: failure,
+            });
+        }
+        match failure {
+            Failure::Error(_) => recovered_errors += 1,
+            Failure::Panic(_) => recovered_panics += 1,
+        }
+        if !pause.is_zero() {
+            std::thread::sleep(pause.min(policy.max_backoff));
+            pause = pause.saturating_mul(policy.multiplier.max(1));
+        }
+    }
+}
+
+/// Replace the global panic hook with a silent one for the guard's
+/// lifetime; restores the previous hook on drop.
+///
+/// Chaos tests inject hundreds of panics that are all caught and retried;
+/// without this the default hook floods stderr with expected backtraces.
+/// The hook is process-global, so hold this only inside regions already
+/// serialized by [`fault::arm`](crate::fault::arm).
+pub fn quiet_panics() -> QuietPanicGuard {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    QuietPanicGuard { prev: Some(prev) }
+}
+
+/// The boxed process-global panic hook, as stored by `std::panic`.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+/// Guard returned by [`quiet_panics`].
+pub struct QuietPanicGuard {
+    prev: Option<PanicHook>,
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_try_success_is_one_attempt() {
+        let r: Recovery<u32> = run(&RetryPolicy::default(), || Ok::<_, String>(5)).unwrap();
+        assert_eq!(r.value, 5);
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.recovered_panics + r.recovered_errors, 0);
+    }
+
+    #[test]
+    fn recovers_from_panics_and_errors() {
+        let _quiet = quiet_panics();
+        let mut n = 0;
+        let r = run(&RetryPolicy::immediate(4), || {
+            n += 1;
+            match n {
+                1 => panic!("injected"),
+                2 => Err("typed".to_string()),
+                _ => Ok(n),
+            }
+        })
+        .unwrap();
+        assert_eq!(r.value, 3);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(r.recovered_panics, 1);
+        assert_eq!(r.recovered_errors, 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_last_failure() {
+        let _quiet = quiet_panics();
+        let err = run::<u32, _, _>(&RetryPolicy::immediate(2), || {
+            Err::<u32, _>("always".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 2);
+        assert!(matches!(err.last, Failure::Error(ref e) if e == "always"));
+        assert!(err.to_string().contains("2 attempts"));
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let _quiet = quiet_panics();
+        let p = catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "literal");
+        let p = catch_unwind(|| panic!("{}", String::from("formatted"))).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted");
+    }
+}

@@ -1,0 +1,70 @@
+//! Disarmed fault points must be free: no allocations, no locks.
+//!
+//! The same counting-allocator pattern as `gcn/tests/workspace_alloc.rs`
+//! pins the "guaranteed no-op when disabled" contract of `fault_point!` /
+//! `fault_point_err!`: a million disarmed visits allocate zero bytes.
+//! (`FAULT_SEED` must not be set when running this test binary; the first
+//! assertion checks that.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: a transparent wrapper over `System`; every method forwards the
+// caller's layout/pointer untouched, so `System`'s contract is preserved.
+unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same layout contract as `System::alloc`, forwarded verbatim.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same pointer/layout contract as `System::dealloc`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `alloc` above with this `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: same contract as `System::realloc`, forwarded verbatim.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn guarded_step(x: u64) -> Result<u64, String> {
+    resilience::fault_point!("zero_cost.step");
+    resilience::fault_point_err!("zero_cost.step.err", "injected".to_string());
+    Ok(x.wrapping_mul(0x9e37_79b9).rotate_left(13))
+}
+
+#[test]
+fn disarmed_fault_points_allocate_nothing() {
+    assert!(
+        std::env::var("FAULT_SEED").is_err(),
+        "this test measures the DISARMED path; unset FAULT_SEED"
+    );
+
+    // Warm-up: the very first `armed()` call runs the one-time env probe,
+    // which may allocate (env::var returns a String). Pay it here.
+    let mut acc = 0u64;
+    acc = acc.wrapping_add(guarded_step(acc).unwrap());
+
+    ALLOCATED_BYTES.store(0, Ordering::Relaxed);
+    for _ in 0..1_000_000 {
+        acc = acc.wrapping_add(guarded_step(acc).unwrap());
+    }
+    let bytes = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    assert_eq!(
+        bytes, 0,
+        "1M disarmed fault-point visits allocated {bytes} bytes (acc={acc})"
+    );
+}

@@ -37,6 +37,61 @@ pub struct Csr {
     values: Vec<f32>,
 }
 
+/// Shared structural-invariant check behind [`Csr::from_raw`] and
+/// [`Csr::validate`].
+fn check_invariants(
+    nrows: usize,
+    ncols: usize,
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f32],
+) -> Result<()> {
+    let invalid = |reason: String| Err(SparseError::InvalidCsr { reason });
+    if row_ptr.len() != nrows + 1 {
+        return invalid(format!(
+            "row_ptr length {} != nrows + 1 = {}",
+            row_ptr.len(),
+            nrows + 1
+        ));
+    }
+    if row_ptr.first() != Some(&0) {
+        return invalid("row_ptr must start at 0".to_string());
+    }
+    if *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
+        return invalid(format!(
+            "row_ptr must end at nnz = {}, ends at {}",
+            col_idx.len(),
+            row_ptr.last().expect("non-empty row_ptr")
+        ));
+    }
+    if col_idx.len() != values.len() {
+        return invalid(format!(
+            "col_idx length {} != values length {}",
+            col_idx.len(),
+            values.len()
+        ));
+    }
+    for w in row_ptr.windows(2) {
+        if w[0] > w[1] {
+            return invalid("row_ptr must be non-decreasing".to_string());
+        }
+    }
+    for r in 0..nrows {
+        let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+        for pair in row.windows(2) {
+            if pair[0] >= pair[1] {
+                return invalid(format!("columns in row {r} not strictly increasing"));
+            }
+        }
+        if let Some(&last) = row.last() {
+            if last as usize >= ncols {
+                return invalid(format!("column {last} out of range in row {r}"));
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Csr {
     /// Creates an empty (all-zero) CSR matrix of the given shape.
     ///
@@ -139,49 +194,7 @@ impl Csr {
         col_idx: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self> {
-        let invalid = |reason: String| Err(SparseError::InvalidCsr { reason });
-        if row_ptr.len() != nrows + 1 {
-            return invalid(format!(
-                "row_ptr length {} != nrows + 1 = {}",
-                row_ptr.len(),
-                nrows + 1
-            ));
-        }
-        if row_ptr.first() != Some(&0) {
-            return invalid("row_ptr must start at 0".to_string());
-        }
-        if *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
-            return invalid(format!(
-                "row_ptr must end at nnz = {}, ends at {}",
-                col_idx.len(),
-                row_ptr.last().expect("non-empty row_ptr")
-            ));
-        }
-        if col_idx.len() != values.len() {
-            return invalid(format!(
-                "col_idx length {} != values length {}",
-                col_idx.len(),
-                values.len()
-            ));
-        }
-        for w in row_ptr.windows(2) {
-            if w[0] > w[1] {
-                return invalid("row_ptr must be non-decreasing".to_string());
-            }
-        }
-        for r in 0..nrows {
-            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-            for pair in row.windows(2) {
-                if pair[0] >= pair[1] {
-                    return invalid(format!("columns in row {r} not strictly increasing"));
-                }
-            }
-            if let Some(&last) = row.last() {
-                if last as usize >= ncols {
-                    return invalid(format!("column {last} out of range in row {r}"));
-                }
-            }
-        }
+        check_invariants(nrows, ncols, &row_ptr, &col_idx, &values)?;
         Ok(Csr {
             nrows,
             ncols,
@@ -189,6 +202,31 @@ impl Csr {
             col_idx,
             values,
         })
+    }
+
+    /// Re-checks every structural invariant of this matrix, plus a sweep
+    /// for non-finite stored values. Construction through the safe entry
+    /// points keeps the structure valid, so this is a boundary check for
+    /// matrices arriving from deserialization or untrusted loaders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidCsr`] naming the violated invariant
+    /// (the same conditions as [`Csr::from_raw`], or a NaN/Inf value).
+    pub fn validate(&self) -> Result<()> {
+        check_invariants(
+            self.nrows,
+            self.ncols,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+        )?;
+        if let Some(i) = self.values.iter().position(|v| !v.is_finite()) {
+            return Err(SparseError::InvalidCsr {
+                reason: format!("non-finite value at non-zero index {i}"),
+            });
+        }
+        Ok(())
     }
 
     /// Number of rows.
@@ -334,23 +372,6 @@ impl Csr {
             deg[c as usize] += 1;
         }
         deg
-    }
-
-    /// Checks all structural invariants; used by property tests.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SparseError::InvalidCsr`] describing the first violated
-    /// invariant, if any.
-    pub fn validate(&self) -> Result<()> {
-        Csr::from_raw(
-            self.nrows,
-            self.ncols,
-            self.row_ptr.clone(),
-            self.col_idx.clone(),
-            self.values.clone(),
-        )
-        .map(|_| ())
     }
 
     /// Total bytes of the three CSR arrays as laid out by this

@@ -1,0 +1,86 @@
+//! Property tests: CSR construction is panic-free on untrusted input.
+//!
+//! `Coo::try_push` + `Csr::from_coo` must accept any in-bounds triplet
+//! stream and produce a structurally valid matrix; `Csr::from_raw` must
+//! reject any malformed raw arrays with a typed [`SparseError`] instead of
+//! panicking or constructing a matrix that later indexes out of bounds.
+
+use proptest::prelude::*;
+use sparse::{Coo, Csr, SparseError};
+
+proptest! {
+    /// Arbitrary triplets through the checked push: out-of-bounds pushes
+    /// are typed errors, and whatever survives builds a valid CSR whose
+    /// nnz never exceeds the accepted count (duplicates merge).
+    #[test]
+    fn coo_to_csr_always_validates(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        triplets in proptest::collection::vec((0usize..24, 0usize..24, -4f32..4f32), 0..64),
+    ) {
+        let mut coo = Coo::new(rows, cols);
+        let mut accepted = 0usize;
+        for &(r, c, v) in &triplets {
+            match coo.try_push(r, c, v) {
+                Ok(()) => accepted += 1,
+                Err(SparseError::IndexOutOfBounds { row, col, shape }) => {
+                    prop_assert_eq!((row, col), (r, c));
+                    prop_assert_eq!(shape, (rows, cols));
+                    prop_assert!(r >= rows || c >= cols);
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {other}"),
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        prop_assert!(csr.validate().is_ok());
+        prop_assert!(csr.nnz() <= accepted);
+        prop_assert_eq!(csr.shape(), (rows, cols));
+    }
+
+    /// Raw-array construction on arbitrary (mostly invalid) inputs: never
+    /// a panic, and anything accepted passes the full invariant check.
+    #[test]
+    fn from_raw_rejects_or_validates(
+        nrows in 0usize..8,
+        ncols in 0usize..8,
+        row_ptr in proptest::collection::vec(0usize..12, 0..10),
+        col_idx in proptest::collection::vec(0u32..12, 0..12),
+        values in proptest::collection::vec(-4f32..4f32, 0..12),
+    ) {
+        match Csr::from_raw(nrows, ncols, row_ptr, col_idx, values) {
+            Ok(csr) => prop_assert!(csr.validate().is_ok()),
+            Err(SparseError::InvalidCsr { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// Monotone-but-wrong row pointers (non-zero start, short tail) and
+    /// out-of-range columns are all caught by the invariant check.
+    #[test]
+    fn validate_catches_seeded_corruption(
+        rows in 2usize..10,
+        cols in 2usize..10,
+        nnz_per_row in 1usize..4,
+    ) {
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            for j in 0..nnz_per_row {
+                coo.push(r, (r + j) % cols, 1.0);
+            }
+        }
+        let csr = Csr::from_coo(&coo);
+        prop_assert!(csr.validate().is_ok());
+        // Corrupt a copy through the raw constructor: shift every pointer
+        // up by one so the array no longer starts at zero.
+        let bad_ptr: Vec<usize> = csr.row_ptr().iter().map(|p| p + 1).collect();
+        let res = Csr::from_raw(
+            rows,
+            cols,
+            bad_ptr,
+            csr.col_idx().to_vec(),
+            csr.values().to_vec(),
+        );
+        let rejected = matches!(res, Err(SparseError::InvalidCsr { .. }));
+        prop_assert!(rejected, "shifted row_ptr was accepted");
+    }
+}

@@ -1,0 +1,10 @@
+// L008 failing fixture (linted under a hot-path pseudo-path): a
+// fault-injection site with no waiver arguing its disabled cost.
+
+/// Accumulates `xs` into `acc`.
+pub fn accumulate(xs: &[f32], acc: &mut f32) {
+    resilience::fault_point!("fixture.accumulate");
+    for x in xs {
+        *acc += x;
+    }
+}

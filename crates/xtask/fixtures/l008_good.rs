@@ -1,0 +1,11 @@
+// L008 passing fixture: the fault-injection site carries a waiver
+// stating why its disarmed cost is acceptable on this path.
+
+/// Accumulates `xs` into `acc`.
+pub fn accumulate(xs: &[f32], acc: &mut f32) {
+    // lint:allow(L008): one relaxed load before the loop, not per element
+    resilience::fault_point!("fixture.accumulate");
+    for x in xs {
+        *acc += x;
+    }
+}

@@ -1,4 +1,4 @@
-//! The repo-specific lint suite (L001–L007) and the waiver machinery.
+//! The repo-specific lint suite (L001–L008) and the waiver machinery.
 //!
 //! Each lint is grounded in an invariant earlier PRs established by
 //! convention; see `DESIGN.md` ("Static analysis") for the full catalog.
@@ -55,6 +55,10 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         id: "L007",
         summary: "every plain-`pub` item in the core library crates carries a doc comment",
+    },
+    LintInfo {
+        id: "L008",
+        summary: "`fault_point!`/`fault_point_err!` sites in hot-path modules require a waiver arguing their disabled cost",
     },
 ];
 
@@ -129,6 +133,7 @@ pub fn lint_file(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
     run("L005", &l005_zero_alloc);
     run("L006", &l006_relaxed_ordering);
     run("L007", &l007_pub_docs);
+    run("L008", &l008_fault_points);
 
     apply_waivers(path, sf, raw)
 }
@@ -629,6 +634,26 @@ fn has_doc_above(sf: &SourceFile, line: usize) -> bool {
     false
 }
 
+// --- L008 ------------------------------------------------------------------
+
+fn l008_fault_points(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
+    if !Config::path_in(path, &cfg.hot_paths) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for l in code_match_lines(sf, "fault_point", false) {
+        out.push(Diagnostic::new(
+            "L008",
+            path,
+            l,
+            "fault-injection site in a hot-path module — waive with the disabled-cost \
+             argument (why one relaxed load per visit is acceptable here)"
+                .into(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +788,21 @@ mod tests {
         assert!(lint_with("crates/k/src/a.rs", bad, &cfg)
             .iter()
             .any(|d| d.lint == "L001"));
+    }
+
+    #[test]
+    fn l008_flags_unwaived_fault_points_in_hot_modules_only() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        let src = "fn f() { resilience::fault_point!(\"k.site\"); }\n";
+        assert!(lint_with("crates/k/src/hot.rs", src, &cfg)
+            .iter()
+            .any(|d| d.lint == "L008"));
+        // A waiver with a disabled-cost argument silences it.
+        let waived = "// lint:allow(L008): one relaxed load per call, off the inner loop\n\
+                      fn f() { resilience::fault_point!(\"k.site\"); }\n";
+        assert!(lint_with("crates/k/src/hot.rs", waived, &cfg).is_empty());
+        // Outside the hot list the lint does not apply at all.
+        assert!(lint_with("crates/k/src/cold.rs", src, &cfg).is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ const CASES: &[(&str, &str, &str, &str)] = &[
     ("L005", "l005_bad.rs", "l005_good.rs", HOT),
     ("L006", "l006_bad.rs", "l006_good.rs", KERNEL_SRC),
     ("L007", "l007_bad.rs", "l007_good.rs", KERNEL_SRC),
+    ("L008", "l008_bad.rs", "l008_good.rs", HOT),
 ];
 
 fn workspace_root() -> PathBuf {

@@ -1,0 +1,253 @@
+//! End-to-end chaos suite: seeded fault injection through the whole stack.
+//!
+//! Every test arms the process-wide fault registry (`resilience::fault`)
+//! with a deterministic seed and drives real work — GCN inference, parallel
+//! SpMM through the thread pool, graph loading, the PIUMA simulator — while
+//! panics, typed errors, and latency are injected at the named sites the
+//! production code carries. The contract under test:
+//!
+//! * no panic escapes a resilient entry point (worker isolation + retry);
+//! * retry-recovered results are **bitwise identical** to a fault-free run
+//!   of the same code path (kernels fully overwrite their outputs);
+//! * everything completes within a generous wall-clock budget (no retry
+//!   loop or poisoned lock can deadlock the suite).
+//!
+//! Seeds come from `FAULT_SEED` / `FAULT_RATE` when set (the CI chaos
+//! matrix) and default to eight fixed seeds at the paper-quoted p = 0.01
+//! otherwise. References are computed under an armed-but-silent config
+//! (rate 0) so no concurrently running test can inject into them: armed
+//! regions are serialized process-wide.
+
+use piuma_gcn::prelude::*;
+use resilience::fault::{self, FaultConfig, FaultKind};
+use resilience::guard::{RunGuard, RunOutcome};
+use resilience::retry::{self, RetryPolicy};
+use std::time::{Duration, Instant};
+
+/// Seeds to sweep: the env seed alone when the CI matrix pins one,
+/// otherwise eight fixed defaults.
+fn seeds() -> Vec<u64> {
+    match std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![1, 7, 13, 42, 97, 128, 255, 1234],
+    }
+}
+
+/// Per-visit firing probability (env override, default p = 0.01).
+fn rate() -> f64 {
+    std::env::var("FAULT_RATE")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0.01)
+}
+
+/// Wall-clock ceiling for any single chaos scenario; hitting it means a
+/// retry loop or lock recovery path livelocked.
+const BUDGET: Duration = Duration::from_secs(60);
+
+fn test_model() -> (Csr, GcnModel, DenseMatrix) {
+    let g = Graph::rmat(&RmatConfig::power_law(8, 8), 2024);
+    let a_hat = g.normalized_adjacency().unwrap();
+    let model = GcnModel::new(&GcnConfig::paper_model(16, 32, 4), 7);
+    let x = g.random_features(16, 5);
+    (a_hat, model, x)
+}
+
+/// Fault-free reference through the *same* resilient code path, computed
+/// under an armed-but-never-firing config so it holds the arm lock.
+fn quiet_reference(
+    a_hat: &Csr,
+    model: &GcnModel,
+    x: &DenseMatrix,
+    strategy: SpmmStrategy,
+) -> DenseMatrix {
+    let _quiet = fault::arm(FaultConfig::new(0));
+    let guard = RunGuard::unbounded();
+    let mut ws = InferenceWorkspace::new();
+    let run = model
+        .infer_resilient_with(a_hat, x, strategy, &RetryPolicy::default(), &guard, &mut ws)
+        .unwrap();
+    assert!(run.is_complete());
+    ws.output().clone()
+}
+
+#[test]
+fn inference_under_error_injection_is_bitwise_correct_across_seeds() {
+    let (a_hat, model, x) = test_model();
+    let strategy = SpmmStrategy::Sequential;
+    let reference = quiet_reference(&a_hat, &model, &x, strategy);
+    let p = rate();
+
+    for seed in seeds() {
+        let started = Instant::now();
+        let _armed = fault::arm(
+            FaultConfig::new(seed)
+                .point("gcn.layer", FaultKind::Error, p)
+                .point("kernels.exec", FaultKind::Error, p),
+        );
+        let guard = RunGuard::with_budget(BUDGET);
+        let mut ws = InferenceWorkspace::new();
+        let run = model
+            .infer_resilient_with(
+                &a_hat,
+                &x,
+                strategy,
+                &RetryPolicy::default(),
+                &guard,
+                &mut ws,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: inference failed: {e}"));
+        assert!(run.is_complete(), "seed {seed}: {run:?}");
+        assert_eq!(
+            ws.output().as_slice(),
+            reference.as_slice(),
+            "seed {seed}: recovered result diverged from the fault-free run"
+        );
+        assert!(
+            started.elapsed() < BUDGET,
+            "seed {seed}: chaos run exceeded the wall-clock budget"
+        );
+    }
+}
+
+#[test]
+fn inference_recovers_injected_panics_without_escaping() {
+    let (a_hat, model, x) = test_model();
+    let strategy = SpmmStrategy::Sequential;
+    let reference = quiet_reference(&a_hat, &model, &x, strategy);
+    let env_pinned = std::env::var("FAULT_SEED").is_ok();
+    let mut injected_total = 0u64;
+
+    for seed in seeds() {
+        let _quiet = retry::quiet_panics();
+        let _armed = fault::arm(FaultConfig::new(seed).point("gcn.layer", FaultKind::Panic, 0.3));
+        let guard = RunGuard::with_budget(BUDGET);
+        let mut ws = InferenceWorkspace::new();
+        // Generous attempt budget: at p = 0.3 a rung of the chain must
+        // still find a fault-free attempt with overwhelming probability.
+        let policy = RetryPolicy::immediate(8);
+        let run = model
+            .infer_resilient_with(&a_hat, &x, strategy, &policy, &guard, &mut ws)
+            .unwrap_or_else(|e| panic!("seed {seed}: panic escaped or chain exhausted: {e}"));
+        assert!(run.is_complete(), "seed {seed}: {run:?}");
+        assert_eq!(
+            ws.output().as_slice(),
+            reference.as_slice(),
+            "seed {seed}: panic-recovered result diverged"
+        );
+        injected_total += fault::stats().total_injected();
+    }
+    // The default eight-seed sweep at p = 0.3 deterministically injects at
+    // least one panic; a CI-pinned single seed may legitimately miss.
+    if !env_pinned {
+        assert!(
+            injected_total > 0,
+            "panic chaos never fired — the suite is not exercising recovery"
+        );
+    }
+}
+
+#[test]
+fn parallel_spmm_survives_pool_worker_panics() {
+    use kernels::resilient::run_resilient_into;
+    let g = Graph::rmat(&RmatConfig::power_law(9, 8), 99);
+    let a = g.adjacency().clone();
+    let h = g.random_features(32, 13);
+    let strategy = SpmmStrategy::VertexParallel { threads: 4 };
+
+    let reference = {
+        let _quiet = fault::arm(FaultConfig::new(0));
+        let mut out = DenseMatrix::zeros(a.nrows(), h.cols());
+        run_resilient_into(&a, &h, strategy, &RetryPolicy::default(), &mut out).unwrap();
+        out
+    };
+
+    for seed in seeds() {
+        let _quiet = retry::quiet_panics();
+        let _armed = fault::arm(FaultConfig::new(seed).point("pool.share", FaultKind::Panic, 0.02));
+        let started = Instant::now();
+        let mut out = DenseMatrix::zeros(a.nrows(), h.cols());
+        let report = run_resilient_into(&a, &h, strategy, &RetryPolicy::immediate(8), &mut out)
+            .unwrap_or_else(|e| panic!("seed {seed}: parallel SpMM failed: {e}"));
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "seed {seed}: pool-recovered SpMM diverged (report: {report:?})"
+        );
+        assert!(started.elapsed() < BUDGET, "seed {seed}: over budget");
+    }
+}
+
+#[test]
+fn graph_loading_retries_through_injected_io_faults() {
+    use graph::io::read_matrix_market;
+    use std::io::Cursor;
+    let text = "%%MatrixMarket matrix coordinate real general\n\
+                4 4 5\n1 2 1.0\n2 3 2.0\n3 4 3.0\n4 1 4.0\n2 2 5.0\n";
+
+    let reference = {
+        let _quiet = fault::arm(FaultConfig::new(0));
+        read_matrix_market(Cursor::new(text)).unwrap()
+    };
+
+    for seed in seeds() {
+        let _armed = fault::arm(FaultConfig::new(seed).point("graph.io.", FaultKind::Error, 0.3));
+        let outcome = retry::run(&RetryPolicy::immediate(8), || {
+            read_matrix_market(Cursor::new(text))
+        });
+        let rec = outcome.unwrap_or_else(|e| panic!("seed {seed}: loader never recovered: {e}"));
+        assert_eq!(rec.value.row_ptr(), reference.row_ptr(), "seed {seed}");
+        assert_eq!(rec.value.col_idx(), reference.col_idx(), "seed {seed}");
+        assert_eq!(rec.value.values(), reference.values(), "seed {seed}");
+    }
+}
+
+#[test]
+fn simulator_chaos_latency_does_not_change_simulated_time() {
+    let g = Graph::rmat(&RmatConfig::uniform(7, 6), 5);
+    let a = g.adjacency();
+    let sim = SpmmSimulation::new(MachineConfig::single_core(), SpmmVariant::Dma);
+
+    let reference = {
+        let _quiet = fault::arm(FaultConfig::new(0));
+        sim.run(a, 8).unwrap()
+    };
+
+    for seed in seeds() {
+        // Host-side latency at the event-loop site: slows the wall clock,
+        // must not perturb virtual time or traffic accounting.
+        let _armed = fault::arm(
+            FaultConfig::new(seed)
+                .latency(Duration::from_micros(20))
+                .point("sim.event", FaultKind::Latency, 0.001),
+        );
+        let guard = RunGuard::with_budget(BUDGET);
+        let outcome = sim
+            .run_guarded(a, 8, &guard)
+            .unwrap_or_else(|e| panic!("seed {seed}: simulation failed: {e}"));
+        match outcome {
+            RunOutcome::Complete(r) => {
+                assert_eq!(r.sim.total_ns, reference.sim.total_ns, "seed {seed}");
+                assert_eq!(r.sim.bytes_read, reference.sim.bytes_read, "seed {seed}");
+            }
+            RunOutcome::Partial { reason, .. } => {
+                panic!("seed {seed}: small sim blew the {BUDGET:?} budget ({reason:?})")
+            }
+        }
+    }
+}
+
+#[test]
+fn exhausted_injection_surfaces_typed_errors_not_panics() {
+    // Rate 1.0 at the simulator entry: every attempt fails, so the caller
+    // must see the typed error — never an abort or a poisoned lock.
+    let _armed = fault::arm(FaultConfig::new(1).point("sim.run", FaultKind::Error, 1.0));
+    let g = Graph::rmat(&RmatConfig::uniform(6, 4), 1);
+    let err = SpmmSimulation::new(MachineConfig::single_core(), SpmmVariant::Dma)
+        .run(g.adjacency(), 4)
+        .unwrap_err();
+    assert_eq!(format!("{err}"), "injected fault at `sim.run`");
+}
