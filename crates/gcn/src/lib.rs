@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// End-to-end accuracy harness for narrow-precision inference.
+pub mod accuracy;
 /// Model hyperparameters ([`GcnConfig`]) and their validation.
 pub mod config;
 /// Error type unifying graph, matrix, and kernel failures.
@@ -37,9 +39,10 @@ pub mod sampled;
 /// Training loop: node classification, optimizers, per-step stats.
 pub mod train;
 
+pub use accuracy::{accuracy_bound, AccuracyReport};
 pub use config::GcnConfig;
 pub use error::GcnError;
 pub use model::{GcnLayer, GcnModel, InferenceWorkspace};
-pub use resilient::InferenceRun;
+pub use resilient::{InferenceRun, PrecisionRun};
 pub use sampled::{SampledBatch, SamplingScheme};
 pub use train::{NodeClassification, OptimizerKind, StepStats, Trainer};

@@ -3,9 +3,9 @@
 use crate::config::GcnConfig;
 use crate::error::GcnError;
 use graph::Graph;
-use kernels::fused::{gcn_layer_fused_into, gcn_layer_planned_into};
+use kernels::fused::{gcn_layer_fused_into, gcn_layer_planned_into, gcn_layer_planned_prec_into};
 use kernels::{SpmmPlan, SpmmStrategy};
-use matrix::{Activation, DenseMatrix, WeightInit};
+use matrix::{Activation, DenseMatrix, Precision, QuantMatrix, WeightInit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparse::Csr;
@@ -33,6 +33,10 @@ pub struct InferenceWorkspace {
     /// Cached execution plan, keyed by the adjacency's structural
     /// fingerprint.
     plan: Option<SpmmPlan>,
+    /// Narrow-storage staging buffer for precision-planned inference: each
+    /// layer encodes its SpMM feature operand here (bf16 / f16 / int8) and
+    /// the buffer is reused across layers and calls.
+    qbuf: QuantMatrix,
 }
 
 impl InferenceWorkspace {
@@ -289,7 +293,9 @@ impl GcnModel {
         if !workspace.plan.as_ref().is_some_and(|p| p.matches(a_hat)) {
             workspace.plan = Some(SpmmPlan::new(a_hat, features.cols()));
         }
-        let InferenceWorkspace { h, next, mid, plan } = workspace;
+        let InferenceWorkspace {
+            h, next, mid, plan, ..
+        } = workspace;
         let plan = plan.as_ref().expect("plan populated above");
         h.copy_from(features);
         for layer in &self.layers {
@@ -300,6 +306,93 @@ impl GcnModel {
                 layer.bias.as_deref(),
                 layer.activation,
                 plan,
+                mid,
+                next,
+            )?;
+            std::mem::swap(h, next);
+        }
+        Ok(&workspace.h)
+    }
+
+    /// Runs planned inference at a narrow storage precision, building (and
+    /// caching) a precision-aware plan on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_planned_prec(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        precision: Precision,
+    ) -> Result<DenseMatrix, GcnError> {
+        let mut workspace = InferenceWorkspace::new();
+        self.infer_planned_prec_with(a_hat, features, precision, &mut workspace)?;
+        Ok(workspace.h)
+    }
+
+    /// [`GcnModel::infer_planned_with`] at a chosen storage precision:
+    /// every layer stores its SpMM feature operand and packed GEMM panels
+    /// at `precision` (bf16 / f16 / int8) while accumulating in `f32`.
+    ///
+    /// The workspace caches one precision-aware [`SpmmPlan`]; the plan
+    /// probes the requested precision against the micro-kernel dispatch at
+    /// build time and silently downgrades along [`Precision::fallback`] if
+    /// the ISA probe fails — inspect `workspace.plan()` for the recorded
+    /// downgrade. [`Precision::F32`] makes this identical to
+    /// [`GcnModel::infer_planned_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer`].
+    pub fn infer_planned_prec_with<'w>(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        precision: Precision,
+        workspace: &'w mut InferenceWorkspace,
+    ) -> Result<&'w DenseMatrix, GcnError> {
+        if features.cols() != self.input_dim() {
+            return Err(GcnError::FeatureDimMismatch {
+                expected: self.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        if features.rows() != a_hat.nrows() {
+            return Err(GcnError::VertexCountMismatch {
+                graph: a_hat.nrows(),
+                features: features.rows(),
+            });
+        }
+        // Cache key is the *requested* precision: a plan whose ISA probe
+        // downgraded (say int8 → bf16) still satisfies later int8 requests
+        // without re-probing on every call.
+        let requested_of = |p: &SpmmPlan| p.precision_fallback().map_or(p.precision(), |(r, _)| r);
+        if !workspace
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.matches(a_hat) && requested_of(p) == precision)
+        {
+            workspace.plan = Some(SpmmPlan::with_precision(a_hat, features.cols(), precision));
+        }
+        let InferenceWorkspace {
+            h,
+            next,
+            mid,
+            plan,
+            qbuf,
+        } = workspace;
+        let plan = plan.as_ref().expect("plan populated above");
+        h.copy_from(features);
+        for layer in &self.layers {
+            gcn_layer_planned_prec_into(
+                a_hat,
+                h,
+                &layer.weight,
+                layer.bias.as_deref(),
+                layer.activation,
+                plan,
+                qbuf,
                 mid,
                 next,
             )?;

@@ -21,12 +21,13 @@
 //! overwrites its two output buffers; a crashed attempt leaves no state a
 //! later attempt can observe.
 
+use crate::accuracy::{accuracy_bound, rel_frobenius};
 use crate::error::GcnError;
 use crate::model::{GcnModel, InferenceWorkspace};
 use kernels::fused::gcn_layer_fused_into;
 use kernels::resilient::{fallback_of, Degradation, ExecutionReport};
 use kernels::SpmmStrategy;
-use matrix::{DenseMatrix, MatrixError};
+use matrix::{DenseMatrix, MatrixError, Precision};
 use resilience::guard::{RunGuard, RunOutcome, StopReason};
 use resilience::retry::{self, Failure, RetryPolicy};
 use sparse::Csr;
@@ -49,6 +50,30 @@ impl InferenceRun {
     /// Did every layer run to completion?
     pub fn is_complete(&self) -> bool {
         self.stopped.is_none() && self.layers_done == self.total_layers
+    }
+}
+
+/// How a precision-guarded inference run completed: the precision that was
+/// asked for, the one that actually produced the accepted output, the
+/// measured end-to-end error, and the degradation trail.
+#[derive(Debug, Clone)]
+pub struct PrecisionRun {
+    /// Storage precision the caller requested.
+    pub requested: Precision,
+    /// Precision whose output passed the accuracy guard (the workspace
+    /// output was produced at this precision).
+    pub used: Precision,
+    /// Measured `||out - out_f32||_F / ||out_f32||_F` of the accepted run.
+    pub rel_frobenius: f32,
+    /// ISA-probe and accuracy-guard downgrades, plus the merged
+    /// [`ExecutionReport`] fields.
+    pub report: ExecutionReport,
+}
+
+impl PrecisionRun {
+    /// Did the run complete at the precision the caller asked for?
+    pub fn at_requested_precision(&self) -> bool {
+        self.requested == self.used
     }
 }
 
@@ -227,6 +252,91 @@ impl GcnModel {
             run.report.completed_with = Some(current.to_string());
         }
         Ok(run)
+    }
+
+    /// Narrow-precision inference with an end-to-end accuracy guard:
+    /// runs planned inference at `precision`, measures the output against
+    /// a full `f32` reference run, and walks [`Precision::fallback`]
+    /// (int8 → bf16 → f32) until the measured relative Frobenius error
+    /// sits inside [`accuracy_bound`]. ISA-probe downgrades made at plan
+    /// build time are folded into the same degradation trail.
+    ///
+    /// The guard always terminates: the `f32` rung reproduces the
+    /// reference bitwise, so its error is exactly zero.
+    ///
+    /// The accepted output lands in the workspace
+    /// ([`InferenceWorkspace::output`]); the returned [`PrecisionRun`]
+    /// says which precision produced it and how far it strayed.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as in [`GcnModel::validate_inputs`], plus any
+    /// kernel error from the underlying planned inference.
+    pub fn infer_prec_guarded_with(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        precision: Precision,
+        workspace: &mut InferenceWorkspace,
+    ) -> Result<PrecisionRun, GcnError> {
+        self.infer_prec_guarded_inner(a_hat, features, precision, accuracy_bound, workspace)
+    }
+
+    /// [`GcnModel::infer_prec_guarded_with`] with an injectable bound
+    /// function, so tests can force the guard to reject a rung
+    /// deterministically.
+    fn infer_prec_guarded_inner(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        precision: Precision,
+        bound: impl Fn(Precision) -> f32,
+        workspace: &mut InferenceWorkspace,
+    ) -> Result<PrecisionRun, GcnError> {
+        self.validate_inputs(a_hat, features)?;
+        let mut reference_ws = InferenceWorkspace::new();
+        self.infer_planned_with(a_hat, features, &mut reference_ws)?;
+        let mut report = ExecutionReport::new();
+        let mut current = precision;
+        loop {
+            self.infer_planned_prec_with(a_hat, features, current, workspace)?;
+            let used = workspace.plan().map_or(current, |p| p.precision());
+            if let Some((from, to)) = workspace.plan().and_then(|p| p.precision_fallback()) {
+                report.degradations.push(Degradation {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    cause: "precision ISA probe failed".to_string(),
+                });
+            }
+            let err = rel_frobenius(workspace.output(), reference_ws.output());
+            if err <= bound(used) {
+                if used != precision {
+                    report.precision_fallback = Some((precision, used));
+                }
+                report.completed_with = Some(used.to_string());
+                return Ok(PrecisionRun {
+                    requested: precision,
+                    used,
+                    rel_frobenius: err,
+                    report,
+                });
+            }
+            // f32 reproduces the reference exactly (err == 0), so a rung
+            // with no fallback can only be reached if the bound function
+            // rejects an exact match — surface that as a kernel fault
+            // rather than looping.
+            let Some(next) = used.fallback() else {
+                return Err(GcnError::Kernel(MatrixError::Fault {
+                    site: "gcn.precision_guard: f32 rung rejected",
+                }));
+            };
+            report.degradations.push(Degradation {
+                from: used.to_string(),
+                to: next.to_string(),
+                cause: format!("accuracy guard: rel_frobenius {err:.3e} over bound"),
+            });
+            current = next;
+        }
     }
 }
 
@@ -431,6 +541,80 @@ mod tests {
         assert_eq!(run.report.degradations[0].from, "hybrid x2");
         assert_eq!(run.report.degradations[0].to, "vertex-parallel x2");
         assert!(expected.max_abs_diff(ws.output()) < 1e-4);
+    }
+
+    #[test]
+    fn precision_guard_accepts_every_precision_within_bounds() {
+        let (a_hat, x, model) = setup();
+        for p in matrix::Precision::all() {
+            let mut ws = InferenceWorkspace::new();
+            let run = model
+                .infer_prec_guarded_with(&a_hat, &x, p, &mut ws)
+                .unwrap();
+            assert!(
+                run.at_requested_precision(),
+                "{p} unexpectedly degraded to {}",
+                run.used
+            );
+            assert!(
+                run.rel_frobenius <= accuracy_bound(run.used),
+                "{p}: accepted error {:.3e} over bound",
+                run.rel_frobenius
+            );
+            assert_eq!(run.report.completed_with.as_deref(), Some(run.used.name()));
+        }
+    }
+
+    #[test]
+    fn rejecting_bound_walks_the_full_precision_chain_to_f32() {
+        let (a_hat, x, model) = setup();
+        let expected = model.infer_planned(&a_hat, &x).unwrap();
+        let mut ws = InferenceWorkspace::new();
+        // A bound that accepts only a bitwise-exact match forces every
+        // narrow rung to fail, so the run must land on f32.
+        let run = model
+            .infer_prec_guarded_inner(
+                &a_hat,
+                &x,
+                Precision::Int8,
+                |p| if p == Precision::F32 { 0.0 } else { -1.0 },
+                &mut ws,
+            )
+            .unwrap();
+        assert_eq!(run.used, Precision::F32);
+        assert_eq!(
+            run.report.precision_fallback,
+            Some((Precision::Int8, Precision::F32))
+        );
+        // Two guard degradations: int8 → bf16, bf16 → f32.
+        assert_eq!(run.report.degradations.len(), 2);
+        assert_eq!(run.report.degradations[0].from, "int8");
+        assert_eq!(run.report.degradations[0].to, "bf16");
+        assert_eq!(run.report.degradations[1].to, "f32");
+        assert!(run.report.degraded());
+        assert_eq!(run.rel_frobenius, 0.0);
+        assert_eq!(expected, *ws.output());
+    }
+
+    #[test]
+    fn failed_isa_probe_degrades_precision_and_is_reported() {
+        let (a_hat, x, model) = setup();
+        let _armed =
+            fault::arm(FaultConfig::new(3).point("microkernel.probe.int8", FaultKind::Error, 1.0));
+        let mut ws = InferenceWorkspace::new();
+        let run = model
+            .infer_prec_guarded_with(&a_hat, &x, Precision::Int8, &mut ws)
+            .unwrap();
+        assert_eq!(run.used, Precision::Bf16);
+        assert_eq!(
+            run.report.precision_fallback,
+            Some((Precision::Int8, Precision::Bf16))
+        );
+        assert!(run
+            .report
+            .degradations
+            .iter()
+            .any(|d| d.cause.contains("ISA probe")));
     }
 
     #[test]

@@ -209,6 +209,19 @@ pub fn plan(a: &Csr, k: usize) -> crate::plan::SpmmPlan {
     crate::plan::SpmmPlan::new(a, k)
 }
 
+/// [`plan`] at a narrow storage precision: probes the requested precision
+/// against the captured micro-kernel dispatch at plan time, downgrading
+/// along [`matrix::Precision::fallback`] if the ISA probe fails (the plan
+/// records the downgrade). The planned layer then runs its SpMM feature
+/// loops and packed GEMM panels on narrow storage with `f32` accumulation.
+pub fn plan_with_precision(
+    a: &Csr,
+    k: usize,
+    precision: matrix::Precision,
+) -> crate::plan::SpmmPlan {
+    crate::plan::SpmmPlan::with_precision(a, k, precision)
+}
+
 /// Runs `out = a * h` along a precomputed plan — the planned counterpart
 /// of [`SpmmStrategy::run_into`].
 ///

@@ -9,7 +9,8 @@
 
 use crate::engine::SpmmStrategy;
 use crate::plan::SpmmPlan;
-use matrix::{gemm, Activation, DenseMatrix, MatrixError};
+use matrix::microkernel::matmul_packed_prec_with;
+use matrix::{gemm, Activation, DenseMatrix, MatrixError, Precision, QuantMatrix};
 use sparse::Csr;
 
 /// Which association order the fused layer used (exposed for tests and for
@@ -154,6 +155,63 @@ pub fn gcn_layer_planned_into(
     Ok(order)
 }
 
+/// [`gcn_layer_planned_into`] at the plan's storage precision: the layer's
+/// SpMM feature operand is encoded into `qbuf` at
+/// [`SpmmPlan::precision`] (bf16 / f16 / int8) and read through the
+/// quantized row loops, and the dense transform runs the narrow-storage
+/// packed GEMM — all accumulation stays `f32`, only storage narrows.
+/// A plan at [`Precision::F32`] delegates to the full-precision layer and
+/// leaves `qbuf` untouched.
+///
+/// # Errors
+///
+/// Propagates shape mismatches from the SpMM / GEMM kernels (including a
+/// plan built for a different adjacency).
+#[allow(clippy::too_many_arguments)]
+// lint:allow(L004): composite layer driver, not a kernel — the plan's
+// check_plan plus each sub-kernel's own check validate all shapes.
+pub fn gcn_layer_planned_prec_into(
+    a: &Csr,
+    h: &DenseMatrix,
+    w: &DenseMatrix,
+    bias: Option<&[f32]>,
+    activation: Activation,
+    plan: &SpmmPlan,
+    qbuf: &mut QuantMatrix,
+    mid: &mut DenseMatrix,
+    out: &mut DenseMatrix,
+) -> Result<FusedOrder, MatrixError> {
+    let precision = plan.precision();
+    if precision == Precision::F32 {
+        return gcn_layer_planned_into(a, h, w, bias, activation, plan, mid, out);
+    }
+    let k_in = w.rows();
+    let k_out = w.cols();
+    let threads = pool::global().width();
+    let kd = plan.dense_kernel();
+
+    let order = if k_in <= k_out {
+        // Aggregate in the narrow dimension first: quantize the incoming
+        // activations once, aggregate from narrow storage, then run the
+        // narrow-panel packed GEMM on the f32 aggregate.
+        qbuf.encode(h, precision)?;
+        plan.run_quant_into(a, qbuf, mid)?;
+        matmul_packed_prec_with(kd, precision, mid, w, threads, out)?;
+        FusedOrder::AggregateFirst
+    } else {
+        matmul_packed_prec_with(kd, precision, h, w, threads, mid)?;
+        qbuf.encode(mid, precision)?;
+        plan.run_quant_into(a, qbuf, out)?;
+        FusedOrder::UpdateFirst
+    };
+
+    if let Some(b) = bias {
+        out.add_row_bias(b)?;
+    }
+    out.apply_activation(activation);
+    Ok(order)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +342,111 @@ mod tests {
             assert_eq!(order, FusedOrder::UpdateFirst);
             assert!(reference.max_abs_diff(&out) < 1e-3);
         }
+    }
+
+    /// `||x - y||_F / ||y||_F` over two same-shaped matrices.
+    fn rel_frob(x: &DenseMatrix, y: &DenseMatrix) -> f32 {
+        let mut d = 0.0f64;
+        let mut n = 0.0f64;
+        for (a, b) in x.as_slice().iter().zip(y.as_slice()) {
+            d += ((a - b) as f64).powi(2);
+            n += (*b as f64).powi(2);
+        }
+        (d.sqrt() / n.sqrt()) as f32
+    }
+
+    #[test]
+    fn planned_prec_layer_tracks_f32_in_both_orders() {
+        // (k_in <= k_out) drives AggregateFirst, the reverse UpdateFirst;
+        // both must pick the same order as the f32 layer and stay within a
+        // per-precision relative-Frobenius band of it. The bands are the
+        // end-to-end 3-layer bounds from the accuracy harness — a single
+        // layer sits well inside them, so a blown scale or a skipped
+        // dequantization fails loudly.
+        for (setup_seed, k_in, k_out, want_order) in [
+            (7u64, 8usize, 32usize, FusedOrder::AggregateFirst),
+            (8, 32, 8, FusedOrder::UpdateFirst),
+        ] {
+            let (a, h, w) = random_setup(60, k_in, k_out, setup_seed);
+            let bias = vec![0.25; k_out];
+            for (precision, band) in [
+                (Precision::Bf16, 2e-2f32),
+                (Precision::F16, 5e-3),
+                (Precision::Int8, 1.5e-1),
+            ] {
+                let plan = SpmmPlan::with_precision(&a, k_in, precision);
+                let mut mid = DenseMatrix::default();
+                let mut reference = DenseMatrix::default();
+                let ref_order = gcn_layer_planned_into(
+                    &a,
+                    &h,
+                    &w,
+                    Some(&bias),
+                    Activation::Relu,
+                    &plan,
+                    &mut mid,
+                    &mut reference,
+                )
+                .unwrap();
+                assert_eq!(ref_order, want_order);
+                let mut qbuf = QuantMatrix::new();
+                let mut out = DenseMatrix::filled(3, 3, f32::NAN);
+                let order = gcn_layer_planned_prec_into(
+                    &a,
+                    &h,
+                    &w,
+                    Some(&bias),
+                    Activation::Relu,
+                    &plan,
+                    &mut qbuf,
+                    &mut mid,
+                    &mut out,
+                )
+                .unwrap();
+                assert_eq!(order, want_order);
+                assert_eq!(out.shape(), reference.shape());
+                let err = rel_frob(&out, &reference);
+                assert!(
+                    err < band,
+                    "{precision} {want_order:?}: rel frob {err:.3e} over {band:.1e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_prec_layer_at_f32_is_bitwise_identical() {
+        let (a, h, w) = random_setup(40, 12, 6, 9);
+        let plan = SpmmPlan::with_precision(&a, 12, Precision::F32);
+        let mut mid = DenseMatrix::default();
+        let mut reference = DenseMatrix::default();
+        gcn_layer_planned_into(
+            &a,
+            &h,
+            &w,
+            None,
+            Activation::Relu,
+            &plan,
+            &mut mid,
+            &mut reference,
+        )
+        .unwrap();
+        let mut qbuf = QuantMatrix::new();
+        let mut out = DenseMatrix::default();
+        gcn_layer_planned_prec_into(
+            &a,
+            &h,
+            &w,
+            None,
+            Activation::Relu,
+            &plan,
+            &mut qbuf,
+            &mut mid,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(reference.max_abs_diff(&out), 0.0);
+        // The f32 path must not have touched the staging buffer.
+        assert_eq!(qbuf.shape(), (0, 0));
     }
 }

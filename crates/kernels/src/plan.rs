@@ -19,13 +19,13 @@
 //! plan per graph without holding a borrow — `gcn::InferenceWorkspace`
 //! does exactly that.
 
-use matrix::microkernel::KernelDispatch;
-use matrix::{DenseMatrix, MatrixError};
+use matrix::microkernel::{resolve_precision, KernelDispatch};
+use matrix::{DenseMatrix, MatrixError, Precision, QuantMatrix};
 use parking_lot::Mutex;
 use sparse::{Csr, DegreeStats};
 
 use crate::engine::{SpmmStrategy, AUTO_SEQUENTIAL_WORK, AUTO_SKEW_CV, AUTO_WIDE_K};
-use crate::spmm::spmm_rows_with;
+use crate::spmm::{spmm_rows_quant_with, spmm_rows_with};
 
 // BOUNDS: indexing in this module walks partition boundary vectors whose
 // construction guarantees `0 <= p[i] < p[i+1] <= nrows` (see
@@ -202,6 +202,12 @@ pub struct SpmmPlan {
     /// the layer's dense transform both run this dispatch, so one plan
     /// fixes the whole layer's SIMD path.
     kernel: KernelDispatch,
+    /// Storage precision the planned layer runs at, resolved through the
+    /// micro-kernel probe at plan time (a requested precision whose ISA
+    /// probe fails is downgraded along [`Precision::fallback`]).
+    precision: Precision,
+    /// `(requested, resolved)` if the precision probe downgraded.
+    precision_fallback: Option<(Precision, Precision)>,
 }
 
 impl SpmmPlan {
@@ -210,6 +216,18 @@ impl SpmmPlan {
     pub fn new(a: &Csr, k: usize) -> SpmmPlan {
         let width = pool::global().width();
         Self::with_width(a, k, width)
+    }
+
+    /// [`SpmmPlan::new`] at a narrow storage precision: the plan probes the
+    /// requested precision against the captured kernel dispatch and records
+    /// any downgrade ([`SpmmPlan::precision_fallback`]). The planned layer
+    /// then stores its feature operand at the resolved precision.
+    pub fn with_precision(a: &Csr, k: usize, precision: Precision) -> SpmmPlan {
+        let mut plan = Self::new(a, k);
+        let (resolved, fell_back) = resolve_precision(plan.kernel, precision);
+        plan.precision = resolved;
+        plan.precision_fallback = fell_back;
+        plan
     }
 
     /// [`SpmmPlan::new`] with an explicit thread budget (exposed so tests
@@ -232,6 +250,8 @@ impl SpmmPlan {
             // lint:allow(L005): plan construction, paid once per adjacency.
             tiles: Vec::new(),
             kernel: KernelDispatch::get(),
+            precision: Precision::F32,
+            precision_fallback: None,
         };
         plan.exec = plan.resolve(k, width);
         if let PlannedExec::FeatureParallel { threads } = plan.exec {
@@ -315,6 +335,19 @@ impl SpmmPlan {
         self.kernel
     }
 
+    /// The storage precision the planned layer runs at. `F32` unless the
+    /// plan was built with [`SpmmPlan::with_precision`] (and the requested
+    /// precision survived its ISA probe).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// `(requested, resolved)` if the precision probe downgraded the
+    /// requested storage precision at plan time.
+    pub fn precision_fallback(&self) -> Option<(Precision, Precision)> {
+        self.precision_fallback
+    }
+
     /// Runs `out = a * h` along the planned path.
     ///
     /// # Errors
@@ -360,6 +393,44 @@ impl SpmmPlan {
                 }
             }
             PlannedExec::Hybrid { threads } => crate::hybrid::spmm_hybrid_into(a, h, threads, out),
+        }
+    }
+
+    /// Runs `out = a * decode(hq)` along the planned path, reading the
+    /// feature operand from narrow storage (bf16 / f16 / int8) and
+    /// accumulating in `f32`.
+    ///
+    /// Row-parallel paths reuse the plan's NNZ-balanced partition. The
+    /// feature-parallel resolution also runs on the row partition here:
+    /// column tiling exists to shrink the per-pass feature working set,
+    /// which narrow storage already does by 2-4x at the source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `a`'s shape disagrees
+    /// with the plan or `hq`'s rows disagree with `a`'s columns.
+    pub fn run_quant_into(
+        &self,
+        a: &Csr,
+        hq: &QuantMatrix,
+        out: &mut DenseMatrix,
+    ) -> Result<(), MatrixError> {
+        self.check_plan(a)?;
+        crate::spmm::check_quant("spmm_planned_quant", a, hq)?;
+        let k = hq.cols();
+        let exec = if k == self.k {
+            self.exec
+        } else {
+            self.resolve(k, pool::global().width())
+        };
+        match exec {
+            PlannedExec::Sequential => crate::spmm::spmm_sequential_quant_into(a, hq, out),
+            PlannedExec::NnzBalanced { threads } | PlannedExec::FeatureParallel { threads } => {
+                spmm_nnz_balanced_quant_with(self.kernel, a, hq, &self.partition, threads, out)
+            }
+            PlannedExec::Hybrid { threads } => {
+                crate::hybrid::spmm_hybrid_quant_into(a, hq, threads, out)
+            }
         }
     }
 
@@ -500,6 +571,58 @@ pub fn spmm_nnz_balanced_with(
     pool::global().broadcast(threads.min(slots), slots, |s| {
         let mut slice = slices[s].lock();
         spmm_rows_with(kd, a, h, &mut slice, partition[s], partition[s + 1], k);
+    });
+    Ok(())
+}
+
+/// [`spmm_nnz_balanced_with`] over a narrow-precision feature matrix: the
+/// same atomics-free partitioned row loop, with each non-zero decoding its
+/// feature row from bf16/f16/int8 storage inside the widened AXPY.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] on shape mismatch and
+/// [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn spmm_nnz_balanced_quant_with(
+    kd: KernelDispatch,
+    a: &Csr,
+    hq: &QuantMatrix,
+    partition: &[usize],
+    threads: usize,
+    out: &mut DenseMatrix,
+) -> Result<(), MatrixError> {
+    crate::spmm::check_quant("spmm_nnz_balanced_quant", a, hq)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (n, k) = (a.nrows(), hq.cols());
+    debug_assert_eq!(partition.last().copied().unwrap_or(0), n);
+    // Every row in [0, n) lands in exactly one partition share and the row
+    // kernel overwrites its share, so the cheaper non-zeroing reshape is safe.
+    out.resize_for_overwrite(n, k);
+    if n == 0 || k == 0 {
+        return Ok(());
+    }
+    if threads == 1 || partition.len() < 3 {
+        spmm_rows_quant_with(kd, a, hq, out.as_mut_slice(), 0, n, k);
+        return Ok(());
+    }
+
+    // Same slice hand-off as the f32 path: share index == slot index, each
+    // share locks only its own slice, so the mutexes never contend.
+    // lint:allow(L005): per-call slot table of ~4x-threads pointers —
+    // orders of magnitude below the counting-allocator activation budget.
+    let mut slices: Vec<Mutex<&mut [f32]>> = Vec::with_capacity(partition.len() - 1);
+    let mut rest = out.as_mut_slice();
+    for w in partition.windows(2) {
+        let (slice, remaining) = rest.split_at_mut((w[1] - w[0]) * k);
+        rest = remaining;
+        slices.push(Mutex::new(slice));
+    }
+    let slots = slices.len();
+    pool::global().broadcast(threads.min(slots), slots, |s| {
+        let mut slice = slices[s].lock();
+        spmm_rows_quant_with(kd, a, hq, &mut slice, partition[s], partition[s + 1], k);
     });
     Ok(())
 }
@@ -730,6 +853,59 @@ mod tests {
         assert!(matches!(
             spmm_nnz_balanced_into(&a, &h, &p, 0, &mut out),
             Err(MatrixError::ZeroThreads)
+        ));
+    }
+
+    #[test]
+    fn quant_plan_matches_decoded_sequential_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = random_csr(&mut rng, 300, 2400);
+        let h = random_dense(&mut rng, 300, 19);
+        let mut q = QuantMatrix::new();
+        let mut decoded = DenseMatrix::default();
+        for p in [Precision::Bf16, Precision::F16, Precision::Int8] {
+            q.encode(&h, p).unwrap();
+            q.decode(&mut decoded);
+            // Same narrowing applied by hand: the quant kernels may only
+            // differ by f32 accumulation order / scale-fold rounding.
+            let reference = spmm_sequential(&a, &decoded).unwrap();
+            let plan = SpmmPlan::with_precision(&a, h.cols(), p);
+            assert_eq!(plan.precision(), p);
+            assert!(plan.precision_fallback().is_none());
+            let mut out = DenseMatrix::filled(3, 3, f32::NAN);
+            plan.run_quant_into(&a, &q, &mut out).unwrap();
+            assert!(
+                reference.max_abs_diff(&out) < 1e-3,
+                "{p} planned quant diverged by {}",
+                reference.max_abs_diff(&out)
+            );
+            // Multi-threaded NNZ-balanced path, exercised explicitly so
+            // the broadcast split runs even if the plan resolved
+            // sequential here.
+            let partition = nnz_balanced_partition(a.row_ptr(), 16);
+            let mut out2 = DenseMatrix::default();
+            spmm_nnz_balanced_quant_with(plan.dense_kernel(), &a, &q, &partition, 4, &mut out2)
+                .unwrap();
+            assert!(
+                reference.max_abs_diff(&out2) < 1e-3,
+                "{p} nnz-balanced quant diverged by {}",
+                reference.max_abs_diff(&out2)
+            );
+        }
+    }
+
+    #[test]
+    fn quant_plan_rejects_mismatched_operands() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = random_csr(&mut rng, 40, 160);
+        let h_bad = random_dense(&mut rng, 41, 5);
+        let mut q = QuantMatrix::new();
+        q.encode(&h_bad, Precision::Bf16).unwrap();
+        let plan = SpmmPlan::with_precision(&a, 5, Precision::Bf16);
+        let mut out = DenseMatrix::default();
+        assert!(matches!(
+            plan.run_quant_into(&a, &q, &mut out),
+            Err(MatrixError::DimensionMismatch { .. })
         ));
     }
 }

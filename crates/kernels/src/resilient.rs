@@ -17,7 +17,7 @@
 use crate::engine::SpmmStrategy;
 use crate::plan::SpmmPlan;
 use matrix::microkernel::{self, Backend};
-use matrix::{DenseMatrix, MatrixError};
+use matrix::{DenseMatrix, MatrixError, Precision};
 use resilience::retry::{self, Failure, RetryPolicy};
 use sparse::Csr;
 
@@ -47,6 +47,10 @@ pub struct ExecutionReport {
     /// `(preferred, chosen)` if the micro-kernel dispatch probe downgraded
     /// the SIMD backend at process start ([`microkernel::probe_fallback`]).
     pub backend_fallback: Option<(Backend, Backend)>,
+    /// `(requested, used)` if a narrow storage precision was downgraded —
+    /// by the plan-time ISA probe or by an accuracy guard walking
+    /// [`Precision::fallback`] (int8 → bf16 → f32).
+    pub precision_fallback: Option<(Precision, Precision)>,
     /// Display form of the strategy that finally produced the result.
     pub completed_with: Option<String>,
 }
@@ -62,9 +66,12 @@ impl ExecutionReport {
     }
 
     /// Did this run need any recovery at all (retries, strategy fallback,
-    /// or a degraded SIMD backend)?
+    /// a degraded SIMD backend, or a degraded storage precision)?
     pub fn degraded(&self) -> bool {
-        self.attempts > 1 || !self.degradations.is_empty() || self.backend_fallback.is_some()
+        self.attempts > 1
+            || !self.degradations.is_empty()
+            || self.backend_fallback.is_some()
+            || self.precision_fallback.is_some()
     }
 
     fn absorb(&mut self, rec: &retry::Recovery<()>) {

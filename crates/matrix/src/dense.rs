@@ -280,6 +280,19 @@ impl DenseMatrix {
         self.data.resize(len, 0.0);
     }
 
+    /// Reshapes to `(rows, cols)` like [`DenseMatrix::resize_zeroed`] but
+    /// leaves any existing element values in place (stale).
+    ///
+    /// For callers that overwrite every element before reading the result:
+    /// a same-shape call in steady state writes nothing at all, skipping the
+    /// full-buffer memset `resize_zeroed` would redo on every invocation.
+    pub fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(len, 0.0);
+    }
+
     /// Makes `self` an element-wise copy of `other`, reusing the existing
     /// backing allocation whenever its capacity suffices.
     pub fn copy_from(&mut self, other: &DenseMatrix) {

@@ -50,6 +50,15 @@ pub enum MatrixError {
         /// Name of the fault site that fired.
         site: &'static str,
     },
+    /// An operation was asked to run at a storage precision it does not
+    /// support (e.g. encoding a `QuantMatrix` at `f32`, which stays in
+    /// its `DenseMatrix`).
+    UnsupportedPrecision {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Name of the offending precision.
+        precision: &'static str,
+    },
 }
 
 impl fmt::Display for MatrixError {
@@ -77,6 +86,9 @@ impl fmt::Display for MatrixError {
                 write!(f, "non-finite value in {what} at ({row}, {col})")
             }
             MatrixError::Fault { site } => write!(f, "injected fault at `{site}`"),
+            MatrixError::UnsupportedPrecision { op, precision } => {
+                write!(f, "{op} does not support precision `{precision}`")
+            }
         }
     }
 }

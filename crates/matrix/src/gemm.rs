@@ -14,7 +14,7 @@ use crate::Result;
 // `chunks_mut(rows_per * n)` from a buffer sized `m * n`; `check_shapes`
 // ties the operand dimensions together at every entry point.
 
-/// Cache-block edge (elements) used by [`matmul_blocked`]. 64 `f32` = 256 B
+/// Cache-block edge (elements) used by [`gemm_into`]. 64 `f32` = 256 B
 /// per row block keeps three blocks of typical GCN operand widths in L1.
 const BLOCK: usize = 64;
 
@@ -68,17 +68,29 @@ pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     Ok(c)
 }
 
-/// Cache-blocked GEMM using ikj loop order over `BLOCK`-sized tiles.
+/// Single-threaded GEMM through the packed micro-kernel engine.
+///
+/// This entry point used to run the scalar cache-blocked ikj loop, but at
+/// 512³ that loop measured *slower* than [`matmul_naive`] (block-edge
+/// bookkeeping with no bandwidth win at L2-resident sizes), so it now
+/// routes through [`crate::microkernel::matmul_packed_with`] with one
+/// thread — no shipped kernel is slower than naive. The scalar blocked
+/// loop survives as [`gemm_into`] for [`matmul_parallel_spawn`] and the
+/// pool-overhead benchmark.
 ///
 /// # Errors
 ///
 /// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()`.
 pub fn matmul_blocked(a: &DenseMatrix, b: &DenseMatrix) -> Result<DenseMatrix> {
     check_shapes("matmul_blocked", a, b)?;
-    let (m, k) = a.shape();
-    let n = b.cols();
-    let mut c = DenseMatrix::zeros(m, n);
-    gemm_into(a, b, c.as_mut_slice(), 0, m, k, n);
+    let mut c = DenseMatrix::default();
+    crate::microkernel::matmul_packed_with(
+        crate::microkernel::KernelDispatch::get(),
+        a,
+        b,
+        1,
+        &mut c,
+    )?;
     Ok(c)
 }
 
@@ -98,15 +110,18 @@ fn gemm_into(
     for pb in (0..k).step_by(BLOCK) {
         let pe = (pb + BLOCK).min(k);
         for i in row_start..row_end {
-            let arow = a.row(i);
+            // Slice the depth block directly: an `enumerate().take().skip()`
+            // chain here re-walks the iterator from index 0 for every block,
+            // which is what regressed `blocked` below `naive` at 512^3.
+            let ablock = &a.row(i)[pb..pe];
             let crow = &mut c_rows[(i - row_start) * n..(i - row_start + 1) * n];
-            for (p, &aip) in arow.iter().enumerate().take(pe).skip(pb) {
+            for (off, &aip) in ablock.iter().enumerate() {
                 if aip == 0.0 {
                     continue;
                 }
-                let brow = b.row(p);
-                for j in 0..n {
-                    crow[j] += aip * brow[j];
+                let brow = b.row(pb + off);
+                for (cj, &bj) in crow.iter_mut().zip(brow) {
+                    *cj += aip * bj;
                 }
             }
         }
@@ -138,8 +153,8 @@ pub fn matmul_parallel(a: &DenseMatrix, b: &DenseMatrix, threads: usize) -> Resu
 /// Since the micro-kernel engine landed this routes through
 /// [`crate::microkernel::matmul_packed_with`] — panel-packed, register-tiled
 /// inner loops on the process-wide [`crate::microkernel::KernelDispatch`] —
-/// rather than the scalar cache-blocked loop (which survives as the
-/// [`matmul_blocked`] baseline).
+/// rather than the scalar cache-blocked loop (which survives as
+/// [`gemm_into`], exercised by [`matmul_parallel_spawn`]).
 ///
 /// # Errors
 ///

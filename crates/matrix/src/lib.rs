@@ -9,8 +9,9 @@
 //! with GEMM implementations of increasing sophistication:
 //!
 //! * [`gemm::matmul_naive`] — triple loop, the correctness reference,
-//! * [`gemm::matmul_blocked`] — cache-blocked ikj ordering (the scalar
-//!   baseline the micro-kernel speedups are measured against),
+//! * [`gemm::matmul_blocked`] — single-threaded entry into the packed
+//!   engine (the scalar cache-blocked loop it replaced regressed below
+//!   naive at L2-resident sizes),
 //! * [`gemm::matmul_parallel`] — row-partitioned multi-threaded GEMM,
 //! * [`microkernel::matmul_packed`] — panel-packed, register-tiled GEMM with
 //!   runtime SIMD dispatch; [`DenseMatrix::matmul`] and the parallel `_into`
@@ -45,11 +46,16 @@ pub mod init;
 /// Register-tiled SIMD micro-kernels (packed GEMM, widened AXPY) with
 /// runtime backend dispatch.
 pub mod microkernel;
+/// Narrow-precision storage (bf16 / f16 / int8): round-to-nearest-even
+/// conversions, saturating casts, scale calibration, and the
+/// [`quant::QuantMatrix`] payload container the quantized kernels read.
+pub mod quant;
 
 pub use activation::Activation;
 pub use dense::DenseMatrix;
 pub use error::MatrixError;
 pub use init::WeightInit;
+pub use quant::{Precision, QuantMatrix, QuantRow};
 
 /// Convenience result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, MatrixError>;

@@ -52,17 +52,28 @@
 
 // BOUNDS: all `[]` indexing here is over (a) packed panels sliced as
 // `[idx * kc * 8 .. (idx + 1) * kc * 8]` from buffers sized `>= panels * kc
-// * 8` at the single `with_f32` call, (b) operand rows via
-// `DenseMatrix::row` (length-checked by construction) with sub-ranges
-// clamped by `.min(..)` against the operand shape, (c) the fixed
-// `[f32; 64]` accumulator tile indexed by `r * 8 + j` with `r, j < 8`, and
-// (d) output chunks carved by `chunks_mut(rows_per * n)` from a buffer
-// sized `m * n`; `check_shapes` ties the operand dimensions together at
-// every entry point.
+// * 8` at the single `with_f32` call — narrow panels use the same carving
+// divided by the elements-per-slot ratio (2 for bf16/f16, 4 for int8),
+// exact because MR = NR = 8 — (b) operand rows via `DenseMatrix::row`
+// (length-checked by construction) with sub-ranges clamped by `.min(..)`
+// against the operand shape, (c) the fixed `[f32; 64]` / `[i32; 64]`
+// accumulator tiles and `[f32; 8]` lane spills indexed by `r * 8 + j` with
+// `r, j < 8`, (d) output chunks carved by `chunks_mut(rows_per * n)` from
+// a buffer sized `m * n`, and (e) int8 scale slices carved as
+// `[..m]`/`[..n]` from a scratch prefix sized `2 * (m + n)` and indexed by
+// row/column ids bounded by the operand shape, and (f) raw quant payload
+// rows carved as `[vi * stride + c0 .. vi * stride + k]` with
+// `vi < payload_len / stride` (checked per non-zero) and `k <= stride`;
+// `check_shapes` ties the operand dimensions together at every entry
+// point.
 
 use crate::dense::DenseMatrix;
 use crate::error::MatrixError;
 use crate::gemm::check_shapes;
+use crate::quant::{
+    bf16_to_f32, calibrate_scale, f16_to_f32, f32_to_bf16, f32_to_f16, saturating_cast_i8,
+    Precision, QuantMatrix, QuantRow, I8_MAX_Q,
+};
 use crate::Result;
 use std::sync::{Mutex, OnceLock};
 
@@ -87,6 +98,17 @@ const MC: usize = 64;
 /// Column block: columns of `B` packed per depth block (bounds the shared
 /// B panel at `KC * NC` floats = 512 KB).
 const NC: usize = 512;
+
+/// Output lanes held in registers per tile of the quantized SpMM row
+/// accumulator ([`KernelDispatch::accumulate_row_quant`]): 64 `f32` =
+/// eight YMM accumulators, the same register budget as the GEMM tile.
+pub const ACC_LANES: usize = 64;
+
+/// How many non-zeros ahead the quantized row accumulators prefetch the
+/// feature-row payload. The rows land at graph-random addresses the
+/// hardware prefetcher cannot predict, and a 64-lane int8 chunk is exactly
+/// one cache line — without the hint every edge eats a demand miss.
+const PREFETCH_AHEAD: usize = 4;
 
 /// Which micro-kernel implementation a [`KernelDispatch`] routes to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +155,20 @@ pub fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the CPU additionally supports the F16C half-float conversion
+/// instructions (`vcvtph2ps`); gates the hardware f16 decode inside the
+/// AVX2 paths. Always false off x86-64.
+pub fn f16c_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("f16c")
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
@@ -303,6 +339,150 @@ impl KernelDispatch {
         }
     }
 
+    /// Widened AXPY over a bfloat16 feature panel: each stored element is
+    /// decoded to `f32` before the multiply-accumulate, so only storage
+    /// narrows — `y[j] += alpha * decode(x[j])` for the common prefix.
+    #[inline]
+    pub fn axpy_bf16(self, y: &mut [f32], alpha: f32, x: &[u16]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, so the
+            // target features of `axpy_bf16_avx2` are supported here.
+            Backend::Avx2Fma => unsafe { axpy_bf16_avx2(y, alpha, x) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2Fma => axpy_decoded(y, alpha, x, bf16_to_f32),
+            Backend::Portable => axpy_decoded(y, alpha, x, bf16_to_f32),
+            Backend::Scalar => axpy_decoded_scalar(y, alpha, x, bf16_to_f32),
+        }
+    }
+
+    /// Widened AXPY over an IEEE binary16 feature panel. The AVX2 path
+    /// uses hardware F16C conversion when the CPU reports it and falls
+    /// back to the software decode otherwise.
+    #[inline]
+    pub fn axpy_f16(self, y: &mut [f32], alpha: f32, x: &[u16]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees AVX2+FMA, and the
+            // guard verifies F16C — together the target features of
+            // `axpy_f16_avx2` are supported here.
+            Backend::Avx2Fma if f16c_available() => unsafe { axpy_f16_avx2(y, alpha, x) },
+            Backend::Scalar => axpy_decoded_scalar(y, alpha, x, f16_to_f32),
+            _ => axpy_decoded(y, alpha, x, f16_to_f32),
+        }
+    }
+
+    /// Widened AXPY over a symmetric int8 feature panel. `alpha` must
+    /// already carry the row's dequantization scale (the SpMM loops fold
+    /// it in), so accumulation stays in `f32`:
+    /// `y[j] += alpha * (x[j] as f32)`.
+    #[inline]
+    pub fn axpy_i8(self, y: &mut [f32], alpha: f32, x: &[i8]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, so the
+            // target features of `axpy_i8_avx2` are supported here.
+            Backend::Avx2Fma => unsafe { axpy_i8_avx2(y, alpha, x) },
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2Fma => axpy_decoded(y, alpha, x, |v| v as f32),
+            Backend::Portable => axpy_decoded(y, alpha, x, |v| v as f32),
+            Backend::Scalar => axpy_decoded_scalar(y, alpha, x, |v| v as f32),
+        }
+    }
+
+    /// Dispatches a quantized-row AXPY on the row's own precision tag —
+    /// the single entry point the sparse feature loops use so one code
+    /// path serves every storage precision.
+    #[inline]
+    pub fn axpy_quant(self, y: &mut [f32], alpha: f32, row: QuantRow<'_>) {
+        match row {
+            QuantRow::Bf16(x) => self.axpy_bf16(y, alpha, x),
+            QuantRow::F16(x) => self.axpy_f16(y, alpha, x),
+            QuantRow::Int8(scale, x) => self.axpy_i8(y, alpha * scale, x),
+        }
+    }
+
+    /// Accumulates one SpMM output row over quantized features:
+    /// `y[j] += sum_i weights[i] * decode(Q[cols[i], j])`.
+    ///
+    /// On the AVX2+FMA backend the row is processed in [`ACC_LANES`]-wide
+    /// register tiles held in YMM accumulators across the *whole* non-zero
+    /// loop, so each output lane round-trips to memory once per tile
+    /// instead of once per non-zero — per-edge cost drops to pure
+    /// decode + FMA, which is what lets narrow storage run
+    /// bandwidth-bound instead of issue-bound. Other backends (and F16
+    /// without F16C) take one [`KernelDispatch::axpy_quant`] per non-zero.
+    /// Column ids at or beyond `q.rows()` are skipped.
+    pub fn accumulate_row_quant(
+        self,
+        y: &mut [f32],
+        cols: &[u32],
+        weights: &[f32],
+        q: &QuantMatrix,
+    ) {
+        self.row_quant::<true>(y, cols, weights, q);
+    }
+
+    /// [`KernelDispatch::accumulate_row_quant`] with overwrite semantics:
+    /// `y[j] = sum_i weights[i] * decode(Q[cols[i], j])`, ignoring `y`'s
+    /// prior contents. When the caller owns a row's entire non-zero loop
+    /// (the whole-row SpMM kernels do), this elides the initial tile load —
+    /// the output row round-trips to memory half as often.
+    pub fn fill_row_quant(self, y: &mut [f32], cols: &[u32], weights: &[f32], q: &QuantMatrix) {
+        self.row_quant::<false>(y, cols, weights, q);
+    }
+
+    fn row_quant<const LOAD_Y: bool>(
+        self,
+        y: &mut [f32],
+        cols: &[u32],
+        weights: &[f32],
+        q: &QuantMatrix,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == Backend::Avx2Fma && q.cols() > 0 {
+            match q.precision() {
+                Precision::Bf16 => {
+                    // SAFETY: the struct invariant guarantees `Avx2Fma` is
+                    // only present when `avx2_available()` held at
+                    // construction.
+                    unsafe {
+                        acc_row_bf16_avx2::<LOAD_Y>(y, cols, weights, q.wide_payload(), q.cols())
+                    };
+                    return;
+                }
+                Precision::F16 if f16c_available() => {
+                    // SAFETY: struct invariant (AVX2+FMA) plus the explicit
+                    // F16C guard — together the target features of
+                    // `acc_row_f16_avx2` are supported here.
+                    unsafe {
+                        acc_row_f16_avx2::<LOAD_Y>(y, cols, weights, q.wide_payload(), q.cols())
+                    };
+                    return;
+                }
+                Precision::Int8 => {
+                    let (data, scales) = q.int8_payload();
+                    // SAFETY: struct invariant, as for the bf16 arm.
+                    unsafe { acc_row_i8_avx2::<LOAD_Y>(y, cols, weights, data, scales, q.cols()) };
+                    return;
+                }
+                _ => {}
+            }
+        }
+        if !LOAD_Y {
+            for yi in y.iter_mut() {
+                *yi = 0.0;
+            }
+        }
+        for (&v, &w) in cols.iter().zip(weights) {
+            if (v as usize) < q.rows() {
+                self.axpy_quant(y, w, q.row(v as usize));
+            }
+        }
+    }
+
     /// Runs the 8x`kc` register-tiled inner kernel: `acc` is overwritten
     /// with the product of one packed A micro-panel and one packed B
     /// micro-panel (both `kc * 8` elements).
@@ -319,6 +499,71 @@ impl KernelDispatch {
             Backend::Portable => mk8x8_portable(ap, bp, kc, acc),
             Backend::Scalar => mk8x8_scalar(ap, bp, kc, acc),
         }
+    }
+
+    /// 16-bit-storage register-tile kernel: panels hold two encoded
+    /// elements per `f32` scratch slot (`kc * 4` slots each); lanes are
+    /// decoded to `f32` before every FMA. bf16 has a native AVX2 decode
+    /// (integer shift); f16 uses F16C when available and the portable
+    /// decode otherwise.
+    #[inline]
+    fn mk8x8_w16(self, w: W16, ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+        match (self.backend, w) {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, and
+            // the callers slice `ap`/`bp` to exactly `kc * 4` slots.
+            (Backend::Avx2Fma, W16::Bf16) => unsafe { mk8x8_bf16_avx2(ap, bp, kc, acc) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: AVX2+FMA via the struct invariant plus the F16C
+            // guard cover every target feature of `mk8x8_f16_avx2`.
+            (Backend::Avx2Fma, W16::F16) if f16c_available() => unsafe {
+                mk8x8_f16_avx2(ap, bp, kc, acc)
+            },
+            (_, w) => mk8x8_w16_portable(ap, bp, kc, acc, |u| dec_w16(w, u)),
+        }
+    }
+
+    /// int8 register-tile kernel with widened `i32` accumulation: panels
+    /// hold four encoded elements per `f32` scratch slot (`kc * 2` slots
+    /// each). Dequantization happens at write-back, not here.
+    #[inline]
+    fn mk8x8_i8(self, ap: &[f32], bp: &[f32], kc: usize, acc: &mut [i32; MR * NR]) {
+        match self.backend {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the struct invariant guarantees `Avx2Fma` is only
+            // present when `avx2_available()` held at construction, and
+            // the callers slice `ap`/`bp` to exactly `kc * 2` slots.
+            Backend::Avx2Fma => unsafe { mk8x8_i8_avx2(ap, bp, kc, acc) },
+            _ => mk8x8_i8_portable(ap, bp, kc, acc),
+        }
+    }
+}
+
+/// The two 16-bit storage formats the shared w16 GEMM driver serves; the
+/// tag threads through packing (encode) and the micro-kernel (decode) so
+/// both sides always agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum W16 {
+    Bf16,
+    F16,
+}
+
+/// Encode one `f32` at the tagged 16-bit format (round-to-nearest-even).
+#[inline(always)]
+fn enc_w16(w: W16, v: f32) -> u16 {
+    match w {
+        W16::Bf16 => f32_to_bf16(v),
+        W16::F16 => f32_to_f16(v),
+    }
+}
+
+/// Decode one stored 16-bit element back to `f32`.
+#[inline(always)]
+fn dec_w16(w: W16, u: u16) -> f32 {
+    match w {
+        W16::Bf16 => bf16_to_f32(u),
+        W16::F16 => f16_to_f32(u),
     }
 }
 
@@ -387,6 +632,468 @@ unsafe fn axpy_avx2(y: &mut [f32], alpha: f32, x: &[f32]) {
     }
     for (yi, &xi) in y[i..n].iter_mut().zip(&x[i..n]) {
         *yi += alpha * xi;
+    }
+}
+
+/// Shared shape of the narrow portable AXPY backends: decode each stored
+/// element to `f32`, then `y += alpha * decoded`, in fixed 8-wide chunks
+/// so LLVM can vectorize the decode + FMA together. Monomorphized per
+/// decoder, so the `decode` call inlines.
+#[inline(always)]
+fn axpy_decoded<T: Copy>(y: &mut [f32], alpha: f32, x: &[T], decode: impl Fn(T) -> f32) {
+    let n = y.len().min(x.len());
+    let (y, x) = (&mut y[..n], &x[..n]);
+    let mut yc = y.chunks_exact_mut(8);
+    let mut xc = x.chunks_exact(8);
+    for (yv, xv) in yc.by_ref().zip(xc.by_ref()) {
+        for (yi, &xi) in yv.iter_mut().zip(xv) {
+            *yi += alpha * decode(xi);
+        }
+    }
+    for (yi, &xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *yi += alpha * decode(xi);
+    }
+}
+
+/// Plain scalar reference for the narrow AXPYs.
+#[inline(always)]
+fn axpy_decoded_scalar<T: Copy>(y: &mut [f32], alpha: f32, x: &[T], decode: impl Fn(T) -> f32) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * decode(xi);
+    }
+}
+
+/// AVX2 + FMA AXPY over bfloat16 storage: eight `u16` lanes are widened
+/// to `u32` and shifted left 16 bits — bf16 is a bit-prefix of f32, so
+/// that *is* the decode — then FMA'd against `f32` accumulators.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn axpy_bf16_avx2(y: &mut [f32], alpha: f32, x: &[u16]) {
+    use std::arch::x86_64::*;
+    let n = y.len().min(x.len());
+    let av = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    // Unrolled 4x (32 lanes/iter) with four direct 16-byte loads: each
+    // group is load -> widen -> shift -> FMA with no cross-group shuffle,
+    // keeping four independent decode+FMA chains in flight (one group per
+    // loop carry leaves the FMA ports starved on the decode latency).
+    while i + 32 <= n {
+        // SAFETY: `i + 32 <= n <= min(y.len(), x.len())`, so every 16-byte
+        // u16 load, f32 load, and store stays inside its slice.
+        unsafe {
+            for g in 0..4 {
+                let off = i + g * 8;
+                let raw = _mm_loadu_si128(x.as_ptr().add(off) as *const __m128i);
+                let xv = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(off));
+                _mm256_storeu_ps(y.as_mut_ptr().add(off), _mm256_fmadd_ps(av, xv, yv));
+            }
+        }
+        i += 32;
+    }
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n <= min(y.len(), x.len())`, so the 16-byte
+        // u16 load, the f32 load, and the store stay inside their slices.
+        unsafe {
+            let raw = _mm_loadu_si128(x.as_ptr().add(i) as *const __m128i);
+            let xv = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+        }
+        i += 8;
+    }
+    for (yi, &xi) in y[i..n].iter_mut().zip(&x[i..n]) {
+        *yi += alpha * bf16_to_f32(xi);
+    }
+}
+
+/// AVX2 + FMA + F16C AXPY over IEEE binary16 storage: `vcvtph2ps`
+/// decodes eight halves per step.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2, FMA, *and* F16C (the
+/// dispatch checks [`f16c_available`] before routing here).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above (backend invariant + F16C guard).
+unsafe fn axpy_f16_avx2(y: &mut [f32], alpha: f32, x: &[u16]) {
+    use std::arch::x86_64::*;
+    let n = y.len().min(x.len());
+    let av = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    // Unrolled 4x (32 lanes/iter) so four independent vcvtph2ps+FMA chains
+    // are in flight; a single group per iteration is latency-bound on the
+    // convert, not bandwidth-bound.
+    while i + 32 <= n {
+        // SAFETY: `i + 32 <= n <= min(y.len(), x.len())`, so every 16-byte
+        // u16 load, f32 load, and store stays inside its slice.
+        unsafe {
+            for g in 0..4 {
+                let off = i + g * 8;
+                let xv = _mm256_cvtph_ps(_mm_loadu_si128(x.as_ptr().add(off) as *const __m128i));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(off));
+                _mm256_storeu_ps(y.as_mut_ptr().add(off), _mm256_fmadd_ps(av, xv, yv));
+            }
+        }
+        i += 32;
+    }
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n <= min(y.len(), x.len())`, so the 16-byte
+        // u16 load, the f32 load, and the store stay inside their slices.
+        unsafe {
+            let xv = _mm256_cvtph_ps(_mm_loadu_si128(x.as_ptr().add(i) as *const __m128i));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+        }
+        i += 8;
+    }
+    for (yi, &xi) in y[i..n].iter_mut().zip(&x[i..n]) {
+        *yi += alpha * f16_to_f32(xi);
+    }
+}
+
+/// AVX2 + FMA AXPY over int8 storage: eight bytes sign-extend to `i32`,
+/// convert to `f32`, FMA. `alpha` carries the dequantization scale.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn axpy_i8_avx2(y: &mut [f32], alpha: f32, x: &[i8]) {
+    use std::arch::x86_64::*;
+    let n = y.len().min(x.len());
+    let av = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    // Unrolled 4x (32 lanes/iter) with four direct 8-byte loads: each group
+    // is load -> sign-extend -> convert -> FMA with no cross-group shuffle,
+    // so only the `cvtepi8` per group touches the shuffle port (a wide load
+    // plus lane extracts nearly doubles shuffle-port pressure here).
+    while i + 32 <= n {
+        // SAFETY: `i + 32 <= n <= min(y.len(), x.len())`, so every 8-byte
+        // i8 load, f32 load, and store stays inside its slice.
+        unsafe {
+            for g in 0..4 {
+                let off = i + g * 8;
+                let raw = _mm_loadl_epi64(x.as_ptr().add(off) as *const __m128i);
+                let xv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(off));
+                _mm256_storeu_ps(y.as_mut_ptr().add(off), _mm256_fmadd_ps(av, xv, yv));
+            }
+        }
+        i += 32;
+    }
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n <= min(y.len(), x.len())`, so the 8-byte
+        // load, the f32 load, and the store stay inside their slices.
+        unsafe {
+            let raw = _mm_loadl_epi64(x.as_ptr().add(i) as *const __m128i);
+            let xv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(i));
+            _mm256_storeu_ps(y.as_mut_ptr().add(i), _mm256_fmadd_ps(av, xv, yv));
+        }
+        i += 8;
+    }
+    for (yi, &xi) in y[i..n].iter_mut().zip(&x[i..n]) {
+        *yi += alpha * xi as f32;
+    }
+}
+
+/// Register-tiled row accumulation over bf16 storage: eight YMM
+/// accumulators hold [`ACC_LANES`] output lanes across the whole non-zero
+/// loop, so each non-zero costs one widen+shift+FMA per 8-lane group and
+/// the output never round-trips to memory inside the loop.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant). `x` is the row-major payload with
+/// `stride` elements per row; column ids past `x.len() / stride` are
+/// skipped, so no caller-side bounds contract is needed.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn acc_row_bf16_avx2<const LOAD_Y: bool>(
+    y: &mut [f32],
+    cols: &[u32],
+    weights: &[f32],
+    x: &[u16],
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    let k = y.len().min(stride);
+    let rows = x.len() / stride;
+    let mut c0 = 0;
+    while c0 + ACC_LANES <= k {
+        // SAFETY: `c0 + 64 <= k <= y.len()` bounds the eight f32 loads and
+        // stores; `vi < rows` bounds every 16-byte payload load to
+        // `x[vi * stride + c0 .. vi * stride + c0 + 64]`, inside `x`
+        // because `(vi + 1) * stride <= x.len()` and `c0 + 64 <= stride`.
+        unsafe {
+            let yp = y.as_mut_ptr().add(c0);
+            let mut acc = [_mm256_setzero_ps(); ACC_LANES / 8];
+            if LOAD_Y {
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm256_loadu_ps(yp.add(g * 8));
+                }
+            }
+            for (idx, (&v, &w)) in cols.iter().zip(weights).enumerate() {
+                let vi = v as usize;
+                if vi >= rows {
+                    continue;
+                }
+                if let Some(&nv) = cols.get(idx + PREFETCH_AHEAD) {
+                    if (nv as usize) < rows {
+                        _mm_prefetch(
+                            x.as_ptr().add(nv as usize * stride + c0) as *const i8,
+                            _MM_HINT_T0,
+                        );
+                    }
+                }
+                let av = _mm256_set1_ps(w);
+                let xp = x.as_ptr().add(vi * stride + c0);
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    let raw = _mm_loadu_si128(xp.add(g * 8) as *const __m128i);
+                    let xv = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16));
+                    *slot = _mm256_fmadd_ps(av, xv, *slot);
+                }
+            }
+            for (g, slot) in acc.iter().enumerate() {
+                _mm256_storeu_ps(yp.add(g * 8), *slot);
+            }
+        }
+        c0 += ACC_LANES;
+    }
+    if c0 < k {
+        if !LOAD_Y {
+            for yi in &mut y[c0..k] {
+                *yi = 0.0;
+            }
+        }
+        for (&v, &w) in cols.iter().zip(weights) {
+            let vi = v as usize;
+            if vi >= rows {
+                continue;
+            }
+            let base = vi * stride;
+            // SAFETY: AVX2+FMA hold by this function's own contract.
+            unsafe { axpy_bf16_avx2(&mut y[c0..k], w, &x[base + c0..base + k]) };
+        }
+    }
+}
+
+/// Register-tiled row accumulation over IEEE binary16 storage —
+/// [`acc_row_bf16_avx2`] with `vcvtph2ps` as the decode.
+///
+/// # Safety
+///
+/// The caller must guarantee AVX2, FMA, *and* F16C (the dispatch checks
+/// [`f16c_available`] before routing here). Payload contract as in
+/// [`acc_row_bf16_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above (backend invariant + F16C guard).
+unsafe fn acc_row_f16_avx2<const LOAD_Y: bool>(
+    y: &mut [f32],
+    cols: &[u32],
+    weights: &[f32],
+    x: &[u16],
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    let k = y.len().min(stride);
+    let rows = x.len() / stride;
+    let mut c0 = 0;
+    while c0 + ACC_LANES <= k {
+        // SAFETY: same bounds argument as `acc_row_bf16_avx2` — the tile
+        // stays inside `y[c0..c0 + 64]` and every payload load inside row
+        // `vi` of `x`.
+        unsafe {
+            let yp = y.as_mut_ptr().add(c0);
+            let mut acc = [_mm256_setzero_ps(); ACC_LANES / 8];
+            if LOAD_Y {
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm256_loadu_ps(yp.add(g * 8));
+                }
+            }
+            for (idx, (&v, &w)) in cols.iter().zip(weights).enumerate() {
+                let vi = v as usize;
+                if vi >= rows {
+                    continue;
+                }
+                if let Some(&nv) = cols.get(idx + PREFETCH_AHEAD) {
+                    if (nv as usize) < rows {
+                        _mm_prefetch(
+                            x.as_ptr().add(nv as usize * stride + c0) as *const i8,
+                            _MM_HINT_T0,
+                        );
+                    }
+                }
+                let av = _mm256_set1_ps(w);
+                let xp = x.as_ptr().add(vi * stride + c0);
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    let xv = _mm256_cvtph_ps(_mm_loadu_si128(xp.add(g * 8) as *const __m128i));
+                    *slot = _mm256_fmadd_ps(av, xv, *slot);
+                }
+            }
+            for (g, slot) in acc.iter().enumerate() {
+                _mm256_storeu_ps(yp.add(g * 8), *slot);
+            }
+        }
+        c0 += ACC_LANES;
+    }
+    if c0 < k {
+        if !LOAD_Y {
+            for yi in &mut y[c0..k] {
+                *yi = 0.0;
+            }
+        }
+        for (&v, &w) in cols.iter().zip(weights) {
+            let vi = v as usize;
+            if vi >= rows {
+                continue;
+            }
+            let base = vi * stride;
+            // SAFETY: AVX2+FMA+F16C hold by this function's own contract.
+            unsafe { axpy_f16_avx2(&mut y[c0..k], w, &x[base + c0..base + k]) };
+        }
+    }
+}
+
+/// Register-tiled row accumulation over symmetric int8 storage: the
+/// per-row dequantization scale folds into the FMA coefficient, so each
+/// non-zero costs one sign-extend+convert+FMA per 8-lane group.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant). Payload contract as in
+/// [`acc_row_bf16_avx2`]; `scales` holds one entry per payload row.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn acc_row_i8_avx2<const LOAD_Y: bool>(
+    y: &mut [f32],
+    cols: &[u32],
+    weights: &[f32],
+    x: &[i8],
+    scales: &[f32],
+    stride: usize,
+) {
+    use std::arch::x86_64::*;
+    let k = y.len().min(stride);
+    let rows = (x.len() / stride).min(scales.len());
+    let mut c0 = 0;
+    // Double-width tile first (128 lanes, sixteen YMM accumulators): int8
+    // packs a whole 128-lane chunk into two cache lines, so the wide tile
+    // halves the chunk passes — and with them the per-non-zero loop
+    // overhead and the number of scattered reads per edge.
+    while c0 + 2 * ACC_LANES <= k {
+        // SAFETY: `c0 + 128 <= k <= y.len()` bounds the sixteen f32 loads
+        // and stores; `vi < rows <= scales.len()` bounds the scale read and
+        // every 8-byte payload load stays inside row `vi` of `x` because
+        // `(vi + 1) * stride <= x.len()` and `c0 + 128 <= stride`.
+        unsafe {
+            let yp = y.as_mut_ptr().add(c0);
+            let mut acc = [_mm256_setzero_ps(); 2 * ACC_LANES / 8];
+            if LOAD_Y {
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm256_loadu_ps(yp.add(g * 8));
+                }
+            }
+            for (idx, (&v, &w)) in cols.iter().zip(weights).enumerate() {
+                let vi = v as usize;
+                if vi >= rows {
+                    continue;
+                }
+                if let Some(&nv) = cols.get(idx + PREFETCH_AHEAD) {
+                    if (nv as usize) < rows {
+                        // The 128-lane int8 chunk spans two cache lines;
+                        // prefetch both so neither demand-misses.
+                        let np = x.as_ptr().add(nv as usize * stride + c0);
+                        _mm_prefetch(np, _MM_HINT_T0);
+                        _mm_prefetch(np.add(ACC_LANES), _MM_HINT_T0);
+                    }
+                }
+                let av = _mm256_set1_ps(w * *scales.get_unchecked(vi));
+                let xp = x.as_ptr().add(vi * stride + c0);
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    let raw = _mm_loadl_epi64(xp.add(g * 8) as *const __m128i);
+                    let xv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+                    *slot = _mm256_fmadd_ps(av, xv, *slot);
+                }
+            }
+            for (g, slot) in acc.iter().enumerate() {
+                _mm256_storeu_ps(yp.add(g * 8), *slot);
+            }
+        }
+        c0 += 2 * ACC_LANES;
+    }
+    while c0 + ACC_LANES <= k {
+        // SAFETY: same bounds argument as `acc_row_bf16_avx2`, with 8-byte
+        // payload loads; `vi < rows <= scales.len()` bounds the scale read.
+        unsafe {
+            let yp = y.as_mut_ptr().add(c0);
+            let mut acc = [_mm256_setzero_ps(); ACC_LANES / 8];
+            if LOAD_Y {
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    *slot = _mm256_loadu_ps(yp.add(g * 8));
+                }
+            }
+            for (idx, (&v, &w)) in cols.iter().zip(weights).enumerate() {
+                let vi = v as usize;
+                if vi >= rows {
+                    continue;
+                }
+                if let Some(&nv) = cols.get(idx + PREFETCH_AHEAD) {
+                    if (nv as usize) < rows {
+                        _mm_prefetch(x.as_ptr().add(nv as usize * stride + c0), _MM_HINT_T0);
+                    }
+                }
+                let av = _mm256_set1_ps(w * *scales.get_unchecked(vi));
+                let xp = x.as_ptr().add(vi * stride + c0);
+                for (g, slot) in acc.iter_mut().enumerate() {
+                    let raw = _mm_loadl_epi64(xp.add(g * 8) as *const __m128i);
+                    let xv = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+                    *slot = _mm256_fmadd_ps(av, xv, *slot);
+                }
+            }
+            for (g, slot) in acc.iter().enumerate() {
+                _mm256_storeu_ps(yp.add(g * 8), *slot);
+            }
+        }
+        c0 += ACC_LANES;
+    }
+    if c0 < k {
+        if !LOAD_Y {
+            for yi in &mut y[c0..k] {
+                *yi = 0.0;
+            }
+        }
+        for (&v, &w) in cols.iter().zip(weights) {
+            let vi = v as usize;
+            if vi >= rows {
+                continue;
+            }
+            let base = vi * stride;
+            // SAFETY: AVX2+FMA hold by this function's own contract.
+            unsafe { axpy_i8_avx2(&mut y[c0..k], w * scales[vi], &x[base + c0..base + k]) };
+        }
     }
 }
 
@@ -483,6 +1190,262 @@ unsafe fn mk8x8_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]
     }
 }
 
+/// Portable register-tile kernel over 16-bit-storage panels (two encoded
+/// elements per `f32` slot): decodes each depth step's 8 A lanes and 8 B
+/// lanes into stack arrays, then runs the same autovectorizable 8x8 FMA
+/// shape as [`mk8x8_portable`]. Also serves the scalar backend — the
+/// decode makes the textbook loop the same either way.
+#[inline(always)]
+fn mk8x8_w16_portable(
+    ap: &[f32],
+    bp: &[f32],
+    kc: usize,
+    acc: &mut [f32; MR * NR],
+    dec: impl Fn(u16) -> f32,
+) {
+    *acc = [0.0; MR * NR];
+    let mut a8 = [0.0f32; MR];
+    let mut b8 = [0.0f32; NR];
+    for p in 0..kc {
+        for q in 0..MR / 2 {
+            let bits = ap[p * (MR / 2) + q].to_bits();
+            a8[q * 2] = dec(bits as u16);
+            a8[q * 2 + 1] = dec((bits >> 16) as u16);
+        }
+        for q in 0..NR / 2 {
+            let bits = bp[p * (NR / 2) + q].to_bits();
+            b8[q * 2] = dec(bits as u16);
+            b8[q * 2 + 1] = dec((bits >> 16) as u16);
+        }
+        for (r, &ar) in a8.iter().enumerate() {
+            let row = &mut acc[r * NR..r * NR + NR];
+            for (c, &bv) in row.iter_mut().zip(&b8) {
+                *c += ar * bv;
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA register-tile kernel over bfloat16 panels: one 128-bit
+/// load yields the 8 B lanes (or 8 A lanes), decoded by widening shift.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 and FMA (the
+/// [`KernelDispatch`] invariant) and that `ap.len() >= kc * 4` and
+/// `bp.len() >= kc * 4` (slots of two encoded elements each).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn mk8x8_bf16_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * (MR / 2) && bp.len() >= kc * (NR / 2));
+    let mut c0 = _mm256_setzero_ps();
+    let mut c1 = _mm256_setzero_ps();
+    let mut c2 = _mm256_setzero_ps();
+    let mut c3 = _mm256_setzero_ps();
+    let mut c4 = _mm256_setzero_ps();
+    let mut c5 = _mm256_setzero_ps();
+    let mut c6 = _mm256_setzero_ps();
+    let mut c7 = _mm256_setzero_ps();
+    let a_ptr = ap.as_ptr();
+    let b_ptr = bp.as_ptr();
+    let mut alanes = [0.0f32; MR];
+    for p in 0..kc {
+        // SAFETY: `p < kc` and both panels hold at least `kc * 4` slots
+        // (caller contract, debug-asserted above); each 128-bit load reads
+        // exactly the 4 slots (= 8 encoded lanes) of depth step `p`.
+        unsafe {
+            let braw = _mm_loadu_si128(b_ptr.add(p * (NR / 2)) as *const __m128i);
+            let b = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(braw), 16));
+            let araw = _mm_loadu_si128(a_ptr.add(p * (MR / 2)) as *const __m128i);
+            let av = _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_cvtepu16_epi32(araw), 16));
+            _mm256_storeu_ps(alanes.as_mut_ptr(), av);
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[0]), b, c0);
+            c1 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[1]), b, c1);
+            c2 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[2]), b, c2);
+            c3 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[3]), b, c3);
+            c4 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[4]), b, c4);
+            c5 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[5]), b, c5);
+            c6 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[6]), b, c6);
+            c7 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[7]), b, c7);
+        }
+    }
+    // SAFETY: `acc` is exactly 64 floats; the eight stores cover
+    // `[0, 64)` in disjoint 8-float rows.
+    unsafe {
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_ps(out, c0);
+        _mm256_storeu_ps(out.add(8), c1);
+        _mm256_storeu_ps(out.add(16), c2);
+        _mm256_storeu_ps(out.add(24), c3);
+        _mm256_storeu_ps(out.add(32), c4);
+        _mm256_storeu_ps(out.add(40), c5);
+        _mm256_storeu_ps(out.add(48), c6);
+        _mm256_storeu_ps(out.add(56), c7);
+    }
+}
+
+/// AVX2 + FMA + F16C register-tile kernel over binary16 panels:
+/// `vcvtph2ps` decodes 8 halves per 128-bit load.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2, FMA, *and* F16C, and
+/// that `ap.len() >= kc * 4` and `bp.len() >= kc * 4`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above (backend invariant + F16C guard).
+unsafe fn mk8x8_f16_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * (MR / 2) && bp.len() >= kc * (NR / 2));
+    let mut c0 = _mm256_setzero_ps();
+    let mut c1 = _mm256_setzero_ps();
+    let mut c2 = _mm256_setzero_ps();
+    let mut c3 = _mm256_setzero_ps();
+    let mut c4 = _mm256_setzero_ps();
+    let mut c5 = _mm256_setzero_ps();
+    let mut c6 = _mm256_setzero_ps();
+    let mut c7 = _mm256_setzero_ps();
+    let a_ptr = ap.as_ptr();
+    let b_ptr = bp.as_ptr();
+    let mut alanes = [0.0f32; MR];
+    for p in 0..kc {
+        // SAFETY: `p < kc` and both panels hold at least `kc * 4` slots
+        // (caller contract, debug-asserted above); each 128-bit load reads
+        // exactly the 4 slots (= 8 encoded lanes) of depth step `p`.
+        unsafe {
+            let b = _mm256_cvtph_ps(_mm_loadu_si128(b_ptr.add(p * (NR / 2)) as *const __m128i));
+            let av = _mm256_cvtph_ps(_mm_loadu_si128(a_ptr.add(p * (MR / 2)) as *const __m128i));
+            _mm256_storeu_ps(alanes.as_mut_ptr(), av);
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[0]), b, c0);
+            c1 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[1]), b, c1);
+            c2 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[2]), b, c2);
+            c3 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[3]), b, c3);
+            c4 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[4]), b, c4);
+            c5 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[5]), b, c5);
+            c6 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[6]), b, c6);
+            c7 = _mm256_fmadd_ps(_mm256_set1_ps(alanes[7]), b, c7);
+        }
+    }
+    // SAFETY: `acc` is exactly 64 floats; the eight stores cover
+    // `[0, 64)` in disjoint 8-float rows.
+    unsafe {
+        let out = acc.as_mut_ptr();
+        _mm256_storeu_ps(out, c0);
+        _mm256_storeu_ps(out.add(8), c1);
+        _mm256_storeu_ps(out.add(16), c2);
+        _mm256_storeu_ps(out.add(24), c3);
+        _mm256_storeu_ps(out.add(32), c4);
+        _mm256_storeu_ps(out.add(40), c5);
+        _mm256_storeu_ps(out.add(48), c6);
+        _mm256_storeu_ps(out.add(56), c7);
+    }
+}
+
+/// Portable int8 register-tile kernel with `i32` accumulation: four
+/// encoded elements per `f32` slot are unpacked by byte shifts; the
+/// integer 8x8 FMA shape autovectorizes the same way the float one does.
+/// Also serves the scalar backend.
+fn mk8x8_i8_portable(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [i32; MR * NR]) {
+    *acc = [0; MR * NR];
+    let mut a8 = [0i32; MR];
+    let mut b8 = [0i32; NR];
+    for p in 0..kc {
+        for q in 0..MR / 4 {
+            let bits = ap[p * (MR / 4) + q].to_bits();
+            a8[q * 4] = (bits as u8 as i8) as i32;
+            a8[q * 4 + 1] = ((bits >> 8) as u8 as i8) as i32;
+            a8[q * 4 + 2] = ((bits >> 16) as u8 as i8) as i32;
+            a8[q * 4 + 3] = ((bits >> 24) as u8 as i8) as i32;
+        }
+        for q in 0..NR / 4 {
+            let bits = bp[p * (NR / 4) + q].to_bits();
+            b8[q * 4] = (bits as u8 as i8) as i32;
+            b8[q * 4 + 1] = ((bits >> 8) as u8 as i8) as i32;
+            b8[q * 4 + 2] = ((bits >> 16) as u8 as i8) as i32;
+            b8[q * 4 + 3] = ((bits >> 24) as u8 as i8) as i32;
+        }
+        for (r, &ar) in a8.iter().enumerate() {
+            let row = &mut acc[r * NR..r * NR + NR];
+            for (c, &bv) in row.iter_mut().zip(&b8) {
+                *c += ar * bv;
+            }
+        }
+    }
+}
+
+/// AVX2 int8 register-tile kernel: 8 B bytes sign-extend to one `i32`
+/// vector per depth step; 8 broadcast multiplies accumulate into 8
+/// integer YMM registers. Dequantization happens at write-back.
+///
+/// # Safety
+///
+/// The caller must guarantee the CPU supports AVX2 (the
+/// [`KernelDispatch`] invariant) and that `ap.len() >= kc * 2` and
+/// `bp.len() >= kc * 2` (slots of four encoded elements each).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe fn` purely for `#[target_feature]`; callers uphold the
+// `# Safety` contract above via the `KernelDispatch` backend invariant.
+unsafe fn mk8x8_i8_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [i32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * (MR / 4) && bp.len() >= kc * (NR / 4));
+    let mut c0 = _mm256_setzero_si256();
+    let mut c1 = _mm256_setzero_si256();
+    let mut c2 = _mm256_setzero_si256();
+    let mut c3 = _mm256_setzero_si256();
+    let mut c4 = _mm256_setzero_si256();
+    let mut c5 = _mm256_setzero_si256();
+    let mut c6 = _mm256_setzero_si256();
+    let mut c7 = _mm256_setzero_si256();
+    let a_ptr = ap.as_ptr();
+    let b_ptr = bp.as_ptr();
+    for p in 0..kc {
+        // SAFETY: `p < kc` and both panels hold at least `kc * 2` slots
+        // (caller contract, debug-asserted above); the 8-byte load reads
+        // exactly the 2 slots (= 8 encoded lanes) of depth step `p`, and
+        // the two scalar slot reads stay inside `ap`.
+        unsafe {
+            let braw = _mm_loadl_epi64(b_ptr.add(p * (NR / 4)) as *const __m128i);
+            let b = _mm256_cvtepi8_epi32(braw);
+            let lo = (*a_ptr.add(p * (MR / 4))).to_bits();
+            let hi = (*a_ptr.add(p * (MR / 4) + 1)).to_bits();
+            let m0 = _mm256_set1_epi32((lo as u8 as i8) as i32);
+            let m1 = _mm256_set1_epi32(((lo >> 8) as u8 as i8) as i32);
+            let m2 = _mm256_set1_epi32(((lo >> 16) as u8 as i8) as i32);
+            let m3 = _mm256_set1_epi32(((lo >> 24) as u8 as i8) as i32);
+            let m4 = _mm256_set1_epi32((hi as u8 as i8) as i32);
+            let m5 = _mm256_set1_epi32(((hi >> 8) as u8 as i8) as i32);
+            let m6 = _mm256_set1_epi32(((hi >> 16) as u8 as i8) as i32);
+            let m7 = _mm256_set1_epi32(((hi >> 24) as u8 as i8) as i32);
+            c0 = _mm256_add_epi32(c0, _mm256_mullo_epi32(m0, b));
+            c1 = _mm256_add_epi32(c1, _mm256_mullo_epi32(m1, b));
+            c2 = _mm256_add_epi32(c2, _mm256_mullo_epi32(m2, b));
+            c3 = _mm256_add_epi32(c3, _mm256_mullo_epi32(m3, b));
+            c4 = _mm256_add_epi32(c4, _mm256_mullo_epi32(m4, b));
+            c5 = _mm256_add_epi32(c5, _mm256_mullo_epi32(m5, b));
+            c6 = _mm256_add_epi32(c6, _mm256_mullo_epi32(m6, b));
+            c7 = _mm256_add_epi32(c7, _mm256_mullo_epi32(m7, b));
+        }
+    }
+    // SAFETY: `acc` is exactly 64 i32s; the eight stores cover `[0, 64)`
+    // in disjoint 8-lane rows.
+    unsafe {
+        let out = acc.as_mut_ptr() as *mut __m256i;
+        _mm256_storeu_si256(out, c0);
+        _mm256_storeu_si256(out.add(1), c1);
+        _mm256_storeu_si256(out.add(2), c2);
+        _mm256_storeu_si256(out.add(3), c3);
+        _mm256_storeu_si256(out.add(4), c4);
+        _mm256_storeu_si256(out.add(5), c5);
+        _mm256_storeu_si256(out.add(6), c6);
+        _mm256_storeu_si256(out.add(7), c7);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Panel packing
 // ---------------------------------------------------------------------------
@@ -551,6 +1514,164 @@ fn add_tile(
     }
 }
 
+/// [`pack_a_block`] at 16-bit storage: element `(r, p)` of micro-panel
+/// `ir` lands at u16 index `p * MR + r`, two encoded elements per `f32`
+/// scratch slot (lane `r` in the half selected by `r % 2`). Panels are
+/// zeroed first so absent rows decode as +0.0 at either format.
+#[inline(always)]
+fn pack_a_w16(
+    a: &DenseMatrix,
+    ic: usize,
+    ie: usize,
+    pc: usize,
+    pe: usize,
+    dst: &mut [f32],
+    enc: impl Fn(f32) -> u16,
+) {
+    let kc = pe - pc;
+    let panels = (ie - ic).div_ceil(MR);
+    let slot = MR / 2;
+    for ir in 0..panels {
+        let panel = &mut dst[ir * kc * slot..(ir + 1) * kc * slot];
+        panel.fill(0.0);
+        let i0 = ic + ir * MR;
+        let rows = (ie - i0).min(MR);
+        for r in 0..rows {
+            let arow = &a.row(i0 + r)[pc..pe];
+            let (q, shift) = (r / 2, 16 * (r % 2));
+            for (p, &v) in arow.iter().enumerate() {
+                let s = &mut panel[p * slot + q];
+                *s = f32::from_bits(s.to_bits() | ((enc(v) as u32) << shift));
+            }
+        }
+    }
+}
+
+/// [`pack_b_block`] at 16-bit storage: element `(p, j)` of micro-panel
+/// `jr` lands at u16 index `p * NR + j`, two encoded elements per `f32`
+/// scratch slot. Absent columns decode as +0.0.
+#[inline(always)]
+fn pack_b_w16(
+    b: &DenseMatrix,
+    pc: usize,
+    pe: usize,
+    jc: usize,
+    je: usize,
+    dst: &mut [f32],
+    enc: impl Fn(f32) -> u16,
+) {
+    let kc = pe - pc;
+    let panels = (je - jc).div_ceil(NR);
+    let slot = NR / 2;
+    for jr in 0..panels {
+        let panel = &mut dst[jr * kc * slot..(jr + 1) * kc * slot];
+        panel.fill(0.0);
+        let j0 = jc + jr * NR;
+        let cols = (je - j0).min(NR);
+        for p in 0..kc {
+            let brow = &b.row(pc + p)[j0..j0 + cols];
+            for (j, &v) in brow.iter().enumerate() {
+                let s = &mut panel[p * slot + j / 2];
+                *s = f32::from_bits(s.to_bits() | ((enc(v) as u32) << (16 * (j % 2))));
+            }
+        }
+    }
+}
+
+/// [`pack_a_block`] at int8 storage: element `(r, p)` lands at byte index
+/// `p * MR + r`, four encoded elements per `f32` scratch slot. Each row
+/// is quantized with its own reciprocal scale (`inv_scales[i]`, indexed
+/// by absolute row id); absent rows encode as 0.
+#[inline(always)]
+fn pack_a_i8(
+    a: &DenseMatrix,
+    ic: usize,
+    ie: usize,
+    pc: usize,
+    pe: usize,
+    inv_scales: &[f32],
+    dst: &mut [f32],
+) {
+    let kc = pe - pc;
+    let panels = (ie - ic).div_ceil(MR);
+    let slot = MR / 4;
+    for ir in 0..panels {
+        let panel = &mut dst[ir * kc * slot..(ir + 1) * kc * slot];
+        panel.fill(0.0);
+        let i0 = ic + ir * MR;
+        let rows = (ie - i0).min(MR);
+        for r in 0..rows {
+            let inv = inv_scales[i0 + r];
+            let arow = &a.row(i0 + r)[pc..pe];
+            let (q, shift) = (r / 4, 8 * (r % 4));
+            for (p, &v) in arow.iter().enumerate() {
+                let s = &mut panel[p * slot + q];
+                let byte = saturating_cast_i8(v * inv) as u8 as u32;
+                *s = f32::from_bits(s.to_bits() | (byte << shift));
+            }
+        }
+    }
+}
+
+/// [`pack_b_block`] at int8 storage: element `(p, j)` lands at byte index
+/// `p * NR + j`, four encoded elements per `f32` scratch slot. Each
+/// column is quantized with its own reciprocal scale (`inv_scales[j]`,
+/// indexed by absolute column id); absent columns encode as 0.
+#[inline(always)]
+fn pack_b_i8(
+    b: &DenseMatrix,
+    pc: usize,
+    pe: usize,
+    jc: usize,
+    je: usize,
+    inv_scales: &[f32],
+    dst: &mut [f32],
+) {
+    let kc = pe - pc;
+    let panels = (je - jc).div_ceil(NR);
+    let slot = NR / 4;
+    for jr in 0..panels {
+        let panel = &mut dst[jr * kc * slot..(jr + 1) * kc * slot];
+        panel.fill(0.0);
+        let j0 = jc + jr * NR;
+        let cols = (je - j0).min(NR);
+        for p in 0..kc {
+            let brow = &b.row(pc + p)[j0..j0 + cols];
+            for (j, &v) in brow.iter().enumerate() {
+                let s = &mut panel[p * slot + j / 4];
+                let byte = saturating_cast_i8(v * inv_scales[j0 + j]) as u8 as u32;
+                *s = f32::from_bits(s.to_bits() | (byte << (8 * (j % 4))));
+            }
+        }
+    }
+}
+
+/// [`add_tile`] for the int8 path: dequantizes the widened `i32`
+/// accumulator on write-back with the per-row (`sa`, local to the tile)
+/// and per-column (`sb`, local to the tile) scales — `c[i][j] +=
+/// acc[i][j] * sa[i] * sb[j]`.
+#[allow(clippy::too_many_arguments)]
+fn add_tile_scaled(
+    c_chunk: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    acc: &[i32; MR * NR],
+    sa: &[f32],
+    sb: &[f32],
+) {
+    for r in 0..rows {
+        let s_r = sa[r];
+        let base = (row0 + r) * n + col0;
+        let dst = &mut c_chunk[base..base + cols];
+        for ((d, &v), &s_c) in dst.iter_mut().zip(&acc[r * NR..r * NR + cols]).zip(sb) {
+            *d += (v as f32) * s_r * s_c;
+        }
+    }
+}
+
 /// One executor's work for one `(jc, pc)` block: packs its own A panels
 /// (`MC` rows at a time) and accumulates every micro-tile of its row range
 /// against the shared packed B panel.
@@ -589,6 +1710,110 @@ fn gemm_block(
                 let rows = (ie - i0).min(MR);
                 kd.mk8x8(ap, bp, kc, &mut acc);
                 add_tile(c_chunk, n, i0 - row_start, j0, rows, cols, &acc);
+            }
+        }
+        ic = ie;
+    }
+}
+
+/// [`gemm_block`] at 16-bit storage: identical blocking, but the A panels
+/// are encoded on the fly during packing and the micro-kernel decodes
+/// lanes back to `f32` — accumulators never narrow.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block_w16(
+    kd: KernelDispatch,
+    w: W16,
+    a: &DenseMatrix,
+    c_chunk: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    n: usize,
+    jc: usize,
+    je: usize,
+    pc: usize,
+    pe: usize,
+    apanel: &mut [f32],
+    bpanel: &[f32],
+) {
+    let kc = pe - pc;
+    let jpanels = (je - jc).div_ceil(NR);
+    let pslot_a = kc * (MR / 2);
+    let pslot_b = kc * (NR / 2);
+    let mut acc = [0.0f32; MR * NR];
+    let mut ic = row_start;
+    while ic < row_end {
+        let ie = (ic + MC).min(row_end);
+        pack_a_w16(a, ic, ie, pc, pe, apanel, |v| enc_w16(w, v));
+        let ipanels = (ie - ic).div_ceil(MR);
+        for jr in 0..jpanels {
+            let bp = &bpanel[jr * pslot_b..(jr + 1) * pslot_b];
+            let j0 = jc + jr * NR;
+            let cols = (je - j0).min(NR);
+            for ir in 0..ipanels {
+                let ap = &apanel[ir * pslot_a..(ir + 1) * pslot_a];
+                let i0 = ic + ir * MR;
+                let rows = (ie - i0).min(MR);
+                kd.mk8x8_w16(w, ap, bp, kc, &mut acc);
+                add_tile(c_chunk, n, i0 - row_start, j0, rows, cols, &acc);
+            }
+        }
+        ic = ie;
+    }
+}
+
+/// [`gemm_block`] at int8 storage: A rows quantize against per-row
+/// scales (`inv_sa`), the micro-kernel accumulates in `i32`, and the
+/// write-back dequantizes against `sa[i] * sb[j]`. Per-`KC`-block
+/// partial products sum exactly because the scales are global to the
+/// whole reduction, not per block.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block_i8(
+    kd: KernelDispatch,
+    a: &DenseMatrix,
+    c_chunk: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    n: usize,
+    jc: usize,
+    je: usize,
+    pc: usize,
+    pe: usize,
+    sa: &[f32],
+    inv_sa: &[f32],
+    sb: &[f32],
+    apanel: &mut [f32],
+    bpanel: &[f32],
+) {
+    let kc = pe - pc;
+    let jpanels = (je - jc).div_ceil(NR);
+    let pslot_a = kc * (MR / 4);
+    let pslot_b = kc * (NR / 4);
+    let mut acc = [0i32; MR * NR];
+    let mut ic = row_start;
+    while ic < row_end {
+        let ie = (ic + MC).min(row_end);
+        pack_a_i8(a, ic, ie, pc, pe, inv_sa, apanel);
+        let ipanels = (ie - ic).div_ceil(MR);
+        for jr in 0..jpanels {
+            let bp = &bpanel[jr * pslot_b..(jr + 1) * pslot_b];
+            let j0 = jc + jr * NR;
+            let cols = (je - j0).min(NR);
+            for ir in 0..ipanels {
+                let ap = &apanel[ir * pslot_a..(ir + 1) * pslot_a];
+                let i0 = ic + ir * MR;
+                let rows = (ie - i0).min(MR);
+                kd.mk8x8_i8(ap, bp, kc, &mut acc);
+                add_tile_scaled(
+                    c_chunk,
+                    n,
+                    i0 - row_start,
+                    j0,
+                    rows,
+                    cols,
+                    &acc,
+                    &sa[i0..i0 + rows],
+                    &sb[j0..j0 + cols],
+                );
             }
         }
         ic = ie;
@@ -716,6 +1941,282 @@ pub fn matmul_packed_with(
     Ok(())
 }
 
+/// [`matmul_packed_with`] at a chosen storage [`Precision`]: packing
+/// converts operands on the fly into the 64-byte-aligned pool scratch
+/// (bf16/f16 at two elements per slot, int8 at four), so only the panel
+/// storage narrows — arithmetic stays `f32` (bf16/f16) or widens to
+/// `i32` with per-row/per-column scales dequantized on write-back
+/// (int8). [`Precision::F32`] delegates to the f32 path unchanged.
+///
+/// # Errors
+///
+/// Returns [`MatrixError::DimensionMismatch`] if `a.cols() != b.rows()`
+/// and [`MatrixError::ZeroThreads`] if `threads == 0`.
+pub fn matmul_packed_prec_with(
+    kd: KernelDispatch,
+    precision: Precision,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+    c: &mut DenseMatrix,
+) -> Result<()> {
+    if precision == Precision::F32 {
+        return matmul_packed_with(kd, a, b, threads, c);
+    }
+    check_shapes("matmul_packed", a, b)?;
+    if threads == 0 {
+        return Err(MatrixError::ZeroThreads);
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    c.resize_zeroed(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(());
+    }
+
+    let pool = pool::global();
+    let executors = threads.clamp(1, pool.width()).min(m);
+    let rows_per = m.div_ceil(executors);
+    // Each executor owns a contiguous row range of C exclusively; the
+    // mutexes never contend, they only hand `&mut` slices through `Fn`.
+    let chunks: Vec<Mutex<&mut [f32]>> = c
+        .as_mut_slice()
+        .chunks_mut(rows_per * n)
+        .map(Mutex::new)
+        // lint:allow(L005): per-call chunk table of <= threads pointers —
+        // orders of magnitude below the counting-allocator budget.
+        .collect();
+    let executors = chunks.len();
+
+    // Elements per f32 scratch slot: 2 for the 16-bit formats, 4 for
+    // int8. Panel element counts carry a factor of MR = NR = 8, so the
+    // division is exact.
+    let ratio = 4 / precision.storage_bytes();
+    let kc_max = KC.min(k);
+    let bp_len = kc_max * (NC.min(n)).div_ceil(NR) * NR / ratio;
+    let ap_len = kc_max * MC / ratio;
+    // int8 additionally carves `[sa | inv_sa | sb | inv_sb]` scale
+    // tables from the front of the same scratch borrow.
+    let scale_len = if precision == Precision::Int8 {
+        2 * (m + n)
+    } else {
+        0
+    };
+    let w = if precision == Precision::F16 {
+        W16::F16
+    } else {
+        W16::Bf16
+    };
+    pool.scratch()
+        .with_f32(scale_len + bp_len + executors * ap_len, |scratch| {
+            let (scale_buf, panels) = scratch.split_at_mut(scale_len);
+            if precision == Precision::Int8 {
+                let (sa, rest) = scale_buf.split_at_mut(m);
+                let (inv_sa, rest) = rest.split_at_mut(m);
+                let (sb, inv_sb) = rest.split_at_mut(n);
+                for (i, s) in sa.iter_mut().enumerate() {
+                    *s = calibrate_scale(a.row(i));
+                }
+                for (s, inv) in sa.iter().zip(inv_sa.iter_mut()) {
+                    *inv = 1.0 / s;
+                }
+                // Column scales of B in one row-major pass.
+                sb.fill(0.0);
+                for p in 0..k {
+                    for (s, &v) in sb.iter_mut().zip(b.row(p)) {
+                        if v.is_finite() {
+                            *s = s.max(v.abs());
+                        }
+                    }
+                }
+                for (s, inv) in sb.iter_mut().zip(inv_sb.iter_mut()) {
+                    *s = if *s > 0.0 { *s / I8_MAX_Q } else { 1.0 };
+                    *inv = 1.0 / *s;
+                }
+            }
+            let scales: &[f32] = scale_buf;
+            let (bpanel, ap_all) = panels.split_at_mut(bp_len);
+            let apanels: Vec<Mutex<&mut [f32]>> = ap_all
+                .chunks_mut(ap_len)
+                .take(executors)
+                .map(Mutex::new)
+                // lint:allow(L005): per-call panel table of <= threads
+                // pointers into the single pool scratch borrow.
+                .collect();
+            let mut jc = 0;
+            while jc < n {
+                let je = (jc + NC).min(n);
+                let mut pc = 0;
+                while pc < k {
+                    let pe = (pc + KC).min(k);
+                    if precision == Precision::Int8 {
+                        pack_b_i8(b, pc, pe, jc, je, &scales[2 * m + n..], bpanel);
+                    } else {
+                        pack_b_w16(b, pc, pe, jc, je, bpanel, |v| enc_w16(w, v));
+                    }
+                    let bp: &[f32] = bpanel;
+                    pool.broadcast(executors, executors, |t| {
+                        let row_start = t * rows_per;
+                        let row_end = (row_start + rows_per).min(m);
+                        // Share index t locks only its own chunk and panel, so
+                        // neither lock ever contends; a poisoned lock only means
+                        // another worker panicked and the guarded slice is still
+                        // structurally valid to hand back.
+                        let mut chunk = chunks[t].lock().unwrap_or_else(|e| e.into_inner());
+                        let mut ap = apanels[t].lock().unwrap_or_else(|e| e.into_inner());
+                        if precision == Precision::Int8 {
+                            gemm_block_i8(
+                                kd,
+                                a,
+                                &mut chunk,
+                                row_start,
+                                row_end,
+                                n,
+                                jc,
+                                je,
+                                pc,
+                                pe,
+                                &scales[..m],
+                                &scales[m..2 * m],
+                                &scales[2 * m..2 * m + n],
+                                &mut ap,
+                                bp,
+                            );
+                        } else {
+                            gemm_block_w16(
+                                kd, w, a, &mut chunk, row_start, row_end, n, jc, je, pc, pe,
+                                &mut ap, bp,
+                            );
+                        }
+                    });
+                    pc = pe;
+                }
+                jc = je;
+            }
+        });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Precision probing
+// ---------------------------------------------------------------------------
+
+/// Fault-injection hook for the precision probe, one named site per
+/// narrow precision so chaos tests can fail a specific rung of the
+/// f32 ← bf16 ← int8 chain.
+fn precision_probe_site(p: Precision) -> Result<()> {
+    match p {
+        Precision::Bf16 => {
+            // lint:allow(L008): probe path, runs at plan construction —
+            // never on the per-call kernel path.
+            resilience::fault_point_err!(
+                "microkernel.probe.bf16",
+                MatrixError::Fault {
+                    site: "microkernel.probe.bf16",
+                }
+            );
+        }
+        Precision::F16 => {
+            // lint:allow(L008): probe path, see above.
+            resilience::fault_point_err!(
+                "microkernel.probe.f16",
+                MatrixError::Fault {
+                    site: "microkernel.probe.f16",
+                }
+            );
+        }
+        Precision::Int8 => {
+            // lint:allow(L008): probe path, see above.
+            resilience::fault_point_err!(
+                "microkernel.probe.int8",
+                MatrixError::Fault {
+                    site: "microkernel.probe.int8",
+                }
+            );
+        }
+        Precision::F32 => {}
+    }
+    Ok(())
+}
+
+/// `true` when `precision` survives a tiny encode → quantized-AXPY probe
+/// on `kd`: 16 known values are narrowed, accumulated, and checked
+/// against the analytic answer under `catch_unwind`. Panics, wrong
+/// values, and non-finite output all fail the probe; stack arrays only.
+fn probe_precision(kd: KernelDispatch, precision: Precision) -> bool {
+    if precision_probe_site(precision).is_err() {
+        return false;
+    }
+    if precision == Precision::F32 {
+        // The f32 path was already probed at dispatch selection.
+        return true;
+    }
+    std::panic::catch_unwind(move || {
+        let mut y = [0.5f32; 16];
+        let mut x = [0.0f32; 16];
+        for (j, v) in x.iter_mut().enumerate() {
+            *v = (j as f32 - 7.5) * 0.25;
+        }
+        let mut wide = [0u16; 16];
+        let mut narrow = [0i8; 16];
+        match precision {
+            Precision::Bf16 => {
+                for (d, &v) in wide.iter_mut().zip(&x) {
+                    *d = f32_to_bf16(v);
+                }
+                kd.axpy_quant(&mut y, 2.0, QuantRow::Bf16(&wide));
+            }
+            Precision::F16 => {
+                for (d, &v) in wide.iter_mut().zip(&x) {
+                    *d = f32_to_f16(v);
+                }
+                kd.axpy_quant(&mut y, 2.0, QuantRow::F16(&wide));
+            }
+            _ => {
+                let scale = calibrate_scale(&x);
+                let inv = 1.0 / scale;
+                for (d, &v) in narrow.iter_mut().zip(&x) {
+                    *d = saturating_cast_i8(v * inv);
+                }
+                kd.axpy_quant(&mut y, 2.0, QuantRow::Int8(scale, &narrow));
+            }
+        }
+        // Worst case is the int8 grid: step ~0.0148 over this range,
+        // doubled by alpha — 0.05 leaves slack without masking a wrong
+        // lane (lanes differ by 0.5).
+        y.iter().zip(&x).all(|(&v, &xv)| {
+            let want = 0.5 + 2.0 * xv;
+            v.is_finite() && (v - want).abs() <= 0.05
+        })
+    })
+    .unwrap_or(false)
+}
+
+/// Resolves a requested storage precision against the probe chain: the
+/// first rung of `requested` → [`Precision::fallback`] → … that passes
+/// [`probe_precision`] wins, falling back to [`Precision::F32`] when
+/// every narrow rung fails. Returns the chosen precision and the
+/// `(requested, chosen)` pair when a downgrade happened — the resilience
+/// layer records it as a degradation. In practice only injected faults
+/// (`resilience`) fail a rung; the probe exists so a miscompiled or
+/// misdetected narrow path degrades instead of corrupting inference.
+pub fn resolve_precision(
+    kd: KernelDispatch,
+    requested: Precision,
+) -> (Precision, Option<(Precision, Precision)>) {
+    let mut candidate = requested;
+    loop {
+        if probe_precision(kd, candidate) {
+            let fallback = (candidate != requested).then_some((requested, candidate));
+            return (candidate, fallback);
+        }
+        match candidate.fallback() {
+            Some(next) => candidate = next,
+            None => return (Precision::F32, Some((requested, Precision::F32))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,6 +2304,162 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Reference for the narrow GEMMs: round-trip the operands through
+    /// the same storage narrowing the packed path uses, then run the
+    /// naive f32 triple loop — the remaining difference is accumulation
+    /// order only.
+    fn narrowed_reference(a: &DenseMatrix, b: &DenseMatrix, precision: Precision) -> DenseMatrix {
+        use crate::quant::{f16_to_f32 as df16, f32_to_f16 as ef16};
+        let narrow = |m: &DenseMatrix, per_col: bool| -> DenseMatrix {
+            let mut out = m.clone();
+            match precision {
+                Precision::Bf16 => {
+                    for v in out.as_mut_slice() {
+                        *v = bf16_to_f32(f32_to_bf16(*v));
+                    }
+                }
+                Precision::F16 => {
+                    for v in out.as_mut_slice() {
+                        *v = df16(ef16(*v));
+                    }
+                }
+                _ => {
+                    if per_col {
+                        let t = m.transpose();
+                        let mut tq = t.clone();
+                        for r in 0..t.rows() {
+                            let s = calibrate_scale(t.row(r));
+                            for (d, &v) in tq.row_mut(r).iter_mut().zip(t.row(r)) {
+                                *d = saturating_cast_i8(v / s) as f32 * s;
+                            }
+                        }
+                        out = tq.transpose();
+                    } else {
+                        for r in 0..m.rows() {
+                            let s = calibrate_scale(m.row(r));
+                            for (d, &v) in out.row_mut(r).iter_mut().zip(m.row(r)) {
+                                *d = saturating_cast_i8(v / s) as f32 * s;
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        };
+        matmul_naive(&narrow(a, false), &narrow(b, true)).unwrap()
+    }
+
+    #[test]
+    fn packed_prec_matches_narrowed_naive_across_shapes_and_backends() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (8, 8, 8),
+            (3, 5, 7),
+            (17, 0, 9),
+            (65, 129, 33),
+            (70, 64, 1),
+        ] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            for precision in [Precision::Bf16, Precision::F16, Precision::Int8] {
+                let reference = narrowed_reference(&a, &b, precision);
+                for kd in all_backends() {
+                    for threads in [1, 4] {
+                        let mut c = DenseMatrix::filled(3, 3, f32::NAN);
+                        matmul_packed_prec_with(kd, precision, &a, &b, threads, &mut c).unwrap();
+                        // The reference applies identical narrowing, so
+                        // only accumulation order differs (plus one
+                        // rounding per i32→f32 writeback for int8).
+                        let tol = if precision == Precision::Int8 {
+                            2e-3
+                        } else {
+                            1e-4
+                        } * (k.max(1) as f32);
+                        assert!(
+                            reference.max_abs_diff(&c) < tol,
+                            "({m},{k},{n}) prec={precision} backend={} threads={threads} diff={}",
+                            kd.backend().name(),
+                            reference.max_abs_diff(&c)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_prec_f32_delegates_to_f32_path() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = random_matrix(&mut rng, 10, 12);
+        let b = random_matrix(&mut rng, 12, 9);
+        let mut c32 = DenseMatrix::default();
+        let mut cp = DenseMatrix::default();
+        let kd = KernelDispatch::get();
+        matmul_packed_with(kd, &a, &b, 1, &mut c32).unwrap();
+        matmul_packed_prec_with(kd, Precision::F32, &a, &b, 1, &mut cp).unwrap();
+        assert_eq!(c32.max_abs_diff(&cp), 0.0);
+    }
+
+    #[test]
+    fn narrow_axpy_backends_agree_with_scalar_decode() {
+        let mut rng = StdRng::seed_from_u64(15);
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let x: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let base: Vec<f32> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let alpha = 1.5f32;
+            let bf: Vec<u16> = x.iter().map(|&v| f32_to_bf16(v)).collect();
+            let hf: Vec<u16> = x.iter().map(|&v| f32_to_f16(v)).collect();
+            let scale = calibrate_scale(&x);
+            let i8s: Vec<i8> = x.iter().map(|&v| saturating_cast_i8(v / scale)).collect();
+            for kd in all_backends() {
+                let mut want = base.clone();
+                axpy_decoded_scalar(&mut want, alpha, &bf, bf16_to_f32);
+                let mut y = base.clone();
+                kd.axpy_quant(&mut y, alpha, QuantRow::Bf16(&bf));
+                for (w, g) in want.iter().zip(&y) {
+                    assert!(
+                        (w - g).abs() < 1e-5,
+                        "bf16 len={len} {}",
+                        kd.backend().name()
+                    );
+                }
+                let mut want = base.clone();
+                axpy_decoded_scalar(&mut want, alpha, &hf, f16_to_f32);
+                let mut y = base.clone();
+                kd.axpy_quant(&mut y, alpha, QuantRow::F16(&hf));
+                for (w, g) in want.iter().zip(&y) {
+                    assert!(
+                        (w - g).abs() < 1e-5,
+                        "f16 len={len} {}",
+                        kd.backend().name()
+                    );
+                }
+                let mut want = base.clone();
+                axpy_decoded_scalar(&mut want, alpha * scale, &i8s, |v| v as f32);
+                let mut y = base.clone();
+                kd.axpy_quant(&mut y, alpha, QuantRow::Int8(scale, &i8s));
+                for (w, g) in want.iter().zip(&y) {
+                    assert!(
+                        (w - g).abs() < 1e-4,
+                        "int8 len={len} {}",
+                        kd.backend().name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_precision_accepts_every_rung_unfaulted() {
+        let kd = KernelDispatch::get();
+        for p in Precision::all() {
+            let (chosen, fallback) = resolve_precision(kd, p);
+            assert_eq!(chosen, p);
+            assert!(fallback.is_none());
         }
     }
 

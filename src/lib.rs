@@ -66,7 +66,7 @@ pub mod prelude {
     };
     pub use graph::{Graph, OgbDataset, ReorderKind, ReorderedGraph, RmatConfig};
     pub use kernels::{SpmmPlan, SpmmStrategy};
-    pub use matrix::{Activation, DenseMatrix, WeightInit};
+    pub use matrix::{Activation, DenseMatrix, Precision, WeightInit};
     pub use piuma_kernels::{SpmmSimResult, SpmmSimulation, SpmmVariant};
     pub use piuma_sim::{MachineConfig, SimResult, Simulator};
     pub use platform_models::{GcnPhaseTimes, GpuModel, Phase, PiumaModel, XeonModel};
