@@ -73,6 +73,15 @@ impl InferenceWorkspace {
         self.plan.as_ref()
     }
 
+    /// Installs `plan` as the cached execution plan. The planned inference
+    /// entry points keep any installed plan whose fingerprint matches the
+    /// adjacency, so tests and the sharded runner use this to pin a
+    /// machine-independent plan (e.g. width 1 → always sequential) before
+    /// calling [`GcnModel::infer_planned_with`].
+    pub fn install_plan(&mut self, plan: SpmmPlan) {
+        self.plan = Some(plan);
+    }
+
     /// Returns the cached plan for `a_hat`, building (and caching) a fresh
     /// one if the workspace holds no plan or a plan for a different graph.
     pub fn plan_for(&mut self, a_hat: &Csr, k: usize) -> &SpmmPlan {

@@ -223,11 +223,18 @@ impl SpmmPlan {
     /// any downgrade ([`SpmmPlan::precision_fallback`]). The planned layer
     /// then stores its feature operand at the resolved precision.
     pub fn with_precision(a: &Csr, k: usize, precision: Precision) -> SpmmPlan {
-        let mut plan = Self::new(a, k);
-        let (resolved, fell_back) = resolve_precision(plan.kernel, precision);
-        plan.precision = resolved;
-        plan.precision_fallback = fell_back;
-        plan
+        Self::new(a, k).at_precision(precision)
+    }
+
+    /// Re-targets an existing plan to a storage precision, probing it
+    /// against the plan's captured kernel dispatch exactly like
+    /// [`SpmmPlan::with_precision`] — sharded runners use this to inherit a
+    /// precision onto per-shard plans without re-deriving statistics.
+    pub fn at_precision(mut self, precision: Precision) -> SpmmPlan {
+        let (resolved, fell_back) = resolve_precision(self.kernel, precision);
+        self.precision = resolved;
+        self.precision_fallback = fell_back;
+        self
     }
 
     /// [`SpmmPlan::new`] with an explicit thread budget (exposed so tests
@@ -892,6 +899,77 @@ mod tests {
                 reference.max_abs_diff(&out2)
             );
         }
+    }
+
+    #[test]
+    fn partition_with_more_slots_than_rows_collapses_cleanly() {
+        // 4 rows, 2 nnz each; asking for 16 slots must not emit empty
+        // middle ranges — boundaries stay strictly increasing and cover
+        // every row exactly once (the sharding layer pads the tail).
+        let row_ptr = [0usize, 2, 4, 6, 8];
+        let bounds = nnz_balanced_partition(&row_ptr, 16);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 4);
+        assert!(bounds.len() <= 5, "at most one boundary per row");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn partition_bounds_a_hub_row_exceeding_the_slot_budget() {
+        // One hub row holds 100 of 106 nnz, far past the ~27-nnz per-slot
+        // budget at 4 slots. Rows are never split, so the hub's range
+        // absorbs the overflow (documented bound: ceil(nnz/slots) +
+        // max_row_nnz - 1), the boundaries that would land inside it
+        // collapse (strictly increasing, no empty ranges), and the
+        // remaining rows still get covered exactly once.
+        let row_ptr = [0usize, 2, 102, 104, 106];
+        let bounds = nnz_balanced_partition(&row_ptr, 4);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), 4);
+        let budget = 106usize.div_ceil(4);
+        let max_row = 100;
+        for w in bounds.windows(2) {
+            let slot_nnz = row_ptr[w[1]] - row_ptr[w[0]];
+            assert!(
+                slot_nnz <= budget + max_row - 1,
+                "slot {w:?} holds {slot_nnz} nnz, over the documented bound"
+            );
+        }
+        // The hub ends up sharing a range with at most the small rows
+        // before it — everything after the hub is balanced normally.
+        let hub_end = bounds
+            .iter()
+            .position(|&b| b >= 2)
+            .expect("a boundary at or after the hub row exists");
+        assert!(
+            bounds[hub_end] == 2,
+            "boundary lands right after the hub: {bounds:?}"
+        );
+    }
+
+    #[test]
+    fn single_slot_partition_is_the_identity() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let a = random_csr(&mut rng, 30, 120);
+        assert_eq!(nnz_balanced_partition(a.row_ptr(), 1), vec![0, 30]);
+        // Degenerate inputs: no rows at all collapse to a single boundary.
+        assert_eq!(nnz_balanced_partition(&[0], 4), vec![0]);
+    }
+
+    #[test]
+    fn at_precision_inherits_structure_and_records_fallback() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let a = random_csr(&mut rng, 40, 160);
+        let base = SpmmPlan::new(&a, 8);
+        let fp = base.fingerprint_value();
+        let plan = base.at_precision(Precision::Bf16);
+        assert_eq!(plan.fingerprint_value(), fp);
+        assert!(plan.matches(&a));
+        // Same resolution as building at the precision directly.
+        let direct = SpmmPlan::with_precision(&a, 8, Precision::Bf16);
+        assert_eq!(plan.precision(), direct.precision());
+        assert_eq!(plan.precision_fallback(), direct.precision_fallback());
     }
 
     #[test]

@@ -2,16 +2,25 @@
 //! Section V-A: "As the number of nodes in a PIUMA system increases, the
 //! DGAS memory capacity and effective bandwidth increase proportionally").
 //!
-//! We strong-scale the DMA SpMM kernel from 1 to 8 nodes of 8 cores each,
-//! with cross-node accesses paying the optical-link latency, and check that
-//! the latency-tolerant design keeps scaling near-linear anyway.
+//! The scaling curves come from first principles: the *actual* shard
+//! partition (`shard::ShardPlan`, the same NNZ/row-balanced blocks the
+//! executable `shard::ShardedGcn` runs) is projected onto one PIUMA node
+//! per shard by [`shard::simulate_model`] — per-node dense/DRAM bounds,
+//! DMA halo gathers over the HyperX path, a closing barrier. Efficiency
+//! falls out of the partition's measured halo volume and imbalance rather
+//! than being seeded.
+//!
+//! When `results/BENCH_shard_scaling.json` exists (written by the
+//! `shard_scaling` bench), its measured wall-clock medians and achieved
+//! GFLOPS for the matching configuration are shown next to the model, so
+//! the table reads measured-vs-model side by side.
 
 use super::common::scaled_twin;
 use super::Fidelity;
 use crate::{ExperimentOutput, TextTable};
 use graph::OgbDataset;
-use piuma_kernels::{SpmmSimulation, SpmmVariant};
-use piuma_sim::MachineConfig;
+use shard::sim::parallel_efficiency;
+use shard::{simulate_model, PartitionKind, ShardPlan};
 
 /// Node counts swept (8 cores per node).
 pub const NODES: [usize; 4] = [1, 2, 4, 8];
@@ -21,40 +30,87 @@ pub const CORES_PER_NODE: usize = 8;
 /// Runs the sweep; returns `(nodes, gflops, parallel_efficiency)`.
 pub fn sweep(fidelity: Fidelity, k: usize) -> Vec<(usize, f64, f64)> {
     let a = scaled_twin(OgbDataset::Products, fidelity);
-    let mut rows = Vec::new();
-    let mut base = 0.0;
-    for &nodes in &NODES {
-        let cfg = MachineConfig::multi_node(nodes, CORES_PER_NODE);
-        let gf = SpmmSimulation::new(cfg, SpmmVariant::Dma)
-            .run(&a, k)
-            .expect("in-range placement")
-            .gflops;
-        if nodes == 1 {
-            base = gf;
+    let dims = [(k, k)];
+    let base = simulate_model(
+        &ShardPlan::new(&a, 1, PartitionKind::Rows1D).expect("square twin partitions"),
+        &dims,
+        CORES_PER_NODE,
+    );
+    NODES
+        .iter()
+        .map(|&nodes| {
+            let plan =
+                ShardPlan::new(&a, nodes, PartitionKind::Rows1D).expect("square twin partitions");
+            let r = simulate_model(&plan, &dims, CORES_PER_NODE);
+            let eff = parallel_efficiency(&base, 1, &r, nodes);
+            (nodes, r.gflops(), eff)
+        })
+        .collect()
+}
+
+/// Extracts `"key": <number>` from a one-row JSON line.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Measured `(median_ms, gflops)` for a 1D natural-order configuration
+/// from `results/BENCH_shard_scaling.json`, if the bench has run.
+pub fn measured(k: usize, workers: usize) -> Option<(f64, f64)> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_shard_scaling.json"
+    );
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if !line.contains("\"kind\": \"1d\"") || !line.contains("\"reordered\": false") {
+            continue;
         }
-        rows.push((nodes, gf, gf / (base * nodes as f64)));
+        let (Some(w), Some(f)) = (field(line, "workers"), field(line, "f")) else {
+            continue;
+        };
+        if w as usize == workers && f as usize == k {
+            return Some((field(line, "median_ms")?, field(line, "measured_gflops")?));
+        }
     }
-    rows
+    None
 }
 
 /// Regenerates the multi-node scaling study.
 pub fn run(fidelity: Fidelity) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("ext_multinode");
-    let mut table = TextTable::new(vec!["nodes", "cores", "K", "gflops", "efficiency"]);
+    let mut table = TextTable::new(vec![
+        "nodes",
+        "cores",
+        "K",
+        "gflops",
+        "efficiency",
+        "measured_ms",
+        "measured_gflops",
+    ]);
     for k in [8usize, 256] {
         for (nodes, gf, eff) in sweep(fidelity, k) {
+            let (m_ms, m_gf) = match measured(k, nodes) {
+                Some((ms, gf)) => (format!("{ms:.3}"), format!("{gf:.2}")),
+                None => ("-".into(), "-".into()),
+            };
             table.row(vec![
                 nodes.to_string(),
                 (nodes * CORES_PER_NODE).to_string(),
                 k.to_string(),
                 format!("{gf:.2}"),
                 format!("{eff:.2}"),
+                m_ms,
+                m_gf,
             ]);
         }
     }
     out.csv("scaling.csv", table.to_csv());
     out.section(
-        "Multi-node PIUMA strong scaling (DMA SpMM, 8 cores/node, optical links)",
+        "Multi-node PIUMA strong scaling (sharded GCN projection, 8 cores/node, optical links)",
         &table,
     );
     out
@@ -63,6 +119,8 @@ pub fn run(fidelity: Fidelity) -> ExperimentOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use piuma_kernels::{SpmmSimulation, SpmmVariant};
+    use piuma_sim::MachineConfig;
 
     #[test]
     fn multi_node_scaling_stays_strong_at_k256() {
@@ -72,11 +130,25 @@ mod tests {
         let rows = sweep(Fidelity::Quick, 256);
         let (nodes, _, eff) = rows[rows.len() - 1];
         assert_eq!(nodes, 8);
-        assert!(eff > 0.5, "8-node efficiency {eff:.2}");
+        assert!(eff >= 0.74, "8-node efficiency {eff:.2}");
         // Throughput itself must be monotone in node count.
         for w in rows.windows(2) {
             assert!(w[1].1 > w[0].1);
         }
+    }
+
+    #[test]
+    fn narrow_features_scale_worse_than_wide() {
+        // The paper's qualitative gap: K=8 exposes the K-independent
+        // per-row exchange overheads that K=256 amortizes.
+        let wide = sweep(Fidelity::Quick, 256);
+        let narrow = sweep(Fidelity::Quick, 8);
+        let wide_eff = wide[wide.len() - 1].2;
+        let narrow_eff = narrow[narrow.len() - 1].2;
+        assert!(
+            narrow_eff < wide_eff - 0.2,
+            "K=8 eff {narrow_eff:.2} must trail K=256 eff {wide_eff:.2}"
+        );
     }
 
     #[test]
@@ -95,5 +167,15 @@ mod tests {
             split <= single * 1.02,
             "split {split:.1} vs single {single:.1}"
         );
+    }
+
+    #[test]
+    fn measured_rows_parse_when_bench_artifact_exists() {
+        // The scanner either finds a full measured row or reports none;
+        // it must not panic on the checked-in artifact.
+        if let Some((ms, gf)) = measured(256, 8) {
+            assert!(ms > 0.0 && gf > 0.0);
+        }
+        assert!(measured(999, 3).is_none(), "absent configs yield None");
     }
 }

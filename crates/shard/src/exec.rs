@@ -1,0 +1,352 @@
+//! The shard execution hot loop: a dependency-counting task-graph
+//! executor over the shared worker pool, plus the two memory-bound
+//! kernels every sharded layer schedules — halo gather and column-block
+//! accumulation.
+//!
+//! "Kernel on shard" and "halo exchange" are both just task IDs here. A
+//! [`TaskGraph`] is a static DAG (built once per layer shape, reused every
+//! call); [`TaskGraph::run`] drains it with the pool's workers using a
+//! shared ready queue and per-task dependency counters, so shards whose
+//! halos arrive early start aggregating while other shards are still
+//! exchanging — the same overlap a PIUMA node gets from its hardware DMA
+//! engines. A task body that panics poisons the run: its dependents are
+//! never released, every worker drains out, and the caller gets
+//! [`ExecError::TaskPanicked`] instead of a deadlock.
+
+// BOUNDS: all `[]` indexing in this module is over vectors sized in
+// lock-step with the task count at graph construction (`dependents` and
+// `indegree` are `tasks` long and task IDs only ever come from those
+// structures), or over rows/columns the partition layer validated when it
+// built the shard-local CSR (`refs` entries are in-range columns of the
+// source matrix; local column indices were checked by `Csr::from_raw`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use matrix::microkernel::KernelDispatch;
+use matrix::DenseMatrix;
+use sparse::Csr;
+
+/// Why a task-graph run failed to drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The ready queue emptied with tasks still pending and none running —
+    /// a dependency cycle, or dependents of a failed task.
+    Stalled {
+        /// Tasks that never became ready.
+        remaining: usize,
+    },
+    /// A task body panicked; its dependents were withheld and the run
+    /// drained early.
+    TaskPanicked,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Stalled { remaining } => {
+                write!(f, "task graph stalled with {remaining} tasks unreleased")
+            }
+            ExecError::TaskPanicked => write!(f, "a shard task panicked"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Mutable frontier of one [`TaskGraph::run`] call.
+struct RunState {
+    ready: VecDeque<usize>,
+    indegree: Vec<usize>,
+    remaining: usize,
+    running: usize,
+    panicked: bool,
+    stalled: usize,
+}
+
+/// A static task DAG scheduled over the worker pool.
+///
+/// Nodes are `0..tasks`; edges say "dependent cannot start before
+/// dependency finishes". The graph itself is immutable during a run, so
+/// one graph built per layer shape is reused across inference calls.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    dependents: Vec<Vec<usize>>,
+    indegree: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// An edgeless graph of `tasks` nodes (all immediately ready).
+    pub fn new(tasks: usize) -> TaskGraph {
+        TaskGraph {
+            // lint:allow(L005): graph construction, paid once per layer
+            // shape and reused across every inference call.
+            dependents: vec![Vec::new(); tasks],
+            // lint:allow(L005): graph construction, paid once per layer.
+            indegree: vec![0; tasks],
+        }
+    }
+
+    /// Declares that `task` cannot start until `dep` has finished.
+    pub fn add_dep(&mut self, task: usize, dep: usize) {
+        debug_assert!(task < self.indegree.len() && dep < self.indegree.len());
+        debug_assert_ne!(task, dep, "a task cannot depend on itself");
+        self.dependents[dep].push(task);
+        self.indegree[task] += 1;
+    }
+
+    /// Number of tasks in the graph.
+    pub fn tasks(&self) -> usize {
+        self.indegree.len()
+    }
+
+    /// Drains the graph with up to `workers` pool lanes, calling
+    /// `run_task(id)` exactly once per task, dependencies before
+    /// dependents. Blocks until every task ran or the run poisoned.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::TaskPanicked`] if a task body panicked (the payload is
+    /// swallowed; record task-level errors out of band), and
+    /// [`ExecError::Stalled`] if tasks remain unreleasable — a dependency
+    /// cycle. Both leave the pool healthy.
+    pub fn run<F: Fn(usize) + Sync>(&self, workers: usize, run_task: F) -> Result<(), ExecError> {
+        let total = self.indegree.len();
+        if total == 0 {
+            return Ok(());
+        }
+        let mut ready = VecDeque::with_capacity(total);
+        for (t, &d) in self.indegree.iter().enumerate() {
+            if d == 0 {
+                ready.push_back(t);
+            }
+        }
+        let state = Mutex::new(RunState {
+            ready,
+            indegree: self.indegree.clone(),
+            remaining: total,
+            running: 0,
+            panicked: false,
+            stalled: 0,
+        });
+        let done = Condvar::new();
+        let lanes = workers.clamp(1, pool::global().width());
+
+        pool::global().broadcast(lanes, lanes, |_lane| loop {
+            let task = {
+                let mut st = lock(&state);
+                loop {
+                    if st.panicked || st.stalled > 0 || st.remaining == 0 {
+                        return;
+                    }
+                    if let Some(t) = st.ready.pop_front() {
+                        st.running += 1;
+                        break t;
+                    }
+                    if st.running == 0 {
+                        // Nothing ready, nothing running, tasks pending:
+                        // the graph cannot make progress.
+                        st.stalled = st.remaining;
+                        done.notify_all();
+                        return;
+                    }
+                    st = wait(&done, st);
+                }
+            };
+            let ok = catch_unwind(AssertUnwindSafe(|| run_task(task))).is_ok();
+            let mut st = lock(&state);
+            st.running -= 1;
+            if ok {
+                st.remaining -= 1;
+                for &d in &self.dependents[task] {
+                    st.indegree[d] -= 1;
+                    if st.indegree[d] == 0 {
+                        st.ready.push_back(d);
+                    }
+                }
+            } else {
+                // Withhold the dependents; every waiter drains out.
+                st.panicked = true;
+            }
+            if st.panicked || st.remaining == 0 || !st.ready.is_empty() || st.running == 0 {
+                done.notify_all();
+            }
+        });
+
+        let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if st.panicked {
+            Err(ExecError::TaskPanicked)
+        } else if st.remaining > 0 {
+            Err(ExecError::Stalled {
+                remaining: st.remaining,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Locks ignoring poisoning: the executor's own catch_unwind keeps task
+/// panics from unwinding through a held guard, and a poisoned frontier is
+/// discarded at the end of the run anyway.
+fn lock<'m>(state: &'m Mutex<RunState>) -> MutexGuard<'m, RunState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// [`Condvar::wait`] ignoring poisoning (see [`lock`]).
+fn wait<'m>(cv: &Condvar, guard: MutexGuard<'m, RunState>) -> MutexGuard<'m, RunState> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// The halo-exchange copy kernel: stages the feature rows listed in `refs`
+/// (global row IDs of `src`) into the dense `stage` buffer, one staged row
+/// per reference, in ascending reference order. Models a PIUMA node
+/// DMA-gathering remote rows from the distributed global address space
+/// into a local landing buffer; the explicit copy is what makes the
+/// communication volume measurable. Returns the bytes staged.
+///
+/// Idempotent by construction (pure copy into an exclusively-held buffer),
+/// so callers retry it verbatim when the fault injector fires.
+pub fn gather_rows(stage: &mut DenseMatrix, src: &DenseMatrix, refs: &[u32]) -> u64 {
+    // lint:allow(L008): disabled fault points compile to one static bool
+    // load per exchange task (not per row), far below the copy cost.
+    resilience::fault_point!("shard.exchange");
+    let width = src.cols();
+    stage.resize_for_overwrite(refs.len(), width);
+    for (slot, &g) in refs.iter().enumerate() {
+        stage.row_mut(slot).copy_from_slice(src.row(g as usize));
+    }
+    (refs.len() * width * 4) as u64
+}
+
+/// Accumulates one 2D column block into a row block's accumulator:
+/// `acc[u] += Σ local[u, lc] * stage[lc]` with each row's non-zeros walked
+/// in ascending column order through the same element-wise
+/// [`KernelDispatch::axpy`] the single-node row loops use. Because the
+/// partition keeps per-row column order and blocks are accumulated in
+/// ascending block order, the floating-point sequence per output element
+/// is identical to the unsharded sequential walk — this is the kernel that
+/// makes 2D sharding bitwise-exact.
+pub fn accumulate_block(
+    kd: KernelDispatch,
+    local: &Csr,
+    stage: &DenseMatrix,
+    acc: &mut DenseMatrix,
+) {
+    debug_assert_eq!(acc.rows(), local.nrows());
+    debug_assert_eq!(stage.rows(), local.ncols());
+    debug_assert_eq!(stage.cols(), acc.cols());
+    for u in 0..local.nrows() {
+        let cols = local.row_cols(u);
+        let vals = local.row_values(u);
+        let y = acc.row_mut(u);
+        for (&lc, &v) in cols.iter().zip(vals) {
+            kd.axpy(y, v, stage.row(lc as usize));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = TaskGraph::new(0);
+        assert_eq!(g.run(4, |_| {}), Ok(()));
+    }
+
+    #[test]
+    fn runs_every_task_exactly_once_in_dependency_order() {
+        // Chain 0 -> 1 -> 2 plus a free task 3.
+        let mut g = TaskGraph::new(4);
+        g.add_dep(1, 0);
+        g.add_dep(2, 1);
+        let order = Mutex::new(Vec::new());
+        g.run(4, |t| order.lock().unwrap().push(t)).unwrap();
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+
+    #[test]
+    fn diamond_joins_wait_for_both_parents() {
+        // 0 -> {1, 2} -> 3, many times to shake out races.
+        for _ in 0..50 {
+            let mut g = TaskGraph::new(4);
+            g.add_dep(1, 0);
+            g.add_dep(2, 0);
+            g.add_dep(3, 1);
+            g.add_dep(3, 2);
+            let hits = AtomicUsize::new(0);
+            g.run(4, |t| {
+                if t == 3 {
+                    assert_eq!(hits.load(Ordering::SeqCst), 3);
+                }
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+            assert_eq!(hits.into_inner(), 4);
+        }
+    }
+
+    #[test]
+    fn cycles_stall_instead_of_deadlocking() {
+        let mut g = TaskGraph::new(3);
+        g.add_dep(1, 0);
+        g.add_dep(0, 1); // 0 <-> 1 cycle; 2 is free.
+        let ran = AtomicUsize::new(0);
+        let err = g.run(2, |_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(err, Err(ExecError::Stalled { remaining: 2 }));
+        assert_eq!(ran.into_inner(), 1, "only the free task ran");
+    }
+
+    #[test]
+    fn a_panicking_task_withholds_dependents() {
+        let _quiet = resilience::retry::quiet_panics();
+        let mut g = TaskGraph::new(3);
+        g.add_dep(1, 0);
+        g.add_dep(2, 1);
+        let ran = AtomicUsize::new(0);
+        let err = g.run(2, |t| {
+            if t == 0 {
+                panic!("injected test failure in task 0");
+            }
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(err, Err(ExecError::TaskPanicked));
+        assert_eq!(ran.into_inner(), 0, "dependents of the failure never ran");
+    }
+
+    #[test]
+    fn gather_rows_copies_in_reference_order_and_counts_bytes() {
+        let src =
+            DenseMatrix::from_rows(&[&[0.0, 1.0], &[10.0, 11.0], &[20.0, 21.0], &[30.0, 31.0]])
+                .unwrap();
+        let mut stage = DenseMatrix::default();
+        let bytes = gather_rows(&mut stage, &src, &[3, 1]);
+        assert_eq!(bytes, 2 * 2 * 4);
+        assert_eq!(stage.row(0), &[30.0, 31.0]);
+        assert_eq!(stage.row(1), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn accumulate_block_matches_a_manual_walk() {
+        let mut coo = sparse::Coo::new(2, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(0, 2, -1.0);
+        coo.push(1, 1, 0.5);
+        let local = Csr::from_coo(&coo);
+        let stage = DenseMatrix::from_rows(&[&[1.0, 2.0], &[4.0, 8.0], &[16.0, 32.0]]).unwrap();
+        let mut acc = DenseMatrix::from_rows(&[&[100.0, 100.0], &[100.0, 100.0]]).unwrap();
+        accumulate_block(KernelDispatch::get(), &local, &stage, &mut acc);
+        assert_eq!(acc.row(0), &[100.0 + 2.0 - 16.0, 100.0 + 4.0 - 32.0]);
+        assert_eq!(acc.row(1), &[102.0, 104.0]);
+    }
+}

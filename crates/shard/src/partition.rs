@@ -1,0 +1,582 @@
+//! NNZ-balanced 1D / 2D partitioning of a CSR adjacency across workers.
+//!
+//! A [`ShardPlan`] cuts a square adjacency into `workers` blocks — either
+//! 1D contiguous row blocks or a 2D grid of (row range x column range)
+//! blocks — with boundaries found by the same merge-path binary search the
+//! single-node planner uses ([`kernels::plan::nnz_balanced_partition`]).
+//! Each block gets a **local CSR** over only the columns it references,
+//! plus a **halo map**: the referenced rows whose activations live on
+//! another worker and must be fetched before the block can aggregate.
+//!
+//! Ownership follows the PIUMA DGAS layout: global activation row `r`
+//! lives on the worker whose row range *and* column range both contain
+//! `r`, so every row has exactly one home and 1D degenerates to the
+//! classic "each worker owns its row block" distribution.
+
+use kernels::fused::FusedOrder;
+use kernels::plan::nnz_balanced_partition;
+use sparse::Csr;
+
+use crate::ShardError;
+
+/// How the adjacency is cut across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// `N` contiguous NNZ-balanced row blocks (each worker owns whole
+    /// rows and gathers every referenced column).
+    Rows1D,
+    /// An `R x C` grid (`R * C = N`, as square as `N`'s divisors allow):
+    /// each worker owns one row-range x column-range block, aggregation
+    /// partials flow along grid rows.
+    Grid2D,
+}
+
+impl PartitionKind {
+    /// Grid shape `(row_blocks, col_blocks)` for `workers` workers.
+    /// `Rows1D` maps to `(workers, 1)`; `Grid2D` picks the divisor pair of
+    /// `workers` closest to a square (so 2 -> 1x2, 4 -> 2x2, 8 -> 2x4).
+    pub fn grid(self, workers: usize) -> (usize, usize) {
+        let workers = workers.max(1);
+        match self {
+            PartitionKind::Rows1D => (workers, 1),
+            PartitionKind::Grid2D => {
+                let mut r = (workers as f64).sqrt().floor() as usize;
+                while r > 1 && !workers.is_multiple_of(r) {
+                    r -= 1;
+                }
+                (r.max(1), workers / r.max(1))
+            }
+        }
+    }
+
+    /// Short lowercase name used in bench JSON and CI matrix filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionKind::Rows1D => "1d",
+            PartitionKind::Grid2D => "2d",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Exactly-`parts` boundary wrapper over
+/// [`kernels::plan::nnz_balanced_partition`].
+///
+/// The underlying merge-path split returns *at most* `parts + 1` strictly
+/// increasing boundaries — a hub row that swallows several targets, or
+/// fewer rows than parts, collapses slots. Sharding needs a fixed worker
+/// count, so this pads the boundary vector with trailing copies of
+/// `nrows`: the result always has `parts + 1` non-decreasing entries,
+/// starts at 0, ends at `nrows`, and workers past the realized split own
+/// empty (zero-row) shards.
+pub fn shard_bounds(row_ptr: &[usize], parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    let n = row_ptr.len().saturating_sub(1);
+    let mut bounds = nnz_balanced_partition(row_ptr, parts);
+    while bounds.len() < parts + 1 {
+        bounds.push(n);
+    }
+    bounds
+}
+
+/// Row-block boundaries balanced on the *fused-layer* work of each row:
+/// its non-zeros (aggregation cost) plus one mean-degree unit (dense
+/// update cost, which is per-row). Runs [`shard_bounds`] over the scaled
+/// prefix `row_ptr[i] * nrows + i * nnz`, so a pure-power-law hub block
+/// doesn't starve its GEMM while a tail block drowns in rows — on
+/// uniform-degree graphs this is exactly the NNZ split.
+pub fn row_work_bounds(row_ptr: &[usize], parts: usize) -> Vec<usize> {
+    let n = row_ptr.len().saturating_sub(1);
+    let nnz = row_ptr.last().copied().unwrap_or(0);
+    let mut prefix = vec![0usize; n + 1];
+    for (i, p) in prefix.iter_mut().enumerate() {
+        *p = row_ptr[i] * n.max(1) + i * nnz.max(1);
+    }
+    shard_bounds(&prefix, parts)
+}
+
+/// Column-direction analogue of [`shard_bounds`]: builds the column
+/// non-zero prefix (a transposed `row_ptr`) and NNZ-balances column
+/// ranges over it, so 2D grids balance incoming as well as outgoing
+/// edges.
+pub fn col_shard_bounds(a: &Csr, parts: usize) -> Vec<usize> {
+    let mut prefix = vec![0usize; a.ncols() + 1];
+    for &c in a.col_idx() {
+        prefix[c as usize + 1] += 1;
+    }
+    for i in 0..a.ncols() {
+        prefix[i + 1] += prefix[i];
+    }
+    shard_bounds(&prefix, parts)
+}
+
+/// One worker's block of the partitioned adjacency.
+#[derive(Debug, Clone)]
+pub struct ShardBlock {
+    /// Grid coordinates `(i, j)` of this block.
+    pub grid_pos: (usize, usize),
+    /// Global row range `[row_start, row_end)` this block aggregates into.
+    pub row_start: usize,
+    /// End of the global row range (exclusive).
+    pub row_end: usize,
+    /// Global column range `[col_start, col_end)` this block reads from.
+    pub col_start: usize,
+    /// End of the global column range (exclusive).
+    pub col_end: usize,
+    /// Local CSR: `(row_end - row_start)` rows over `refs.len()` columns;
+    /// local column `l` is global column `refs[l]`.
+    pub local: Csr,
+    /// Referenced global columns, ascending — the rows whose features
+    /// this block needs staged before it can aggregate.
+    pub refs: Vec<u32>,
+    /// The halo: the subset of `refs` owned by other workers (outside
+    /// this block's own row range) whose features must cross the network.
+    pub halo: Vec<u32>,
+}
+
+impl ShardBlock {
+    /// Rows this block owns (`row_end - row_start`).
+    pub fn rows(&self) -> usize {
+        self.row_end - self.row_start
+    }
+
+    /// Non-zeros in the local CSR block.
+    pub fn nnz(&self) -> usize {
+        self.local.nnz()
+    }
+
+    /// Global activation rows homed on this worker: the intersection of
+    /// its row and column ranges (see module docs on ownership).
+    pub fn owned_range(&self) -> (usize, usize) {
+        let lo = self.row_start.max(self.col_start);
+        let hi = self.row_end.min(self.col_end);
+        (lo, hi.max(lo))
+    }
+}
+
+/// Static communication cost of one sharded GCN layer, in bytes.
+///
+/// All three components are derived from the partition alone (they do not
+/// depend on feature values), so the same ledger drives both the runtime
+/// counters and the `piuma-sim` mirror.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerExchange {
+    /// Association order the fused layer picks for these widths.
+    pub order: FusedOrder,
+    /// Feature width of the aggregation (`k_in` aggregate-first, `k_out`
+    /// update-first).
+    pub agg_width: usize,
+    /// Halo rows fetched across workers, summed over blocks.
+    pub halo_rows: usize,
+    /// Referenced rows staged (local + halo), summed over blocks.
+    pub referenced_rows: usize,
+    /// Bytes of remote feature rows gathered before aggregation.
+    pub gather_bytes: u64,
+    /// Bytes of partial-accumulator handoffs along 2D grid rows
+    /// (`(C - 1)` hops per row block); zero for 1D.
+    pub reduce_bytes: u64,
+    /// Bytes written back to rows homed on other workers after the
+    /// update/activation; zero for 1D.
+    pub scatter_bytes: u64,
+    /// Update-first only: bytes of `H` rows the per-row-block GEMM reads
+    /// from other workers; zero for aggregate-first and for 1D.
+    pub mid_gather_bytes: u64,
+}
+
+impl LayerExchange {
+    /// Total bytes crossing worker boundaries for this layer.
+    pub fn total_bytes(&self) -> u64 {
+        self.gather_bytes + self.reduce_bytes + self.scatter_bytes + self.mid_gather_bytes
+    }
+}
+
+/// An NNZ-balanced 1D or 2D partition of one square adjacency.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    kind: PartitionKind,
+    grid: (usize, usize),
+    row_bounds: Vec<usize>,
+    col_bounds: Vec<usize>,
+    blocks: Vec<ShardBlock>,
+    nrows: usize,
+    nnz: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `a` across `workers` blocks of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardError::NotSquare`] for a non-square adjacency (the
+    /// DGAS ownership map needs row and column index spaces to coincide)
+    /// and [`ShardError::ZeroWorkers`] for `workers == 0`.
+    pub fn new(a: &Csr, workers: usize, kind: PartitionKind) -> Result<ShardPlan, ShardError> {
+        if a.nrows() != a.ncols() {
+            return Err(ShardError::NotSquare {
+                rows: a.nrows(),
+                cols: a.ncols(),
+            });
+        }
+        if workers == 0 {
+            return Err(ShardError::ZeroWorkers);
+        }
+        let (r, c) = kind.grid(workers);
+        let row_bounds = row_work_bounds(a.row_ptr(), r);
+        let col_bounds = if c == 1 {
+            vec![0, a.ncols()]
+        } else {
+            col_shard_bounds(a, c)
+        };
+        let mut blocks = Vec::with_capacity(r * c);
+        for i in 0..r {
+            for j in 0..c {
+                blocks.push(build_block(
+                    a,
+                    (i, j),
+                    (row_bounds[i], row_bounds[i + 1]),
+                    (col_bounds[j], col_bounds[j + 1]),
+                )?);
+            }
+        }
+        Ok(ShardPlan {
+            kind,
+            grid: (r, c),
+            row_bounds,
+            col_bounds,
+            blocks,
+            nrows: a.nrows(),
+            nnz: a.nnz(),
+        })
+    }
+
+    /// Number of workers (= blocks).
+    pub fn workers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The partition kind this plan was built with.
+    pub fn kind(&self) -> PartitionKind {
+        self.kind
+    }
+
+    /// Grid shape `(row_blocks, col_blocks)`.
+    pub fn grid(&self) -> (usize, usize) {
+        self.grid
+    }
+
+    /// Row-block boundaries (`row_blocks + 1` non-decreasing entries).
+    pub fn row_bounds(&self) -> &[usize] {
+        &self.row_bounds
+    }
+
+    /// Column-block boundaries (`col_blocks + 1` non-decreasing entries).
+    pub fn col_bounds(&self) -> &[usize] {
+        &self.col_bounds
+    }
+
+    /// The blocks, row-major: block `(i, j)` is at index `i * C + j`.
+    pub fn blocks(&self) -> &[ShardBlock] {
+        &self.blocks
+    }
+
+    /// Vertex count of the partitioned adjacency.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Non-zeros of the partitioned adjacency (the blocks tile it, so
+    /// their local nnz sums to this).
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Per-worker non-zero counts, block order.
+    pub fn shard_nnz(&self) -> Vec<usize> {
+        self.blocks.iter().map(ShardBlock::nnz).collect()
+    }
+
+    /// `max_shard_nnz / (nnz / workers)` — 1.0 is a perfect split.
+    pub fn imbalance(&self) -> f64 {
+        let ideal = self.nnz as f64 / self.workers() as f64;
+        if ideal <= 0.0 {
+            return 1.0;
+        }
+        let max = self.blocks.iter().map(ShardBlock::nnz).max().unwrap_or(0);
+        max as f64 / ideal
+    }
+
+    /// Total halo rows across blocks (rows fetched from other workers).
+    pub fn halo_rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.halo.len()).sum()
+    }
+
+    /// Total referenced rows across blocks (staged local + halo).
+    pub fn referenced_rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.refs.len()).sum()
+    }
+
+    /// `halo_rows / referenced_rows` — the fraction of staged feature
+    /// rows that actually cross the network.
+    pub fn halo_fraction(&self) -> f64 {
+        let refs = self.referenced_rows();
+        if refs == 0 {
+            return 0.0;
+        }
+        self.halo_rows() as f64 / refs as f64
+    }
+
+    /// The static exchange ledger of one GCN layer with weight shape
+    /// `(k_in, k_out)`, mirroring the fused layer's association order.
+    pub fn layer_exchange(&self, k_in: usize, k_out: usize) -> LayerExchange {
+        let order = if k_in <= k_out {
+            FusedOrder::AggregateFirst
+        } else {
+            FusedOrder::UpdateFirst
+        };
+        let agg_width = match order {
+            FusedOrder::AggregateFirst => k_in,
+            FusedOrder::UpdateFirst => k_out,
+        };
+        let (r, c) = self.grid;
+        let halo_rows = self.halo_rows();
+        let referenced_rows = self.referenced_rows();
+        let gather_bytes = (halo_rows * agg_width * 4) as u64;
+        let mut reduce_rows = 0usize;
+        let mut scatter_rows = 0usize;
+        for i in 0..r {
+            let rows_i = self.row_bounds[i + 1] - self.row_bounds[i];
+            reduce_rows += (c - 1) * rows_i;
+            // The update/finish of row block i runs where its accumulator
+            // chain ends: worker (i, C-1). Rows homed elsewhere in the
+            // grid row are written back across the network.
+            let last = &self.blocks[i * c + (c - 1)];
+            let (o_lo, o_hi) = last.owned_range();
+            scatter_rows += rows_i - (o_hi - o_lo);
+        }
+        let reduce_bytes = (reduce_rows * agg_width * 4) as u64;
+        let scatter_bytes = (scatter_rows * k_out * 4) as u64;
+        // Update-first: the per-row-block GEMM reads all of its H rows at
+        // k_in before aggregation; the same non-owned rows are remote.
+        let mid_gather_bytes = match order {
+            FusedOrder::UpdateFirst => (scatter_rows * k_in * 4) as u64,
+            FusedOrder::AggregateFirst => 0,
+        };
+        LayerExchange {
+            order,
+            agg_width,
+            halo_rows,
+            referenced_rows,
+            gather_bytes,
+            reduce_bytes,
+            scatter_bytes,
+            mid_gather_bytes,
+        }
+    }
+}
+
+/// Builds one block: local CSR over referenced columns plus the halo map.
+fn build_block(
+    a: &Csr,
+    grid_pos: (usize, usize),
+    (row_start, row_end): (usize, usize),
+    (col_start, col_end): (usize, usize),
+) -> Result<ShardBlock, ShardError> {
+    let mut refs: Vec<u32> = Vec::new();
+    for u in row_start..row_end {
+        for &col in a.row_cols(u) {
+            let g = col as usize;
+            if g >= col_start && g < col_end {
+                refs.push(col);
+            }
+        }
+    }
+    refs.sort_unstable();
+    refs.dedup();
+
+    let mut row_ptr = Vec::with_capacity(row_end - row_start + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for u in row_start..row_end {
+        for (&col, &v) in a.row_cols(u).iter().zip(a.row_values(u)) {
+            let g = col as usize;
+            if g >= col_start && g < col_end {
+                let l = refs
+                    .binary_search(&col)
+                    .expect("column collected into refs above");
+                col_idx.push(l as u32);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let local = Csr::from_raw(row_end - row_start, refs.len(), row_ptr, col_idx, values)
+        .map_err(|e| ShardError::Partition(e.to_string()))?;
+    let halo = refs
+        .iter()
+        .copied()
+        .filter(|&g| (g as usize) < row_start || (g as usize) >= row_end)
+        .collect();
+    Ok(ShardBlock {
+        grid_pos,
+        row_start,
+        row_end,
+        col_start,
+        col_end,
+        local,
+        refs,
+        halo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graph::rmat::RmatConfig;
+    use graph::Graph;
+
+    fn twin(scale: u32, seed: u64) -> Csr {
+        Graph::rmat(&RmatConfig::power_law(scale, 6), seed)
+            .normalized_adjacency()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_shapes_are_near_square() {
+        assert_eq!(PartitionKind::Rows1D.grid(8), (8, 1));
+        assert_eq!(PartitionKind::Grid2D.grid(1), (1, 1));
+        assert_eq!(PartitionKind::Grid2D.grid(2), (1, 2));
+        assert_eq!(PartitionKind::Grid2D.grid(4), (2, 2));
+        assert_eq!(PartitionKind::Grid2D.grid(8), (2, 4));
+        assert_eq!(PartitionKind::Grid2D.grid(6), (2, 3));
+    }
+
+    #[test]
+    fn shard_bounds_always_returns_exactly_n_plus_one() {
+        let a = twin(8, 3);
+        for parts in [1usize, 2, 3, 8, 300, 1000] {
+            let b = shard_bounds(a.row_ptr(), parts);
+            assert_eq!(b.len(), parts + 1, "parts={parts}");
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), a.nrows());
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_rows_yields_empty_trailing_shards() {
+        let a = twin(4, 1); // 16 rows
+        let plan = ShardPlan::new(&a, 300, PartitionKind::Rows1D).unwrap();
+        assert_eq!(plan.workers(), 300);
+        let nonempty = plan.blocks().iter().filter(|b| b.rows() > 0).count();
+        assert!(nonempty <= 16);
+        assert_eq!(plan.shard_nnz().iter().sum::<usize>(), a.nnz());
+    }
+
+    #[test]
+    fn blocks_tile_the_adjacency_exactly() {
+        let a = twin(9, 7);
+        for kind in [PartitionKind::Rows1D, PartitionKind::Grid2D] {
+            for n in [1usize, 2, 4, 8] {
+                let plan = ShardPlan::new(&a, n, kind).unwrap();
+                assert_eq!(plan.workers(), n);
+                // NNZ conservation.
+                assert_eq!(
+                    plan.shard_nnz().iter().sum::<usize>(),
+                    a.nnz(),
+                    "kind={kind} n={n}"
+                );
+                // Row coverage: row bounds tile [0, nrows].
+                assert_eq!(plan.row_bounds()[0], 0);
+                assert_eq!(*plan.row_bounds().last().unwrap(), a.nrows());
+                // Every local entry decodes back to the original value.
+                for b in plan.blocks() {
+                    for lu in 0..b.local.nrows() {
+                        let gu = b.row_start + lu;
+                        for (&lc, &v) in b.local.row_cols(lu).iter().zip(b.local.row_values(lu)) {
+                            let gc = b.refs[lc as usize];
+                            let pos = a.row_cols(gu).binary_search(&gc).unwrap();
+                            assert_eq!(a.row_values(gu)[pos], v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halo_is_exactly_the_non_owned_references() {
+        let a = twin(8, 11);
+        let plan = ShardPlan::new(&a, 4, PartitionKind::Grid2D).unwrap();
+        for b in plan.blocks() {
+            for &g in &b.halo {
+                assert!((g as usize) < b.row_start || (g as usize) >= b.row_end);
+            }
+            let local_refs = b.refs.len() - b.halo.len();
+            let in_range = b
+                .refs
+                .iter()
+                .filter(|&&g| (g as usize) >= b.row_start && (g as usize) < b.row_end)
+                .count();
+            assert_eq!(local_refs, in_range);
+        }
+        assert!(plan.halo_fraction() > 0.0);
+        assert!(plan.halo_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn single_worker_plan_is_the_identity_partition() {
+        let a = twin(7, 5);
+        for kind in [PartitionKind::Rows1D, PartitionKind::Grid2D] {
+            let plan = ShardPlan::new(&a, 1, kind).unwrap();
+            assert_eq!(plan.workers(), 1);
+            let b = &plan.blocks()[0];
+            assert_eq!((b.row_start, b.row_end), (0, a.nrows()));
+            assert_eq!(b.nnz(), a.nnz());
+            assert!(b.halo.is_empty(), "one worker owns everything");
+            assert_eq!(plan.halo_rows(), 0);
+            assert!((plan.imbalance() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ledger_mirrors_association_order() {
+        let a = twin(8, 13);
+        let plan = ShardPlan::new(&a, 4, PartitionKind::Rows1D).unwrap();
+        let agg_first = plan.layer_exchange(16, 64);
+        assert_eq!(agg_first.order, FusedOrder::AggregateFirst);
+        assert_eq!(agg_first.agg_width, 16);
+        assert_eq!(agg_first.mid_gather_bytes, 0);
+        let upd_first = plan.layer_exchange(64, 16);
+        assert_eq!(upd_first.order, FusedOrder::UpdateFirst);
+        assert_eq!(upd_first.agg_width, 16);
+        // 1D: no reduce, no scatter, no remote mid reads.
+        assert_eq!(agg_first.reduce_bytes, 0);
+        assert_eq!(agg_first.scatter_bytes, 0);
+        assert_eq!(upd_first.mid_gather_bytes, 0);
+        // 2D pays reduce hops.
+        let plan2 = ShardPlan::new(&a, 4, PartitionKind::Grid2D).unwrap();
+        assert!(plan2.layer_exchange(16, 64).reduce_bytes > 0);
+    }
+
+    #[test]
+    fn non_square_matrices_are_rejected() {
+        let mut coo = sparse::Coo::new(4, 5);
+        coo.push(0, 4, 1.0);
+        let rect = Csr::from_coo(&coo);
+        assert!(matches!(
+            ShardPlan::new(&rect, 2, PartitionKind::Rows1D),
+            Err(ShardError::NotSquare { .. })
+        ));
+        let sq = twin(4, 2);
+        assert!(matches!(
+            ShardPlan::new(&sq, 0, PartitionKind::Rows1D),
+            Err(ShardError::ZeroWorkers)
+        ));
+    }
+}

@@ -1,0 +1,481 @@
+//! The sharded GCN inference runner.
+//!
+//! [`ShardedGcn`] executes a [`gcn::GcnModel`] over a [`ShardPlan`] the
+//! way a PIUMA cluster would: every layer becomes one (aggregate-first)
+//! or two (update-first) task graphs whose nodes are "gather this shard's
+//! halo into its landing buffer" and "run this shard's kernel", drained by
+//! [`crate::exec::TaskGraph`] over the shared pool. All cross-shard data
+//! moves through explicit per-shard copy buffers, every gather passes a
+//! `shard.exchange` fault point and is retried idempotently, and the
+//! runner counts the staged/halo bytes so communication volume is a
+//! measured quantity.
+//!
+//! The output is **bitwise identical** to single-node
+//! [`gcn::GcnModel::infer_planned`] running a width-1 plan: per-shard
+//! plans are built at width 1 (always sequential — parallelism comes from
+//! the task graph, not from inside a shard), 2D column blocks accumulate
+//! in ascending order so each output element sees the exact same
+//! floating-point sequence as the unsharded row walk, and the packed GEMM
+//! is row-partition-invariant.
+
+use std::sync::Mutex;
+
+use gcn::{GcnLayer, GcnModel};
+use kernels::SpmmPlan;
+use matrix::microkernel::{matmul_packed_prec_with, matmul_packed_with, KernelDispatch};
+use matrix::{DenseMatrix, Precision, QuantMatrix};
+use resilience::retry::{self, RetryPolicy};
+use sparse::Csr;
+
+use crate::exec::{self, TaskGraph};
+use crate::partition::{LayerExchange, PartitionKind, ShardPlan};
+use crate::ShardError;
+
+/// Per-worker exchange state: the staged feature rows (the halo landing
+/// buffer), their narrow-precision encoding, and the shard's cached
+/// execution plan.
+#[derive(Debug, Default)]
+struct StageBuf {
+    feat: DenseMatrix,
+    quant: QuantMatrix,
+    plan: Option<SpmmPlan>,
+}
+
+/// Per-row-block dense state: the aggregation accumulator, the layer
+/// output rows, and the update-first staging block of `H` rows.
+#[derive(Debug, Default)]
+struct RowBuf {
+    acc: DenseMatrix,
+    out: DenseMatrix,
+    hblk: DenseMatrix,
+}
+
+/// Communication observed during the most recent inference call.
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    staged_bytes: u64,
+    halo_bytes: u64,
+    recovered_exchanges: u64,
+}
+
+/// Partition statistics plus the communication ledger and the measured
+/// byte counters of the most recent [`ShardedGcn::infer`] call.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Worker (shard) count.
+    pub workers: usize,
+    /// Partition kind the plan was built with.
+    pub kind: PartitionKind,
+    /// Grid shape `(row_blocks, col_blocks)`.
+    pub grid: (usize, usize),
+    /// Non-zeros per shard, block order.
+    pub shard_nnz: Vec<usize>,
+    /// `max_shard_nnz / mean_shard_nnz` (1.0 = perfect balance).
+    pub imbalance: f64,
+    /// Remote rows referenced across all shards.
+    pub halo_rows: usize,
+    /// Total referenced (staged) rows across all shards.
+    pub referenced_rows: usize,
+    /// `halo_rows / referenced_rows` — fraction of staged feature rows
+    /// that cross worker boundaries.
+    pub halo_fraction: f64,
+    /// Static per-layer exchange ledger for the model this report was
+    /// built against.
+    pub layers: Vec<LayerExchange>,
+    /// Ledger total: bytes the partition says must cross workers for one
+    /// inference pass.
+    pub ledger_bytes: u64,
+    /// Measured bytes copied through the explicit stage buffers during
+    /// the last inference (local + halo rows, all phases).
+    pub staged_bytes: u64,
+    /// Measured halo subset of `staged_bytes` — rows fetched from other
+    /// workers.
+    pub halo_bytes: u64,
+    /// Exchange attempts beyond the first (fault-injection recoveries)
+    /// during the last inference.
+    pub recovered_exchanges: u64,
+}
+
+/// Sharded multi-node GCN executor over a fixed partition.
+#[derive(Debug)]
+pub struct ShardedGcn {
+    plan: ShardPlan,
+    precision: Precision,
+    policy: RetryPolicy,
+    kd: KernelDispatch,
+    stages: Vec<Mutex<StageBuf>>,
+    rows: Vec<Mutex<RowBuf>>,
+    h: DenseMatrix,
+    next: DenseMatrix,
+    mid: DenseMatrix,
+    counters: Mutex<Counters>,
+    error: Mutex<Option<ShardError>>,
+}
+
+impl ShardedGcn {
+    /// Partitions `a` across `workers` shards and prepares the runner at
+    /// full `f32` precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardPlan::new`] errors.
+    pub fn new(a: &Csr, workers: usize, kind: PartitionKind) -> Result<ShardedGcn, ShardError> {
+        Self::with_precision(a, workers, kind, Precision::F32)
+    }
+
+    /// [`ShardedGcn::new`] at a narrow storage precision: every shard's
+    /// plan and packed GEMM inherit `precision`, exactly like single-node
+    /// [`gcn::GcnModel::infer_planned_prec`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::UnsupportedPrecision`] for a narrow precision on a
+    /// multi-column (2D) grid — partial aggregates have no quantized
+    /// accumulation path — plus [`ShardPlan::new`] errors.
+    pub fn with_precision(
+        a: &Csr,
+        workers: usize,
+        kind: PartitionKind,
+        precision: Precision,
+    ) -> Result<ShardedGcn, ShardError> {
+        let plan = ShardPlan::new(a, workers, kind)?;
+        if precision != Precision::F32 && plan.grid().1 > 1 {
+            return Err(ShardError::UnsupportedPrecision(precision));
+        }
+        let stages = (0..plan.workers())
+            .map(|_| Mutex::new(StageBuf::default()))
+            .collect();
+        let rows = (0..plan.grid().0)
+            .map(|_| Mutex::new(RowBuf::default()))
+            .collect();
+        Ok(ShardedGcn {
+            plan,
+            precision,
+            policy: RetryPolicy::default(),
+            kd: KernelDispatch::get(),
+            stages,
+            rows,
+            h: DenseMatrix::default(),
+            next: DenseMatrix::default(),
+            mid: DenseMatrix::default(),
+            counters: Mutex::new(Counters::default()),
+            error: Mutex::new(None),
+        })
+    }
+
+    /// The partition this runner executes over.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Storage precision the shards run at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Replaces the exchange retry policy (tests shorten the backoff).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Runs sharded inference, returning the output activations.
+    ///
+    /// # Errors
+    ///
+    /// Input validation mirrors the single-node entry points
+    /// ([`ShardError::FeatureDimMismatch`] /
+    /// [`ShardError::VertexCountMismatch`]); execution errors surface as
+    /// the first error any task recorded.
+    pub fn infer(
+        &mut self,
+        model: &GcnModel,
+        features: &DenseMatrix,
+    ) -> Result<DenseMatrix, ShardError> {
+        if features.cols() != model.input_dim() {
+            return Err(ShardError::FeatureDimMismatch {
+                expected: model.input_dim(),
+                actual: features.cols(),
+            });
+        }
+        if features.rows() != self.plan.nrows() {
+            return Err(ShardError::VertexCountMismatch {
+                graph: self.plan.nrows(),
+                features: features.rows(),
+            });
+        }
+        *lock(&self.counters) = Counters::default();
+        *lock(&self.error) = None;
+        self.h.copy_from(features);
+        for layer in model.layers() {
+            if layer.in_dim() <= layer.out_dim() {
+                self.layer_aggregate_first(layer)?;
+            } else {
+                self.layer_update_first(layer)?;
+            }
+            std::mem::swap(&mut self.h, &mut self.next);
+        }
+        Ok(self.h.clone())
+    }
+
+    /// The partition/ledger/measured-bytes report for `model`, reflecting
+    /// the most recent [`ShardedGcn::infer`] call's counters.
+    pub fn report(&self, model: &GcnModel) -> ShardReport {
+        let layers: Vec<LayerExchange> = model
+            .layers()
+            .iter()
+            .map(|l| self.plan.layer_exchange(l.in_dim(), l.out_dim()))
+            .collect();
+        let ledger_bytes = layers.iter().map(LayerExchange::total_bytes).sum();
+        let c = *lock(&self.counters);
+        ShardReport {
+            workers: self.plan.workers(),
+            kind: self.plan.kind(),
+            grid: self.plan.grid(),
+            shard_nnz: self.plan.shard_nnz(),
+            imbalance: self.plan.imbalance(),
+            halo_rows: self.plan.halo_rows(),
+            referenced_rows: self.plan.referenced_rows(),
+            halo_fraction: self.plan.halo_fraction(),
+            layers,
+            ledger_bytes,
+            staged_bytes: c.staged_bytes,
+            halo_bytes: c.halo_bytes,
+            recovered_exchanges: c.recovered_exchanges,
+        }
+    }
+
+    /// Aggregate-first layer (`k_in <= k_out`): one task graph of
+    /// exchange → aggregation chain → per-row-block update, then a
+    /// sequential scatter of the block outputs into the ping-pong buffer.
+    fn layer_aggregate_first(&mut self, layer: &GcnLayer) -> Result<(), ShardError> {
+        let (r, c) = self.plan.grid();
+        let w = r * c;
+        let k_in = layer.in_dim();
+        let mut graph = TaskGraph::new(2 * w + r);
+        for i in 0..r {
+            for j in 0..c {
+                let b = i * c + j;
+                graph.add_dep(w + b, b);
+                if j > 0 {
+                    graph.add_dep(w + b, w + b - 1);
+                }
+            }
+            graph.add_dep(2 * w + i, w + (i * c + c - 1));
+        }
+        let this: &Self = self;
+        let res = graph.run(w.max(r), |t| {
+            if t < w {
+                this.exchange_task(t, &this.h, k_in);
+            } else if t < 2 * w {
+                this.aggregate_task(t - w, k_in);
+            } else {
+                this.update_task(t - 2 * w, layer, true);
+            }
+        });
+        self.check_run(res)?;
+        self.scatter_outputs(layer.out_dim(), false)
+    }
+
+    /// Update-first layer (`k_in > k_out`): phase A runs the per-row-block
+    /// GEMM `H_blk * W` into `mid`, phase B exchanges `mid` rows and
+    /// aggregates them, finishing with bias + activation per row block.
+    fn layer_update_first(&mut self, layer: &GcnLayer) -> Result<(), ShardError> {
+        let (r, c) = self.plan.grid();
+        let w = r * c;
+        let k_out = layer.out_dim();
+        // Phase A: independent per-row-block updates.
+        let phase_a = TaskGraph::new(r);
+        let this: &Self = self;
+        let res = phase_a.run(r, |i| this.update_task(i, layer, false));
+        self.check_run(res)?;
+        // Gather the block products into the global mid buffer (the
+        // sequential analogue of publishing updates to the DGAS).
+        self.mid.resize_for_overwrite(self.plan.nrows(), k_out);
+        for i in 0..r {
+            let rb = lock(&self.rows[i]);
+            let (r0, r1) = (self.plan.row_bounds()[i], self.plan.row_bounds()[i + 1]);
+            for (lu, g) in (r0..r1).enumerate() {
+                self.mid.row_mut(g).copy_from_slice(rb.out.row(lu));
+            }
+        }
+        // Phase B: exchange mid rows, aggregate, then bias + activation.
+        let mut graph = TaskGraph::new(2 * w + r);
+        for i in 0..r {
+            for j in 0..c {
+                let b = i * c + j;
+                graph.add_dep(w + b, b);
+                if j > 0 {
+                    graph.add_dep(w + b, w + b - 1);
+                }
+            }
+            graph.add_dep(2 * w + i, w + (i * c + c - 1));
+        }
+        let this: &Self = self;
+        let res = graph.run(w.max(r), |t| {
+            if t < w {
+                this.exchange_task(t, &this.mid, k_out);
+            } else if t < 2 * w {
+                this.aggregate_task(t - w, k_out);
+            } else {
+                this.finish_task(t - 2 * w, layer);
+            }
+        });
+        self.check_run(res)?;
+        self.scatter_outputs(k_out, true)
+    }
+
+    /// Stages shard `b`'s referenced rows of `src` into its landing
+    /// buffer, retrying through the fault point, and (narrow precision)
+    /// encodes the staged rows.
+    fn exchange_task(&self, b: usize, src: &DenseMatrix, width: usize) {
+        let blk = &self.plan.blocks()[b];
+        let mut st = lock(&self.stages[b]);
+        let st = &mut *st;
+        let outcome = retry::run(&self.policy, || -> Result<u64, ShardError> {
+            Ok(exec::gather_rows(&mut st.feat, src, &blk.refs))
+        });
+        match outcome {
+            Ok(rec) => {
+                let mut c = lock(&self.counters);
+                c.staged_bytes += rec.value;
+                c.halo_bytes += (blk.halo.len() * width * 4) as u64;
+                c.recovered_exchanges += u64::from(rec.attempts - 1);
+                drop(c);
+                if self.precision != Precision::F32 {
+                    if let Err(e) = st.quant.encode(&st.feat, self.precision) {
+                        self.record(ShardError::Matrix(e));
+                    }
+                }
+            }
+            Err(e) => self.record(ShardError::Exchange(e.to_string())),
+        }
+    }
+
+    /// Aggregates shard `b`'s local block: column block 0 runs the
+    /// shard's cached width-1 plan (rebuilt when the aggregation width
+    /// changes), later column blocks accumulate in ascending order.
+    fn aggregate_task(&self, b: usize, k_agg: usize) {
+        let (_, c) = self.plan.grid();
+        let blk = &self.plan.blocks()[b];
+        let i = b / c;
+        let j = b % c;
+        let mut st = lock(&self.stages[b]);
+        let st = &mut *st;
+        let mut rb = lock(&self.rows[i]);
+        if j == 0 {
+            if !st
+                .plan
+                .as_ref()
+                .is_some_and(|p| p.matches(&blk.local) && p.k() == k_agg)
+            {
+                // Width 1 => always sequential: parallelism comes from the
+                // task graph, never from inside a shard, which keeps the
+                // per-row floating-point order machine-independent.
+                let built = SpmmPlan::with_width(&blk.local, k_agg, 1);
+                st.plan = Some(if self.precision == Precision::F32 {
+                    built
+                } else {
+                    built.at_precision(self.precision)
+                });
+            }
+            let plan = st.plan.as_ref().expect("plan installed just above");
+            let res = if self.precision == Precision::F32 {
+                plan.run_into(&blk.local, &st.feat, &mut rb.acc)
+            } else {
+                plan.run_quant_into(&blk.local, &st.quant, &mut rb.acc)
+            };
+            if let Err(e) = res {
+                self.record(ShardError::Matrix(e));
+            }
+        } else {
+            exec::accumulate_block(self.kd, &blk.local, &st.feat, &mut rb.acc);
+        }
+    }
+
+    /// Runs row block `i`'s dense update. With `from_acc` the GEMM input
+    /// is the aggregation accumulator (aggregate-first) and bias +
+    /// activation are applied; otherwise the input is the staged `H`
+    /// block (update-first phase A) and the raw product is kept for the
+    /// later aggregation.
+    fn update_task(&self, i: usize, layer: &GcnLayer, from_acc: bool) {
+        let mut rb = lock(&self.rows[i]);
+        let rb = &mut *rb;
+        if !from_acc {
+            let (r0, r1) = (self.plan.row_bounds()[i], self.plan.row_bounds()[i + 1]);
+            rb.hblk.resize_for_overwrite(r1 - r0, layer.in_dim());
+            for (lu, g) in (r0..r1).enumerate() {
+                rb.hblk.row_mut(lu).copy_from_slice(self.h.row(g));
+            }
+            let mut c = lock(&self.counters);
+            c.staged_bytes += ((r1 - r0) * layer.in_dim() * 4) as u64;
+        }
+        let a = if from_acc { &rb.acc } else { &rb.hblk };
+        let res = if self.precision == Precision::F32 {
+            matmul_packed_with(self.kd, a, &layer.weight, 1, &mut rb.out)
+        } else {
+            matmul_packed_prec_with(self.kd, self.precision, a, &layer.weight, 1, &mut rb.out)
+        };
+        if let Err(e) = res {
+            self.record(ShardError::Matrix(e));
+            return;
+        }
+        if from_acc {
+            if let Some(bias) = &layer.bias {
+                if let Err(e) = rb.out.add_row_bias(bias) {
+                    self.record(ShardError::Matrix(e));
+                    return;
+                }
+            }
+            rb.out.apply_activation(layer.activation);
+        }
+    }
+
+    /// Update-first epilogue on row block `i`: bias + activation applied
+    /// to the aggregated accumulator (which already holds `A_blk * mid`).
+    fn finish_task(&self, i: usize, layer: &GcnLayer) {
+        let mut rb = lock(&self.rows[i]);
+        if let Some(bias) = &layer.bias {
+            if let Err(e) = rb.acc.add_row_bias(bias) {
+                self.record(ShardError::Matrix(e));
+                return;
+            }
+        }
+        rb.acc.apply_activation(layer.activation);
+    }
+
+    /// Copies per-row-block results into the ping-pong output buffer
+    /// (`acc` after update-first, `out` after aggregate-first).
+    fn scatter_outputs(&mut self, k_out: usize, from_acc: bool) -> Result<(), ShardError> {
+        self.next.resize_for_overwrite(self.plan.nrows(), k_out);
+        let (r, _) = self.plan.grid();
+        for i in 0..r {
+            let rb = lock(&self.rows[i]);
+            let src = if from_acc { &rb.acc } else { &rb.out };
+            let (r0, r1) = (self.plan.row_bounds()[i], self.plan.row_bounds()[i + 1]);
+            for (lu, g) in (r0..r1).enumerate() {
+                self.next.row_mut(g).copy_from_slice(src.row(lu));
+            }
+        }
+        Ok(())
+    }
+
+    /// Records the first task-level error of the current graph run.
+    fn record(&self, e: ShardError) {
+        lock(&self.error).get_or_insert(e);
+    }
+
+    /// Maps a graph-run outcome to the first recorded task error, falling
+    /// back to the executor's own verdict.
+    fn check_run(&self, res: Result<(), exec::ExecError>) -> Result<(), ShardError> {
+        if let Some(e) = lock(&self.error).take() {
+            return Err(e);
+        }
+        res.map_err(|e| ShardError::Executor(e.to_string()))
+    }
+}
+
+/// Locks ignoring poisoning: task panics are caught inside the executor,
+/// and a poisoned buffer is fully overwritten by the retried attempt.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
