@@ -36,6 +36,9 @@ impl DenseMatrix {
         DenseMatrix {
             rows,
             cols,
+            // lint:allow(L009): constructor, not steady-state — hot
+            // callers reach this only on setup/planning paths; per-layer
+            // reuse goes through resize_for_overwrite on retained buffers.
             data: vec![0.0; rows * cols],
         }
     }

@@ -75,6 +75,7 @@ use crate::quant::{
     Precision, QuantMatrix, QuantRow, I8_MAX_Q,
 };
 use crate::Result;
+use resilience::audit;
 use std::sync::{Mutex, OnceLock};
 
 /// Register-tile height: rows of `A` (and `C`) per micro-kernel call. Eight
@@ -1927,8 +1928,8 @@ pub fn matmul_packed_with(
                         // neither lock ever contends; a poisoned lock only means
                         // another worker panicked and the guarded slice is still
                         // structurally valid to hand back.
-                        let mut chunk = chunks[t].lock().unwrap_or_else(|e| e.into_inner());
-                        let mut ap = apanels[t].lock().unwrap_or_else(|e| e.into_inner());
+                        let mut chunk = audit::recover("gemm.chunk", &chunks[t]);
+                        let mut ap = audit::recover("gemm.apanel", &apanels[t]);
                         gemm_block(
                             kd, a, &mut chunk, row_start, row_end, n, jc, je, pc, pe, &mut ap, bp,
                         );
@@ -2062,8 +2063,8 @@ pub fn matmul_packed_prec_with(
                         // neither lock ever contends; a poisoned lock only means
                         // another worker panicked and the guarded slice is still
                         // structurally valid to hand back.
-                        let mut chunk = chunks[t].lock().unwrap_or_else(|e| e.into_inner());
-                        let mut ap = apanels[t].lock().unwrap_or_else(|e| e.into_inner());
+                        let mut chunk = audit::recover("gemm.chunk", &chunks[t]);
+                        let mut ap = audit::recover("gemm.apanel", &apanels[t]);
                         if precision == Precision::Int8 {
                             gemm_block_i8(
                                 kd,

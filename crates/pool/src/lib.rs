@@ -155,8 +155,9 @@ impl JobCore {
                 let mut slot = audit::recover("pool.job_panic", &self.panic);
                 slot.get_or_insert(payload);
             }
-            // AcqRel: makes the share's writes visible to whoever observes
-            // completion, and the caller's Acquire load pairs with it.
+            // PAIRS: pool.finished — AcqRel makes the share's writes
+            // visible to whoever observes completion, and the caller's
+            // Acquire load pairs with it.
             let done = self.finished.fetch_add(1, Ordering::AcqRel) + 1;
             if done == self.shares {
                 let _g = audit::recover("pool.done", &self.done_mx);
@@ -168,6 +169,8 @@ impl JobCore {
     /// Blocks until every share has finished.
     fn wait_done(&self) {
         let mut g = audit::recover("pool.done", &self.done_mx);
+        // PAIRS: pool.finished — Acquire pairs with the workers' AcqRel
+        // increments, ordering their share writes before our return.
         while self.finished.load(Ordering::Acquire) < self.shares {
             g = audit::recover_wait("pool.done", &self.done_cv, g);
         }
@@ -526,7 +529,7 @@ impl Drop for ThreadPool {
             slot.shutdown = true;
             self.shared.job_ready.notify_all();
         }
-        let workers = self.workers.get_mut().unwrap_or_else(|e| e.into_inner());
+        let workers = audit::recover_mut("pool.drop", &mut self.workers);
         for slot in workers.iter_mut() {
             if let Some(handle) = slot.handle.take() {
                 let _ = handle.join();
@@ -673,6 +676,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "wall-clock concurrency observation; minutes under the interpreter"
+    )]
     fn broadcast_observes_executor_cap() {
         let pool = ThreadPool::new(7);
         let concurrent = AtomicUsize::new(0);
@@ -687,6 +694,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "5×256 timed shares; thread-identity claim needs no interpreter"
+    )]
     fn pool_reuses_same_threads() {
         let pool = ThreadPool::new(4);
         let observe = || {
@@ -744,6 +755,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "deadline-polling respawn drill; real-time waits stall under miri"
+    )]
     fn dead_workers_are_respawned_on_the_same_slots() {
         let pool = ThreadPool::new(3);
         let before: HashSet<ThreadId> = pool.worker_ids().into_iter().collect();
@@ -784,6 +799,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "deadline-polling quarantine drill; real-time waits stall under miri"
+    )]
     fn crashing_slots_are_quarantined_after_bound() {
         let pool = ThreadPool::new(1);
         let _quiet = resilience::retry::quiet_panics();

@@ -43,6 +43,31 @@ pub fn recover<'a, T>(site: &'static str, m: &'a Mutex<T>) -> MutexGuard<'a, T> 
     }
 }
 
+/// Consume `m` and return its data, recovering (and recording) if the
+/// lock is poisoned. The by-value analogue of [`recover`] for the
+/// end-of-run pattern `Mutex::into_inner`.
+pub fn recover_into<T>(site: &'static str, m: Mutex<T>) -> T {
+    match m.into_inner() {
+        Ok(v) => v,
+        Err(e) => {
+            note(site);
+            e.into_inner()
+        }
+    }
+}
+
+/// Exclusive-access analogue of [`recover`]: `Mutex::get_mut` for owners
+/// holding `&mut`, recovering (and recording) if the lock is poisoned.
+pub fn recover_mut<'a, T>(site: &'static str, m: &'a mut Mutex<T>) -> &'a mut T {
+    match m.get_mut() {
+        Ok(v) => v,
+        Err(e) => {
+            note(site);
+            e.into_inner()
+        }
+    }
+}
+
 /// `Condvar::wait` with the same poisoning-recovery policy as [`recover`].
 pub fn recover_wait<'a, T>(
     site: &'static str,
@@ -94,6 +119,22 @@ mod tests {
         assert!(recovery_log()
             .iter()
             .any(|(s, n)| *s == "test.audit" && *n >= 1));
+    }
+
+    #[test]
+    fn recover_into_and_mut_take_poisoned_data() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        let before = poison_recoveries();
+        let mut m = Arc::into_inner(m).expect("sole owner");
+        assert_eq!(*recover_mut("test.audit.mut", &mut m), 7);
+        assert_eq!(recover_into("test.audit.into", m), 7);
+        assert_eq!(poison_recoveries(), before + 2);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Vector clocks: the happens-before backbone of the race detector.
+//!
+//! Every modeled thread carries a [`VClock`]; synchronization edges
+//! (mutex release→acquire, atomic release-store→acquire-load, spawn,
+//! join, unpark→park) join clocks. An access to un-synchronized data
+//! ([`crate::MCell`]) that is not ordered by the joined clocks is a data
+//! race, reported regardless of whether the explored interleaving
+//! happened to execute the accesses "safely".
+
+/// A grow-on-demand vector clock indexed by modeled thread ID.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// This clock's component for `tid` (0 when never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Componentwise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, &o) in self.0.iter_mut().zip(&other.0) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Componentwise `self ≤ other`: the event stamped `self` happens
+    /// before (or is) every event at-or-after `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &s)| s <= other.get(i))
+    }
+
+    /// Resets to the zero clock (a relaxed store breaks a release chain).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le_are_componentwise() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(3);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(3), 1);
+        assert!(VClock::new().le(&a));
+    }
+
+    #[test]
+    fn tick_grows_on_demand() {
+        let mut c = VClock::new();
+        c.tick(5);
+        assert_eq!(c.get(5), 1);
+        assert_eq!(c.get(4), 0);
+        c.clear();
+        assert_eq!(c.get(5), 0);
+    }
+}

@@ -1,0 +1,603 @@
+//! The deterministic scheduler: token passing, DFS over schedules,
+//! happens-before state, and failure detection.
+//!
+//! Model threads are real OS threads, but only the thread holding the
+//! scheduling token executes model code; every visible operation (atomic
+//! access, lock, unlock, condvar wait/notify, park/unpark, spawn, join)
+//! ends by picking which thread runs the *next* operation. The pick is a
+//! recorded decision; depth-first search over recorded decisions replays
+//! a prefix and diverges at the deepest unexplored branch, so every
+//! enumerated schedule is distinct by construction.
+//!
+//! Preemption bounding keeps the search tractable: switching away from a
+//! thread that could have continued costs one unit of a per-execution
+//! budget, while switches forced by blocking are free. Most concurrency
+//! bugs are exposed by very few preemptions (the classic CHESS result),
+//! so a small bound explores the interesting corner of the exponential
+//! schedule space first.
+
+use crate::clock::VClock;
+use resilience::audit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure found, or teardown). Never escapes the explorer.
+pub(crate) struct AbortExec;
+
+/// Scheduler-visible state of one modeled thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Runnable: a candidate at every scheduling decision.
+    Ready,
+    /// Waiting for a modeled mutex to be released.
+    BlockedMutex(usize),
+    /// Asleep on a modeled condvar (until notified).
+    BlockedCv(usize),
+    /// Waiting for a modeled thread to finish.
+    BlockedJoin(usize),
+    /// Parked without an unpark token.
+    BlockedPark,
+    /// The root thread, waiting for every spawned thread to finish.
+    BlockedDone,
+    /// Finished (never scheduled again).
+    Finished,
+}
+
+/// One recorded scheduling decision: which threads were runnable, which
+/// was chosen, and how much of the preemption budget was already spent.
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    /// Candidate threads in canonical order (the continuing thread first
+    /// when it is still runnable, then the others ascending).
+    pub candidates: Vec<usize>,
+    /// Index into `candidates` of the thread actually chosen.
+    pub chosen_pos: usize,
+    /// The thread that made the decision.
+    pub cur: usize,
+    /// Whether `cur` could have continued (choosing anyone else is then
+    /// a preemption).
+    pub cur_enabled: bool,
+    /// Preemptions spent before this decision.
+    pub preempts_before: usize,
+}
+
+impl Decision {
+    pub(crate) fn chosen(&self) -> usize {
+        self.candidates[self.chosen_pos]
+    }
+}
+
+pub(crate) struct MutexSt {
+    pub holder: Option<usize>,
+    pub release: VClock,
+    pub name: &'static str,
+}
+
+pub(crate) struct AtomicSt {
+    pub value: u64,
+    /// The clock published by the release chain ending at the current
+    /// value; an acquire load joins it.
+    pub msg: VClock,
+}
+
+pub(crate) struct CellSt {
+    /// Snapshot of the last writer's clock, if any write happened.
+    pub write: Option<VClock>,
+    /// `(reader, reader_clock[reader])` for reads since the last write.
+    pub reads: Vec<(usize, u64)>,
+    pub name: &'static str,
+}
+
+#[derive(Default)]
+pub(crate) struct ParkSt {
+    pub token: bool,
+    pub clock: VClock,
+}
+
+/// Mutable per-execution state, guarded by [`Rt::st`].
+pub(crate) struct St {
+    pub current: usize,
+    pub threads: Vec<TState>,
+    pub clocks: Vec<VClock>,
+    pub parks: Vec<ParkSt>,
+    pub replay: Vec<usize>,
+    pub decisions: Vec<Decision>,
+    pub preempts: usize,
+    pub steps: usize,
+    pub abort: bool,
+    pub failure: Option<String>,
+    pub atomics: Vec<AtomicSt>,
+    pub mutexes: Vec<MutexSt>,
+    pub condvars: usize,
+    pub cells: Vec<CellSt>,
+    pub max_steps: usize,
+}
+
+/// One execution's runtime, shared by every model thread.
+pub(crate) struct Rt {
+    pub st: Mutex<St>,
+    pub cv: Condvar,
+    pub handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Rt {
+    pub(crate) fn new(replay: Vec<usize>, max_steps: usize) -> Arc<Rt> {
+        Arc::new(Rt {
+            st: Mutex::new(St {
+                current: 0,
+                threads: vec![TState::Ready],
+                clocks: vec![VClock::new()],
+                parks: vec![ParkSt::default()],
+                replay,
+                decisions: Vec::new(),
+                preempts: 0,
+                steps: 0,
+                abort: false,
+                failure: None,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: 0,
+                cells: Vec::new(),
+                max_steps,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, St> {
+        audit::recover("schedck.state", &self.st)
+    }
+
+    /// Records `msg` as the execution's failure and aborts it: every
+    /// thread waiting on the scheduler wakes and unwinds.
+    pub(crate) fn fail(&self, st: &mut St, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// The scheduling decision ending a visible operation of `cur`.
+    fn pick_next(&self, st: &mut St, cur: usize) {
+        if st.abort {
+            return;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            self.fail(
+                st,
+                format!(
+                    "step budget ({}) exceeded: livelock or unbounded loop",
+                    st.max_steps
+                ),
+            );
+            return;
+        }
+        let enabled: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == TState::Ready)
+            .collect();
+        if enabled.is_empty() {
+            if st.threads.iter().all(|t| *t == TState::Finished) {
+                return; // clean end of execution
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !matches!(s, TState::Finished))
+                .map(|(t, s)| match s {
+                    TState::BlockedMutex(m) => {
+                        format!("t{t} waiting to lock `{}`", st.mutexes[*m].name)
+                    }
+                    TState::BlockedCv(c) => format!("t{t} asleep on condvar {c}"),
+                    TState::BlockedJoin(j) => format!("t{t} joining t{j}"),
+                    TState::BlockedPark => format!("t{t} parked"),
+                    TState::BlockedDone => format!("t{t} waiting for spawned threads"),
+                    _ => format!("t{t}:{s:?}"),
+                })
+                .collect();
+            self.fail(st, format!("deadlock: {}", stuck.join(", ")));
+            return;
+        }
+        let cur_enabled = st.threads[cur] == TState::Ready;
+        let mut candidates = Vec::with_capacity(enabled.len());
+        if cur_enabled {
+            candidates.push(cur);
+        }
+        candidates.extend(enabled.iter().copied().filter(|&t| t != cur));
+        let idx = st.decisions.len();
+        let chosen_pos = if idx < st.replay.len() {
+            // Replaying a prefix: the model is deterministic, so the
+            // recorded thread must still be a candidate.
+            candidates
+                .iter()
+                .position(|&t| t == st.replay[idx])
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        let preempts_before = st.preempts;
+        if cur_enabled && candidates[chosen_pos] != cur {
+            st.preempts += 1;
+        }
+        st.current = candidates[chosen_pos];
+        st.decisions.push(Decision {
+            candidates,
+            chosen_pos,
+            cur,
+            cur_enabled,
+            preempts_before,
+        });
+        self.cv.notify_all();
+    }
+
+    /// Blocks until `tid` holds the token; panics with [`AbortExec`] if
+    /// the execution aborts first. Call only from model code (never from
+    /// `Drop` paths — use [`Rt::wait_current_silent`] there).
+    fn wait_current<'a>(&'a self, mut g: MutexGuard<'a, St>, tid: usize) -> MutexGuard<'a, St> {
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(AbortExec);
+            }
+            if g.current == tid {
+                return g;
+            }
+            g = audit::recover_wait("schedck.turn", &self.cv, g);
+        }
+    }
+
+    /// Non-panicking [`Rt::wait_current`]: returns `None` when the
+    /// execution aborted. Safe inside `Drop` (unwinding) contexts.
+    fn wait_current_silent<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, St>,
+        tid: usize,
+    ) -> Option<MutexGuard<'a, St>> {
+        loop {
+            if g.abort {
+                return None;
+            }
+            if g.current == tid {
+                return Some(g);
+            }
+            g = audit::recover_wait("schedck.turn", &self.cv, g);
+        }
+    }
+
+    /// Runs one non-blocking visible operation for `tid`: waits for the
+    /// token, performs `f` on the state, ticks the clock, then yields.
+    pub(crate) fn op<R>(&self, tid: usize, f: impl FnOnce(&Rt, &mut St) -> R) -> R {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        let r = f(self, &mut g);
+        g.clocks[tid].tick(tid);
+        if g.abort {
+            // `f` recorded a failure (e.g. a data race): unwind now.
+            drop(g);
+            std::panic::panic_any(AbortExec);
+        }
+        self.pick_next(&mut g, tid);
+        r
+    }
+
+    /// Runs a state-allocation step (creating a modeled primitive) for
+    /// `tid`. Requires the token — IDs must be deterministic under
+    /// replay — but is not a scheduling point.
+    pub(crate) fn alloc<R>(&self, tid: usize, f: impl FnOnce(&mut St) -> R) -> R {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        f(&mut g)
+    }
+
+    /// One access to un-synchronized modeled data. Not a scheduling
+    /// point (interleavings are driven by the synchronization ops), but
+    /// every access is checked against the happens-before clocks, so a
+    /// racy access is reported even when the explored order happened to
+    /// be benign.
+    pub(crate) fn cell_access(&self, tid: usize, cid: usize, write: bool) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        g.clocks[tid].tick(tid);
+        let my = g.clocks[tid].clone();
+        let cell = &g.cells[cid];
+        let name = cell.name;
+        let kind = if write { "write" } else { "read" };
+        let mut race = None;
+        if let Some(w) = &cell.write {
+            if !w.le(&my) {
+                race = Some(format!(
+                    "data race on `{name}`: {kind} by t{tid} is unordered with a previous write"
+                ));
+            }
+        }
+        if write && race.is_none() {
+            for &(r, stamp) in &cell.reads {
+                if r != tid && stamp > my.get(r) {
+                    race = Some(format!(
+                        "data race on `{name}`: write by t{tid} is unordered with a read by t{r}"
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(msg) = race {
+            self.fail(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortExec);
+        }
+        let stamp = my.get(tid);
+        let cell = &mut g.cells[cid];
+        if write {
+            cell.write = Some(my);
+            cell.reads.clear();
+        } else {
+            cell.reads.push((tid, stamp));
+        }
+    }
+
+    /// Marks every thread blocked on mutex `mid` runnable again.
+    fn wake_mutex_waiters(st: &mut St, mid: usize) {
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(mid) {
+                *t = TState::Ready;
+            }
+        }
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, mid: usize) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        loop {
+            if g.mutexes[mid].holder.is_none() {
+                g.mutexes[mid].holder = Some(tid);
+                let rel = g.mutexes[mid].release.clone();
+                g.clocks[tid].join(&rel);
+                g.clocks[tid].tick(tid);
+                self.pick_next(&mut g, tid);
+                return;
+            }
+            g.threads[tid] = TState::BlockedMutex(mid);
+            self.pick_next(&mut g, tid);
+            g = self.wait_current(g, tid);
+        }
+    }
+
+    /// Releases `mid`. Runs from [`crate::MGuard`]'s `Drop`, so it must
+    /// never panic: on abort it silently lets the teardown proceed.
+    pub(crate) fn mutex_unlock(&self, tid: usize, mid: usize) {
+        let g = self.lock();
+        let Some(mut g) = self.wait_current_silent(g, tid) else {
+            return;
+        };
+        debug_assert_eq!(g.mutexes[mid].holder, Some(tid), "unlock by non-holder");
+        let clk = g.clocks[tid].clone();
+        g.mutexes[mid].release.join(&clk);
+        g.mutexes[mid].holder = None;
+        Self::wake_mutex_waiters(&mut g, mid);
+        g.clocks[tid].tick(tid);
+        self.pick_next(&mut g, tid);
+    }
+
+    /// Atomically releases `mid` and sleeps on condvar `cvid`; once
+    /// notified, reacquires `mid` before returning.
+    pub(crate) fn cv_wait(&self, tid: usize, cvid: usize, mid: usize) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        debug_assert_eq!(g.mutexes[mid].holder, Some(tid), "cv wait without the lock");
+        let clk = g.clocks[tid].clone();
+        g.mutexes[mid].release.join(&clk);
+        g.mutexes[mid].holder = None;
+        Self::wake_mutex_waiters(&mut g, mid);
+        g.threads[tid] = TState::BlockedCv(cvid);
+        g.clocks[tid].tick(tid);
+        self.pick_next(&mut g, tid);
+        g = self.wait_current(g, tid);
+        // Notified: reacquire the mutex like a fresh lock call.
+        loop {
+            if g.mutexes[mid].holder.is_none() {
+                g.mutexes[mid].holder = Some(tid);
+                let rel = g.mutexes[mid].release.clone();
+                g.clocks[tid].join(&rel);
+                g.clocks[tid].tick(tid);
+                self.pick_next(&mut g, tid);
+                return;
+            }
+            g.threads[tid] = TState::BlockedMutex(mid);
+            self.pick_next(&mut g, tid);
+            g = self.wait_current(g, tid);
+        }
+    }
+
+    pub(crate) fn cv_notify_all(&self, tid: usize, cvid: usize) {
+        self.op(tid, |_, st| {
+            for t in st.threads.iter_mut() {
+                if *t == TState::BlockedCv(cvid) {
+                    *t = TState::Ready;
+                }
+            }
+        });
+    }
+
+    pub(crate) fn park(&self, tid: usize) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        loop {
+            if g.parks[tid].token {
+                g.parks[tid].token = false;
+                let clk = g.parks[tid].clock.clone();
+                g.clocks[tid].join(&clk);
+                g.clocks[tid].tick(tid);
+                self.pick_next(&mut g, tid);
+                return;
+            }
+            g.threads[tid] = TState::BlockedPark;
+            self.pick_next(&mut g, tid);
+            g = self.wait_current(g, tid);
+        }
+    }
+
+    pub(crate) fn unpark(&self, tid: usize, target: usize) {
+        self.op(tid, |_, st| {
+            st.parks[target].token = true;
+            let clk = st.clocks[tid].clone();
+            st.parks[target].clock.join(&clk);
+            if st.threads[target] == TState::BlockedPark {
+                st.threads[target] = TState::Ready;
+            }
+        });
+    }
+
+    pub(crate) fn join_thread(&self, tid: usize, child: usize) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        loop {
+            if g.threads[child] == TState::Finished {
+                let clk = g.clocks[child].clone();
+                g.clocks[tid].join(&clk);
+                g.clocks[tid].tick(tid);
+                self.pick_next(&mut g, tid);
+                return;
+            }
+            g.threads[tid] = TState::BlockedJoin(child);
+            self.pick_next(&mut g, tid);
+            g = self.wait_current(g, tid);
+        }
+    }
+
+    /// Registers a child thread (scheduler state only; the caller spawns
+    /// the real thread). Spawn is a visible operation of the parent.
+    pub(crate) fn register_child(&self, parent: usize) -> usize {
+        self.op(parent, |_, st| {
+            let child = st.threads.len();
+            st.threads.push(TState::Ready);
+            let mut clk = st.clocks[parent].clone();
+            clk.tick(child);
+            st.clocks.push(clk);
+            st.parks.push(ParkSt::default());
+            child
+        })
+    }
+
+    /// Final transition of a spawned thread's wrapper.
+    pub(crate) fn thread_done(
+        &self,
+        tid: usize,
+        result: Result<(), Box<dyn std::any::Any + Send>>,
+    ) {
+        let g = self.lock();
+        if let Err(p) = result {
+            let mut g = g;
+            if !p.is::<AbortExec>() {
+                let msg = resilience::retry::panic_message(p.as_ref());
+                self.fail(&mut g, format!("model thread {tid} panicked: {msg}"));
+            }
+            g.threads[tid] = TState::Finished;
+            self.cv.notify_all();
+            return;
+        }
+        // A clean finish is a visible operation: wait for the token so
+        // the transition lands at a deterministic point in the schedule.
+        let Some(mut g) = self.wait_current_silent(g, tid) else {
+            let mut g = self.lock();
+            g.threads[tid] = TState::Finished;
+            self.cv.notify_all();
+            return;
+        };
+        g.threads[tid] = TState::Finished;
+        for t in g.threads.iter_mut() {
+            if *t == TState::BlockedJoin(tid) {
+                *t = TState::Ready;
+            }
+        }
+        if g.threads[0] == TState::BlockedDone
+            && g.threads[1..].iter().all(|t| *t == TState::Finished)
+        {
+            g.threads[0] = TState::Ready;
+        }
+        self.pick_next(&mut g, tid);
+    }
+
+    /// Root-thread epilogue: waits until every spawned thread finished,
+    /// then marks the root finished. Implicit join of stragglers.
+    pub(crate) fn main_done(&self, tid: usize) {
+        let g = self.lock();
+        let mut g = self.wait_current(g, tid);
+        loop {
+            if g.threads[1..].iter().all(|t| *t == TState::Finished) {
+                for c in 1..g.threads.len() {
+                    let clk = g.clocks[c].clone();
+                    g.clocks[tid].join(&clk);
+                }
+                g.threads[tid] = TState::Finished;
+                self.cv.notify_all();
+                return;
+            }
+            g.threads[tid] = TState::BlockedDone;
+            self.pick_next(&mut g, tid);
+            g = self.wait_current(g, tid);
+        }
+    }
+
+    /// Tears the execution down: aborts any still-parked machinery and
+    /// joins every real thread spawned for it.
+    pub(crate) fn drain(&self) {
+        {
+            let mut g = self.lock();
+            g.abort = true;
+            self.cv.notify_all();
+        }
+        let handles: Vec<_> = audit::recover("schedck.handles", &self.handles)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns a model thread: scheduler registration plus the real OS
+/// thread whose wrapper gates every touchpoint on the scheduling token.
+pub(crate) fn spawn_model(
+    rt: &Arc<Rt>,
+    parent: usize,
+    f: impl FnOnce(&crate::Th) + Send + 'static,
+) -> usize {
+    let child = rt.register_child(parent);
+    let rt2 = Arc::clone(rt);
+    let h = std::thread::Builder::new()
+        .name(format!("schedck-{child}"))
+        .spawn(move || {
+            let th = crate::Th {
+                rt: Arc::clone(&rt2),
+                tid: child,
+            };
+            let r = catch_unwind(AssertUnwindSafe(|| f(&th)));
+            rt2.thread_done(child, r);
+        })
+        .expect("spawning a model thread");
+    audit::recover("schedck.handles", &rt.handles).push(h);
+    child
+}
+
+/// Computes the next DFS replay prefix from a completed execution's
+/// decision trace, or `None` when the (preemption-bounded) tree is
+/// exhausted: the deepest decision with an unexplored in-budget
+/// alternative, replayed up to that point with the alternative chosen.
+pub(crate) fn next_replay(decisions: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        let d = &decisions[i];
+        for pos in d.chosen_pos + 1..d.candidates.len() {
+            let cost = usize::from(d.cur_enabled && d.candidates[pos] != d.cur);
+            if d.preempts_before + cost <= bound {
+                let mut replay: Vec<usize> = decisions[..i].iter().map(Decision::chosen).collect();
+                replay.push(d.candidates[pos]);
+                return Some(replay);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,285 @@
+//! The modeled concurrency primitives: what model code is written
+//! against instead of `std::sync`.
+//!
+//! Every handle is a small ID into the per-execution runtime state; all
+//! operations take the calling thread's [`Th`] context, which carries
+//! the scheduling token machinery. Atomics follow message-clock
+//! semantics: a release store publishes the writer's vector clock with
+//! the value, an acquire load joins it, a relaxed store *breaks* the
+//! chain (publishes nothing) and a relaxed load joins nothing —
+//! read-modify-writes preserve the release sequence like the C++ memory
+//! model prescribes. `SeqCst` is modeled as `AcqRel` (no global order is
+//! enforced; none of the workspace handshakes relies on one).
+
+use crate::clock::VClock;
+use crate::rt::{self, AtomicSt, CellSt, MutexSt, Rt};
+use resilience::audit;
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Memory ordering for [`MAtomic`] operations, mirroring
+/// `std::sync::atomic::Ordering`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// No synchronization: the value moves, the clocks do not.
+    Relaxed,
+    /// Loads join the clock published by the matching release chain.
+    Acquire,
+    /// Stores publish the writer's clock with the value.
+    Release,
+    /// Both of the above (read-modify-write operations).
+    AcqRel,
+    /// Modeled as [`Ordering::AcqRel`]; see the module docs.
+    SeqCst,
+}
+
+impl Ordering {
+    fn acquires(self) -> bool {
+        matches!(self, Self::Acquire | Self::AcqRel | Self::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, Self::Release | Self::AcqRel | Self::SeqCst)
+    }
+}
+
+/// A modeled thread's execution context: every shim operation needs one,
+/// which is how operations stay attributed to the right scheduler slot.
+pub struct Th {
+    pub(crate) rt: Arc<Rt>,
+    pub(crate) tid: usize,
+}
+
+/// Join handle for a modeled thread (see [`Th::spawn`]).
+#[derive(Clone, Copy, Debug)]
+pub struct MJoin {
+    tid: usize,
+}
+
+impl MJoin {
+    /// The modeled thread's ID (usable with [`Th::unpark`]).
+    pub fn id(&self) -> usize {
+        self.tid
+    }
+}
+
+impl Th {
+    /// This thread's modeled ID (0 is the root).
+    pub fn id(&self) -> usize {
+        self.tid
+    }
+
+    /// Spawns a modeled thread running `f` under the explorer's control.
+    pub fn spawn(&self, f: impl FnOnce(&Th) + Send + 'static) -> MJoin {
+        MJoin {
+            tid: rt::spawn_model(&self.rt, self.tid, f),
+        }
+    }
+
+    /// Joins a modeled thread (happens-before edge from its last op).
+    pub fn join(&self, h: MJoin) {
+        self.rt.join_thread(self.tid, h.tid);
+    }
+
+    /// Creates a modeled atomic with the given initial value.
+    pub fn atomic(&self, init: u64) -> MAtomic {
+        let id = self.rt.alloc(self.tid, |st| {
+            st.atomics.push(AtomicSt {
+                value: init,
+                msg: VClock::new(),
+            });
+            st.atomics.len() - 1
+        });
+        MAtomic { id }
+    }
+
+    /// Creates a modeled mutex (a pure lock; pair it with [`MCell`] data,
+    /// whose accesses the race detector validates).
+    pub fn mutex(&self, name: &'static str) -> MMutex {
+        let id = self.rt.alloc(self.tid, |st| {
+            st.mutexes.push(MutexSt {
+                holder: None,
+                release: VClock::new(),
+                name,
+            });
+            st.mutexes.len() - 1
+        });
+        MMutex { id }
+    }
+
+    /// Creates a modeled condition variable.
+    pub fn condvar(&self) -> MCondvar {
+        let id = self.rt.alloc(self.tid, |st| {
+            st.condvars += 1;
+            st.condvars - 1
+        });
+        MCondvar { id }
+    }
+
+    /// Creates a modeled un-synchronized data cell holding `init`.
+    /// Accesses are race-checked against the happens-before clocks.
+    pub fn cell<T: Send + 'static>(&self, name: &'static str, init: T) -> MCell<T> {
+        let id = self.rt.alloc(self.tid, |st| {
+            st.cells.push(CellSt {
+                write: None,
+                reads: Vec::new(),
+                name,
+            });
+            st.cells.len() - 1
+        });
+        MCell {
+            id,
+            data: Arc::new(StdMutex::new(init)),
+        }
+    }
+
+    /// Parks this thread until a token from [`Th::unpark`] is available
+    /// (token semantics of `std::thread::park`).
+    pub fn park(&self) {
+        self.rt.park(self.tid);
+    }
+
+    /// Makes `target`'s park token available, unblocking it if parked.
+    pub fn unpark(&self, target: usize) {
+        self.rt.unpark(self.tid, target);
+    }
+}
+
+/// A modeled atomic `u64`.
+#[derive(Clone, Copy, Debug)]
+pub struct MAtomic {
+    id: usize,
+}
+
+impl MAtomic {
+    /// Atomic load; `Acquire`-class orderings join the published clock.
+    pub fn load(&self, th: &Th, ord: Ordering) -> u64 {
+        let id = self.id;
+        th.rt.op(th.tid, |_, st| {
+            if ord.acquires() {
+                let msg = st.atomics[id].msg.clone();
+                st.clocks[th.tid].join(&msg);
+            }
+            st.atomics[id].value
+        })
+    }
+
+    /// Atomic store; `Release`-class orderings publish the writer's
+    /// clock, a relaxed store publishes an empty one (breaking the
+    /// release chain, which is exactly the bug class this shim exists to
+    /// catch).
+    pub fn store(&self, th: &Th, v: u64, ord: Ordering) {
+        let id = self.id;
+        th.rt.op(th.tid, |_, st| {
+            if ord.releases() {
+                st.atomics[id].msg = st.clocks[th.tid].clone();
+            } else {
+                st.atomics[id].msg.clear();
+            }
+            st.atomics[id].value = v;
+        });
+    }
+
+    /// Atomic fetch-add returning the previous value. As a
+    /// read-modify-write it continues the release sequence: a relaxed
+    /// RMW leaves the published clock intact rather than clearing it.
+    pub fn fetch_add(&self, th: &Th, d: u64, ord: Ordering) -> u64 {
+        let id = self.id;
+        th.rt.op(th.tid, |_, st| {
+            if ord.acquires() {
+                let msg = st.atomics[id].msg.clone();
+                st.clocks[th.tid].join(&msg);
+            }
+            if ord.releases() {
+                let clk = st.clocks[th.tid].clone();
+                st.atomics[id].msg.join(&clk);
+            }
+            let old = st.atomics[id].value;
+            st.atomics[id].value = old.wrapping_add(d);
+            old
+        })
+    }
+}
+
+/// A modeled mutex. [`MMutex::lock`] returns a guard whose drop
+/// releases the lock (and is a scheduling point).
+#[derive(Clone, Copy, Debug)]
+pub struct MMutex {
+    pub(crate) id: usize,
+}
+
+/// Lock guard for [`MMutex`]; releases on drop.
+pub struct MGuard<'a> {
+    th: &'a Th,
+    mx: MMutex,
+}
+
+impl MMutex {
+    /// Acquires the lock, blocking (in model time) while held elsewhere.
+    pub fn lock<'a>(&self, th: &'a Th) -> MGuard<'a> {
+        th.rt.mutex_lock(th.tid, self.id);
+        MGuard { th, mx: *self }
+    }
+}
+
+impl Drop for MGuard<'_> {
+    fn drop(&mut self) {
+        self.th.rt.mutex_unlock(self.th.tid, self.mx.id);
+    }
+}
+
+/// A modeled condition variable.
+#[derive(Clone, Copy, Debug)]
+pub struct MCondvar {
+    id: usize,
+}
+
+impl MCondvar {
+    /// Releases the guard's mutex, sleeps until notified, reacquires.
+    /// Consumes and returns the guard like `std::sync::Condvar::wait`.
+    pub fn wait<'a>(&self, g: MGuard<'a>) -> MGuard<'a> {
+        let th = g.th;
+        let mx = g.mx;
+        // The modeled wait releases and reacquires the mutex itself;
+        // the guard must not run its unlocking drop.
+        std::mem::forget(g);
+        th.rt.cv_wait(th.tid, self.id, mx.id);
+        MGuard { th, mx }
+    }
+
+    /// Wakes every thread sleeping on this condvar.
+    pub fn notify_all(&self, th: &Th) {
+        th.rt.cv_notify_all(th.tid, self.id);
+    }
+}
+
+/// Modeled un-synchronized data: the stand-in for plain fields the real
+/// code guards by convention (a buffer written before a release store,
+/// read after the acquire load). Accesses go through closures so the
+/// race detector sees every touch.
+pub struct MCell<T> {
+    id: usize,
+    data: Arc<StdMutex<T>>,
+}
+
+impl<T> Clone for MCell<T> {
+    fn clone(&self) -> Self {
+        MCell {
+            id: self.id,
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T> MCell<T> {
+    /// Reads the cell (race-checked against prior writes).
+    pub fn read<R>(&self, th: &Th, f: impl FnOnce(&T) -> R) -> R {
+        th.rt.cell_access(th.tid, self.id, false);
+        f(&audit::recover("schedck.cell", &self.data))
+    }
+
+    /// Writes the cell (race-checked against prior reads and writes).
+    pub fn write<R>(&self, th: &Th, f: impl FnOnce(&mut T) -> R) -> R {
+        th.rt.cell_access(th.tid, self.id, true);
+        f(&mut audit::recover("schedck.cell", &self.data))
+    }
+}

@@ -1,0 +1,205 @@
+//! Model-checks the TaskGraph ready-ring handshake from
+//! `crates/shard/src/exec.rs`: workers pop ready tasks under one mutex,
+//! run them unlocked, then re-lock to retire the task, release
+//! dependents whose indegree hits zero, and notify under the same
+//! compound predicate the real executor uses. The explorer enumerates
+//! every (preemption-bounded) interleaving; the race detector proves
+//! the protocol's core guarantee — a dependency's task-body writes
+//! happen-before every dependent's task body — rather than just
+//! observing it hold on the schedules that ran.
+
+use schedck::{explore, Config, MCell, MCondvar, MMutex, Th};
+
+/// The mutable frontier, the model twin of `exec::RunState`.
+struct Ring {
+    ready: Vec<usize>,
+    indegree: Vec<usize>,
+    remaining: usize,
+    running: usize,
+}
+
+/// Diamond DAG: 0 → {1, 2} → 3. Dependents per task.
+const DEPENDENTS: [&[usize]; 4] = [&[1, 2], &[3], &[3], &[]];
+const INDEGREE: [usize; 4] = [0, 1, 1, 2];
+/// Reverse edges: what each task's body reads before writing its own.
+const DEPS: [&[usize]; 4] = [&[], &[0], &[0], &[1, 2]];
+
+fn worker(th: &Th, mx: MMutex, cv: MCondvar, st: &MCell<Ring>, data: &[MCell<u64>]) {
+    loop {
+        let mut g = mx.lock(th);
+        let task = loop {
+            enum Next {
+                Run(usize),
+                Done,
+                Wait,
+            }
+            let next = st.write(th, |r| {
+                if r.remaining == 0 {
+                    Next::Done
+                } else if let Some(t) = r.ready.pop() {
+                    r.running += 1;
+                    Next::Run(t)
+                } else {
+                    // A well-formed DAG never stalls: something must be
+                    // running whenever ready is empty and work remains.
+                    assert!(r.running > 0, "ready-ring stalled");
+                    Next::Wait
+                }
+            });
+            match next {
+                Next::Run(t) => break t,
+                Next::Done => return,
+                Next::Wait => g = cv.wait(g),
+            }
+        };
+        drop(g);
+        // Task body, outside the lock — exactly where the real executor
+        // runs kernels. Reading each dependency's output asserts the
+        // handshake publishes it (a missing happens-before edge would be
+        // reported as a data race even if the value looked right).
+        for &d in DEPS[task] {
+            assert_eq!(data[d].read(th, |v| *v), 100 + d as u64);
+        }
+        data[task].write(th, |v| *v = 100 + task as u64);
+        let _g = mx.lock(th);
+        let notify = st.write(th, |r| {
+            r.running -= 1;
+            r.remaining -= 1;
+            for &d in DEPENDENTS[task] {
+                r.indegree[d] -= 1;
+                if r.indegree[d] == 0 {
+                    r.ready.push(d);
+                }
+            }
+            r.remaining == 0 || !r.ready.is_empty() || r.running == 0
+        });
+        if notify {
+            cv.notify_all(th);
+        }
+    }
+}
+
+#[test]
+fn ready_ring_handshake_is_clean_over_10k_schedules() {
+    let cfg = Config {
+        preemption_bound: 3,
+        max_schedules: 80_000,
+        max_steps: 20_000,
+    };
+    let report = explore(cfg, |th| {
+        let mx = th.mutex("ring");
+        let cv = th.condvar();
+        let st = th.cell(
+            "ring-state",
+            Ring {
+                ready: vec![0],
+                indegree: INDEGREE.to_vec(),
+                remaining: 4,
+                running: 0,
+            },
+        );
+        let data: Vec<MCell<u64>> = (0..4).map(|_| th.cell("task-data", 0u64)).collect();
+        let mut joins = Vec::new();
+        for _ in 0..3 {
+            let (st, data, mx, cv) = (st.clone(), data.clone(), mx, cv);
+            joins.push(th.spawn(move |th| worker(th, mx, cv, &st, &data)));
+        }
+        for j in joins {
+            th.join(j);
+        }
+        st.read(th, |r| assert_eq!(r.remaining, 0, "tasks left unretired"));
+        for (t, c) in data.iter().enumerate() {
+            assert_eq!(c.read(th, |v| *v), 100 + t as u64);
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.schedules >= 10_000,
+        "expected >= 10k distinct schedules, got {} (truncated: {})",
+        report.schedules,
+        report.truncated
+    );
+}
+
+/// Seeded bug: the real executor notifies under the compound predicate
+/// `remaining == 0 || !ready.is_empty() || running == 0`. The seeded
+/// mutation keeps only the `!ready.is_empty()` arm — new work still
+/// wakes sleepers, but the *completion* wakeup is lost. Any schedule
+/// where a worker is asleep when the last task retires leaves it asleep
+/// forever, and the explorer must find that deadlock.
+#[test]
+fn dropped_notify_is_caught_as_deadlock() {
+    let cfg = Config {
+        preemption_bound: 2,
+        max_schedules: 60_000,
+        max_steps: 20_000,
+    };
+    let report = explore(cfg, |th| {
+        let mx = th.mutex("ring");
+        let cv = th.condvar();
+        let st = th.cell(
+            "ring-state",
+            Ring {
+                ready: vec![0],
+                indegree: INDEGREE.to_vec(),
+                remaining: 4,
+                running: 0,
+            },
+        );
+        let data: Vec<MCell<u64>> = (0..4).map(|_| th.cell("task-data", 0u64)).collect();
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let (st, data, mx, cv) = (st.clone(), data.clone(), mx, cv);
+            joins.push(th.spawn(move |th| loop {
+                let mut g = mx.lock(th);
+                let task = loop {
+                    let next = st.write(th, |r| {
+                        if r.remaining == 0 {
+                            Some(None)
+                        } else if let Some(t) = r.ready.pop() {
+                            r.running += 1;
+                            Some(Some(t))
+                        } else {
+                            None
+                        }
+                    });
+                    match next {
+                        Some(Some(t)) => break t,
+                        Some(None) => return,
+                        None => g = cv.wait(g),
+                    }
+                };
+                drop(g);
+                data[task].write(th, |v| *v = 100 + task as u64);
+                let _g = mx.lock(th);
+                // BUG: only notifies for newly-ready work; the
+                // completion wakeup (`remaining == 0`) is lost.
+                let notify = st.write(th, |r| {
+                    r.running -= 1;
+                    r.remaining -= 1;
+                    for &d in DEPENDENTS[task] {
+                        r.indegree[d] -= 1;
+                        if r.indegree[d] == 0 {
+                            r.ready.push(d);
+                        }
+                    }
+                    !r.ready.is_empty()
+                });
+                if notify {
+                    cv.notify_all(th);
+                }
+            }));
+        }
+        for j in joins {
+            th.join(j);
+        }
+    });
+    let failure = report
+        .failure
+        .expect("losing ready-work wakeups must deadlock");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock, got: {}",
+        failure.message
+    );
+}

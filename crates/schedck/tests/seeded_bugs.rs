@@ -1,0 +1,137 @@
+//! Model-checks the pool's finished-counter handshake from
+//! `crates/pool/src/lib.rs` (`JobCore::run` / `JobCore::wait_done`):
+//! workers claim shares off a relaxed counter, write their share's
+//! result, bump `finished` with `AcqRel`, and the last one in signals
+//! the waiter under `done_mx`. The waiter acquires `finished` and then
+//! reads every share's output.
+//!
+//! The clean model must survive every explored schedule. The seeded
+//! twin downgrades the `finished` increment to `Relaxed` — the exact
+//! bug class the `// PAIRS:` comments and lint L010 guard against in
+//! the real code — and the race detector must catch it: a relaxed RMW
+//! never joins the incrementing worker's clock into the release
+//! sequence, so no path carries the *other* workers' result writes to
+//! the waiter, even when the condvar rendezvous happens to order the
+//! wakeup correctly.
+
+use schedck::{explore, Config, MAtomic, MCell, MCondvar, MMutex, Ordering, Th};
+
+const SHARES: usize = 2;
+const WORKERS: usize = 2;
+
+struct Handshake {
+    next: MAtomic,
+    finished: MAtomic,
+    done_mx: MMutex,
+    done_cv: MCondvar,
+    results: Vec<MCell<u64>>,
+}
+
+fn setup(th: &Th) -> Handshake {
+    Handshake {
+        next: th.atomic(0),
+        finished: th.atomic(0),
+        done_mx: th.mutex("pool.done"),
+        done_cv: th.condvar(),
+        results: (0..SHARES).map(|_| th.cell("share-result", 0u64)).collect(),
+    }
+}
+
+/// The worker side of `JobCore::run`, with the `finished` increment's
+/// ordering as the seeded-bug knob.
+fn run_shares(th: &Th, hs: &Handshake, finish_ord: Ordering) {
+    loop {
+        let share = hs.next.fetch_add(th, 1, Ordering::Relaxed) as usize;
+        if share >= SHARES {
+            return;
+        }
+        hs.results[share].write(th, |v| *v = 10 + share as u64);
+        let done = hs.finished.fetch_add(th, 1, finish_ord) + 1;
+        if done == SHARES as u64 {
+            let _g = hs.done_mx.lock(th);
+            hs.done_cv.notify_all(th);
+        }
+    }
+}
+
+/// The waiter side of `JobCore::wait_done`, plus the read of every
+/// share's output that completion is supposed to license.
+fn wait_and_read(th: &Th, hs: &Handshake) {
+    let mut g = hs.done_mx.lock(th);
+    while hs.finished.load(th, Ordering::Acquire) < SHARES as u64 {
+        g = hs.done_cv.wait(g);
+    }
+    drop(g);
+    for (s, r) in hs.results.iter().enumerate() {
+        assert_eq!(r.read(th, |v| *v), 10 + s as u64);
+    }
+}
+
+fn check(finish_ord: Ordering) -> schedck::Report {
+    explore(
+        Config {
+            preemption_bound: 2,
+            max_schedules: 60_000,
+            max_steps: 20_000,
+        },
+        move |th| {
+            let hs = setup(th);
+            let joins: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let hs = Handshake {
+                        next: hs.next,
+                        finished: hs.finished,
+                        done_mx: hs.done_mx,
+                        done_cv: hs.done_cv,
+                        results: hs.results.clone(),
+                    };
+                    th.spawn(move |th| run_shares(th, &hs, finish_ord))
+                })
+                .collect();
+            wait_and_read(th, &hs);
+            for j in joins {
+                th.join(j);
+            }
+        },
+    )
+}
+
+/// The real protocol: `AcqRel` on the increment makes each worker's
+/// result write visible to the waiter (every RMW joins its clock into
+/// the release sequence, and the waiter's `Acquire` load joins the
+/// accumulated message).
+#[test]
+fn acqrel_finished_counter_is_clean() {
+    let report = check(Ordering::AcqRel);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(!report.truncated);
+    assert!(
+        report.schedules > 100,
+        "expected a real exploration, got {} schedules",
+        report.schedules
+    );
+}
+
+/// Seeded bug: `Relaxed` on the increment. The counter still counts —
+/// the waiter wakes up and sees `finished == SHARES` — but nothing
+/// publishes the workers' clocks, so the result reads race. The condvar
+/// path only transfers the *last* incrementer's clock (via `done_mx`),
+/// which under `Relaxed` never absorbed the other workers', so the bug
+/// is caught on every schedule shape, not just the lucky one.
+#[test]
+fn relaxed_finished_counter_races() {
+    let report = check(Ordering::Relaxed);
+    let failure = report
+        .failure
+        .expect("relaxed completion counter must race");
+    assert!(
+        failure.message.contains("data race"),
+        "expected a data race, got: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("share-result"),
+        "race should be on the share result cell, got: {}",
+        failure.message
+    );
+}

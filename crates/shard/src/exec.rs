@@ -174,7 +174,7 @@ impl TaskGraph {
             }
         });
 
-        let st = state.into_inner().unwrap_or_else(|e| e.into_inner());
+        let st = resilience::audit::recover_into("shard.exec.final", state);
         if st.panicked {
             Err(ExecError::TaskPanicked)
         } else if st.remaining > 0 {
@@ -189,14 +189,15 @@ impl TaskGraph {
 
 /// Locks ignoring poisoning: the executor's own catch_unwind keeps task
 /// panics from unwinding through a held guard, and a poisoned frontier is
-/// discarded at the end of the run anyway.
+/// discarded at the end of the run anyway. Routed through the audit
+/// helpers so any recovery still shows up in the recovery log.
 fn lock<'m>(state: &'m Mutex<RunState>) -> MutexGuard<'m, RunState> {
-    state.lock().unwrap_or_else(|e| e.into_inner())
+    resilience::audit::recover("shard.exec.state", state)
 }
 
 /// [`Condvar::wait`] ignoring poisoning (see [`lock`]).
 fn wait<'m>(cv: &Condvar, guard: MutexGuard<'m, RunState>) -> MutexGuard<'m, RunState> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    resilience::audit::recover_wait("shard.exec.wait", cv, guard)
 }
 
 /// The halo-exchange copy kernel: stages the feature rows listed in `refs`
@@ -218,6 +219,44 @@ pub fn gather_rows(stage: &mut DenseMatrix, src: &DenseMatrix, refs: &[u32]) -> 
         stage.row_mut(slot).copy_from_slice(src.row(g as usize));
     }
     (refs.len() * width * 4) as u64
+}
+
+/// Stages the contiguous global row range `r0..r1` of `src` into `dst`
+/// (row `g` lands in local slot `g - r0`): the hidden-state staging copy a
+/// PIUMA node performs before a dense sub-GEMM, made explicit so the
+/// staged traffic is measurable and the fault injector can reach it.
+/// Returns the bytes staged.
+///
+/// Idempotent by construction (pure copy into an exclusively-held buffer),
+/// so callers retry it verbatim when the fault injector fires.
+pub fn stage_block(dst: &mut DenseMatrix, src: &DenseMatrix, r0: usize, r1: usize) -> u64 {
+    // lint:allow(L008): disabled fault points compile to one static bool
+    // load per staging task (not per row), far below the copy cost.
+    resilience::fault_point!("shard.stage");
+    let width = src.cols();
+    dst.resize_for_overwrite(r1 - r0, width);
+    for (lu, g) in (r0..r1).enumerate() {
+        dst.row_mut(lu).copy_from_slice(src.row(g));
+    }
+    ((r1 - r0) * width * 4) as u64
+}
+
+/// The inverse copy of [`stage_block`]: scatters the local rows of `src`
+/// back to the global row range `r0..r1` of `dst` (local slot `g - r0`
+/// lands in row `g`). `dst` must already be sized; only the target range
+/// is written. Returns the bytes scattered.
+///
+/// Idempotent by construction (pure copy into an exclusively-held row
+/// range), so callers retry it verbatim when the fault injector fires.
+pub fn scatter_block(dst: &mut DenseMatrix, src: &DenseMatrix, r0: usize, r1: usize) -> u64 {
+    // lint:allow(L008): disabled fault points compile to one static bool
+    // load per scatter task (not per row), far below the copy cost.
+    resilience::fault_point!("shard.scatter");
+    let width = src.cols();
+    for (lu, g) in (r0..r1).enumerate() {
+        dst.row_mut(g).copy_from_slice(src.row(lu));
+    }
+    ((r1 - r0) * width * 4) as u64
 }
 
 /// Accumulates one 2D column block into a row block's accumulator:

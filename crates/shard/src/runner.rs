@@ -402,12 +402,20 @@ impl ShardedGcn {
         let rb = &mut *rb;
         if !from_acc {
             let (r0, r1) = (self.plan.row_bounds()[i], self.plan.row_bounds()[i + 1]);
-            rb.hblk.resize_for_overwrite(r1 - r0, layer.in_dim());
-            for (lu, g) in (r0..r1).enumerate() {
-                rb.hblk.row_mut(lu).copy_from_slice(self.h.row(g));
+            let outcome = retry::run(&self.policy, || -> Result<u64, ShardError> {
+                Ok(exec::stage_block(&mut rb.hblk, &self.h, r0, r1))
+            });
+            match outcome {
+                Ok(rec) => {
+                    let mut c = lock(&self.counters);
+                    c.staged_bytes += rec.value;
+                    c.recovered_exchanges += u64::from(rec.attempts - 1);
+                }
+                Err(e) => {
+                    self.record(ShardError::Exchange(e.to_string()));
+                    return;
+                }
             }
-            let mut c = lock(&self.counters);
-            c.staged_bytes += ((r1 - r0) * layer.in_dim() * 4) as u64;
         }
         let a = if from_acc { &rb.acc } else { &rb.hblk };
         let res = if self.precision == Precision::F32 {
@@ -444,19 +452,33 @@ impl ShardedGcn {
     }
 
     /// Copies per-row-block results into the ping-pong output buffer
-    /// (`acc` after update-first, `out` after aggregate-first).
+    /// (`acc` after update-first, `out` after aggregate-first). The whole
+    /// collection — buffer resize plus per-block scatter — runs inside one
+    /// retried fault-pointed region: every write is an idempotent
+    /// overwrite, so an injected panic just replays the copy.
     fn scatter_outputs(&mut self, k_out: usize, from_acc: bool) -> Result<(), ShardError> {
-        self.next.resize_for_overwrite(self.plan.nrows(), k_out);
         let (r, _) = self.plan.grid();
-        for i in 0..r {
-            let rb = lock(&self.rows[i]);
-            let src = if from_acc { &rb.acc } else { &rb.out };
-            let (r0, r1) = (self.plan.row_bounds()[i], self.plan.row_bounds()[i + 1]);
-            for (lu, g) in (r0..r1).enumerate() {
-                self.next.row_mut(g).copy_from_slice(src.row(lu));
+        let (next, plan, rows) = (&mut self.next, &self.plan, &self.rows);
+        let outcome = retry::run(&self.policy, || -> Result<u64, ShardError> {
+            resilience::fault_point!("shard.collect");
+            next.resize_for_overwrite(plan.nrows(), k_out);
+            let mut bytes = 0u64;
+            for (i, row) in rows.iter().enumerate().take(r) {
+                let rb = lock(row);
+                let src = if from_acc { &rb.acc } else { &rb.out };
+                let (r0, r1) = (plan.row_bounds()[i], plan.row_bounds()[i + 1]);
+                bytes += exec::scatter_block(next, src, r0, r1);
             }
+            Ok(bytes)
+        });
+        match outcome {
+            Ok(rec) => {
+                let mut c = lock(&self.counters);
+                c.recovered_exchanges += u64::from(rec.attempts - 1);
+                Ok(())
+            }
+            Err(e) => Err(ShardError::Exchange(e.to_string())),
         }
-        Ok(())
     }
 
     /// Records the first task-level error of the current graph run.
@@ -476,6 +498,7 @@ impl ShardedGcn {
 
 /// Locks ignoring poisoning: task panics are caught inside the executor,
 /// and a poisoned buffer is fully overwritten by the retried attempt.
+/// Routed through the audit helpers so recoveries are counted.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    resilience::audit::recover("shard.runner", m)
 }

@@ -323,6 +323,9 @@ impl Csr {
 
     /// Returns the transpose (equivalently: reinterprets the matrix as CSC).
     pub fn transpose(&self) -> Csr {
+        // lint:allow(L009): plan-construction path — transposes run once
+        // when a plan or partition is built, never inside the per-layer
+        // inference loop the hot seeds guard.
         let mut counts = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
             counts[c as usize + 1] += 1;
@@ -331,7 +334,9 @@ impl Csr {
             counts[i + 1] += counts[i];
         }
         let row_ptr = counts.clone();
+        // lint:allow(L009): plan-construction path (see above).
         let mut col_idx = vec![0u32; self.nnz()];
+        // lint:allow(L009): plan-construction path (see above).
         let mut values = vec![0.0f32; self.nnz()];
         let mut next = counts;
         for r in 0..self.nrows {

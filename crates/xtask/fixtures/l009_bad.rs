@@ -1,0 +1,14 @@
+//! L009 bad: an allocating, panicking helper two hops from a hot entry.
+//! The file is not itself on the hot list — only reachable from it.
+
+/// First hop from the hot kernel.
+pub fn l009_helper_hop_one() {
+    l009_helper_hop_two(3);
+}
+
+/// Second hop: allocates and unwraps — violations inherited through the
+/// call graph.
+pub fn l009_helper_hop_two(n: usize) {
+    let v: Vec<usize> = (0..n).collect();
+    v.first().unwrap();
+}

@@ -1,0 +1,12 @@
+//! L009 good: helpers reachable from the hot entry stay panic- and
+//! allocation-free, so there is nothing to inherit.
+
+/// First hop from the hot kernel.
+pub fn l009_helper_hop_one() {
+    l009_helper_hop_two(3);
+}
+
+/// Second hop: pure arithmetic.
+pub fn l009_helper_hop_two(n: usize) -> usize {
+    n.saturating_mul(2)
+}

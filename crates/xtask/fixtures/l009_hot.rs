@@ -1,0 +1,8 @@
+//! Hot entry point driving the L009 fixtures (linted under a hot-path
+//! pseudo-path; the fixture under test sits one file away in the same
+//! crate).
+
+/// Hot kernel entry: calls one hop into the fixture under test.
+pub fn hot_entry() {
+    l009_helper_hop_one();
+}

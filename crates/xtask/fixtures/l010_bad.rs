@@ -1,0 +1,14 @@
+//! L010 bad: acquire/release sites with no `PAIRS:` label, plus an
+//! unexplained `SeqCst`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Publishes the flag without naming its pairing site.
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+/// Consumes with `SeqCst` for no stated reason.
+pub fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::SeqCst)
+}

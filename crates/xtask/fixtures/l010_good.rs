@@ -1,0 +1,15 @@
+//! L010 good: both ends of the happens-before edge name the same
+//! `PAIRS:` label, so the group has a release side and an acquire side.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Publishes the flag for `consume`.
+pub fn publish(flag: &AtomicBool) {
+    // PAIRS: fixture.flag (release half of the publish edge)
+    flag.store(true, Ordering::Release);
+}
+
+/// Observes everything written before `publish`'s store.
+pub fn consume(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire) // PAIRS: fixture.flag
+}

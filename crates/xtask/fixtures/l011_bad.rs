@@ -1,0 +1,19 @@
+//! L011 bad: two functions acquire the same pair of locks in conflicting
+//! orders (deadlock-capable cycle), and both use raw poisoned-lock
+//! unwraps outside the audit helpers.
+
+use std::sync::Mutex;
+
+/// Takes `a` then `b`.
+pub fn forward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}
+
+/// Takes `b` then `a` — cycles with `forward`.
+pub fn backward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let gb = b.lock().unwrap();
+    let ga = a.lock().unwrap();
+    *ga + *gb
+}

@@ -1,0 +1,18 @@
+//! L011 good: one global lock order (`a` before `b`), with poisoning
+//! recovery routed through the counted `resilience::audit` helpers.
+
+use std::sync::Mutex;
+
+/// Takes `a` then `b`, recovering poisoned guards through the audit log.
+pub fn forward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = resilience::audit::recover("fixture.a", a);
+    let gb = resilience::audit::recover("fixture.b", b);
+    *ga + *gb
+}
+
+/// Same acquisition order as `forward`.
+pub fn backward(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = resilience::audit::recover("fixture.a", a);
+    let gb = resilience::audit::recover("fixture.b", b);
+    *ga + *gb
+}

@@ -1,0 +1,8 @@
+//! L012 bad: exchange-buffer writes with no dominating fault-point site —
+//! chaos testing can never exercise this copy path.
+
+/// Copies a row into the stage buffer with no chaos-injection site.
+pub fn gather(stage: &mut Block, src: &Block) {
+    stage.resize_for_overwrite(1, 4);
+    stage.row_mut(0).copy_from_slice(src.row(0));
+}

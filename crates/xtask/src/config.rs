@@ -33,6 +33,13 @@
 //! [docs]                            # L007
 //! crates = ["crates/kernels"]      # library crates requiring doc comments
 //!
+//! [locks]                           # L011
+//! helpers = ["crates/resilience/src/audit.rs"] # files allowed raw poison handling
+//!
+//! [exchange]                        # L012
+//! paths   = ["crates/shard/src/exec.rs"] # files whose buffer writes need fault cover
+//! buffers = ["stage", "hblk"]      # exchange-buffer names (receivers of writes)
+//!
 //! [disabled]
 //! lints = []                        # lint IDs switched off entirely
 //! ```
@@ -62,6 +69,13 @@ pub struct Config {
     pub relaxed_allowed: Vec<String>,
     /// Crates whose `pub` items must carry doc comments (L007).
     pub docs_crates: Vec<String>,
+    /// Files allowed to handle lock poisoning directly (L011) — the
+    /// `resilience::audit` helpers themselves.
+    pub lock_helpers: Vec<String>,
+    /// Files whose exchange-buffer writes need fault-point cover (L012).
+    pub exchange_paths: Vec<String>,
+    /// Exchange-buffer names — write receivers L012 tracks.
+    pub exchange_buffers: Vec<String>,
     /// Lints disabled outright.
     pub disabled: Vec<String>,
 }
@@ -78,6 +92,9 @@ impl Default for Config {
             dim_check_helpers: vec!["check".into(), "check_shapes".into()],
             relaxed_allowed: vec!["crates/pool".into()],
             docs_crates: Vec::new(),
+            lock_helpers: vec!["crates/resilience/src/audit.rs".into()],
+            exchange_paths: Vec::new(),
+            exchange_buffers: Vec::new(),
             disabled: Vec::new(),
         }
     }
@@ -124,6 +141,9 @@ impl Config {
         assign("dim-check", "helpers", &mut cfg.dim_check_helpers);
         assign("relaxed", "allowed", &mut cfg.relaxed_allowed);
         assign("docs", "crates", &mut cfg.docs_crates);
+        assign("locks", "helpers", &mut cfg.lock_helpers);
+        assign("exchange", "paths", &mut cfg.exchange_paths);
+        assign("exchange", "buffers", &mut cfg.exchange_buffers);
         assign("disabled", "lints", &mut cfg.disabled);
         Ok(cfg)
     }

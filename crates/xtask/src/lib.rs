@@ -5,9 +5,11 @@
 //! `unsafe` stays confined and argued — were established by PRs 1–2 as
 //! *convention*. This crate makes them machine-checked: a small
 //! comment/string/raw-string-aware tokenizer ([`lexer`]), a suite of
-//! repo-specific lints ([`lints`], IDs `L001`–`L007`), per-crate scoping
-//! via `lint.toml` ([`config`]), and inline waivers
-//! (`// lint:allow(<ID>): <reason>`) whose reasons are mandatory.
+//! repo-specific lints (per-file [`lints`] `L001`–`L008` plus the
+//! call-graph-aware concurrency lints [`global`] `L009`–`L012`, built on
+//! the [`symbols`] resolver), per-crate scoping via `lint.toml`
+//! ([`config`]), and inline waivers (`// lint:allow(<ID>): <reason>`)
+//! whose reasons are mandatory.
 //!
 //! Three enforcement points share this library:
 //!
@@ -25,8 +27,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod global;
 pub mod lexer;
 pub mod lints;
+pub mod symbols;
 
 use std::path::{Path, PathBuf};
 
@@ -90,16 +94,42 @@ pub fn rel_str(path: &Path, root: &Path) -> String {
 
 /// Lints every file in `files` (absolute paths) against `cfg`.
 pub fn run(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
-    let mut report = Report::default();
+    let mut scanned: Vec<(String, lexer::SourceFile)> = Vec::new();
     for path in files {
         let Ok(text) = std::fs::read_to_string(path) else {
             continue;
         };
-        report.files += 1;
-        let rel = rel_str(path, root);
-        let sf = lexer::SourceFile::scan(&text);
-        let before = count_raw(&rel, &sf, cfg);
-        let diags = lints::lint_file(&rel, &sf, cfg);
+        scanned.push((rel_str(path, root), lexer::SourceFile::scan(&text)));
+    }
+    let mut ws = symbols::Workspace::build(&scanned);
+    // Dependency-aware resolution: a name collision must not edge a crate
+    // into one it does not link against.
+    ws.set_crate_deps(symbols::load_crate_deps(root));
+    lint_scanned_with(&scanned, &ws, cfg)
+}
+
+/// Two-pass lint over an already-scanned file set: a workspace pass
+/// (symbol table + call graph + `L009`–`L012`) followed by the per-file
+/// lints, with waivers applied to the merged findings. Exposed so fixture
+/// tests can exercise the global lints on in-memory multi-file sets.
+pub fn lint_scanned(files: &[(String, lexer::SourceFile)], cfg: &Config) -> Report {
+    lint_scanned_with(files, &symbols::Workspace::build(files), cfg)
+}
+
+fn lint_scanned_with(
+    files: &[(String, lexer::SourceFile)],
+    ws: &symbols::Workspace,
+    cfg: &Config,
+) -> Report {
+    let mut global_diags = global::lint_globals(files, ws, cfg);
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for (rel, sf) in files {
+        let extra = global_diags.remove(rel).unwrap_or_default();
+        let before = count_raw(rel, sf, cfg, &extra);
+        let diags = lints::lint_file_with(rel, sf, cfg, extra);
         // Waived = findings the raw lints produced minus what survived
         // (excluding L000 meta-diagnostics, which waivers never cover).
         let survived = diags.iter().filter(|d| d.lint != "L000").count();
@@ -113,16 +143,17 @@ pub fn run(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
 }
 
 /// Raw (pre-waiver) finding count for a file, used for the waived tally.
-fn count_raw(rel: &str, sf: &lexer::SourceFile, cfg: &Config) -> usize {
+fn count_raw(rel: &str, sf: &lexer::SourceFile, cfg: &Config, extra: &[Diagnostic]) -> usize {
     // Re-running the lints without waivers would duplicate logic; instead,
     // lint_file is the only entry point and we recover the raw count from a
-    // waiver-stripped variant of the source. Cheaper: count how many
-    // honored waivers exist by linting and diffing — which requires the raw
-    // count. Simplest correct approach: strip waiver markers and re-lint.
-    let stripped = lints::lint_file(
+    // waiver-stripped variant of the source. (Global findings don't depend
+    // on waiver text — the strip only rewrites comment content — so the
+    // same `extra` set applies to the stripped variant.)
+    let stripped = lints::lint_file_with(
         rel,
         &lexer::SourceFile::scan(&sf.raw.replace("lint:allow", "lint-stripped")),
         cfg,
+        extra.to_vec(),
     );
     stripped.iter().filter(|d| d.lint != "L000").count()
 }

@@ -60,6 +60,22 @@ pub const LINTS: &[LintInfo] = &[
         id: "L008",
         summary: "`fault_point!`/`fault_point_err!` sites in hot-path modules require a waiver arguing their disabled cost",
     },
+    LintInfo {
+        id: "L009",
+        summary: "every function reachable from a hot-path module through the call graph inherits the panic-freedom (L003) and zero-alloc (L005) rules",
+    },
+    LintInfo {
+        id: "L010",
+        summary: "every `Acquire`/`Release`/`AcqRel` atomic site names its pairing site in a `// PAIRS: <label>` comment, matched bidirectionally; `SeqCst` requires a waiver",
+    },
+    LintInfo {
+        id: "L011",
+        summary: "per-crate lock-acquisition order must be acyclic, and poisoned-lock handling must go through `resilience::audit`",
+    },
+    LintInfo {
+        id: "L012",
+        summary: "writes to exchange buffers must be dominated by a `fault_point!` site (directly or via a fault-pointed callee)",
+    },
 ];
 
 /// Is `id` a known lint ID (including `L000`, the waiver meta-lint)?
@@ -81,7 +97,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(lint: &str, file: &str, line0: usize, message: String) -> Diagnostic {
+    pub(crate) fn new(lint: &str, file: &str, line0: usize, message: String) -> Diagnostic {
         Diagnostic {
             lint: lint.to_string(),
             file: file.to_string(),
@@ -107,7 +123,22 @@ struct Waiver {
 /// already applied (waived findings removed, malformed/unused waivers
 /// reported as `L000`).
 pub fn lint_file(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
-    let mut raw: Vec<Diagnostic> = Vec::new();
+    lint_file_with(path, sf, cfg, Vec::new())
+}
+
+/// Like [`lint_file`], but merges `extra` diagnostics computed by the
+/// workspace-level pass ([`crate::global`]) into this file's raw findings
+/// before waivers are applied, so global findings are waivable with the
+/// same `lint:allow` machinery. `extra` lines are 1-based (already
+/// [`Diagnostic`]s); scoping (disabled lints, test exemption) is the
+/// global pass's responsibility.
+pub fn lint_file_with(
+    path: &str,
+    sf: &SourceFile,
+    cfg: &Config,
+    extra: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut raw: Vec<Diagnostic> = extra;
     let exempt_file = is_test_path(path);
 
     let mut run = |id: &str, f: &dyn Fn(&str, &SourceFile, &Config) -> Vec<Diagnostic>| {
@@ -135,11 +166,11 @@ pub fn lint_file(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
     run("L007", &l007_pub_docs);
     run("L008", &l008_fault_points);
 
-    apply_waivers(path, sf, raw)
+    apply_waivers(path, sf, cfg, raw)
 }
 
 /// Does the path denote test/bench/example code exempt from hot-path lints?
-fn is_test_path(path: &str) -> bool {
+pub fn is_test_path(path: &str) -> bool {
     path.split('/')
         .any(|c| c == "tests" || c == "benches" || c == "examples")
         || path.ends_with("_test.rs")
@@ -237,7 +268,12 @@ fn parse_waivers(path: &str, sf: &SourceFile) -> (Vec<Waiver>, Vec<Diagnostic>) 
     (waivers, problems)
 }
 
-fn apply_waivers(path: &str, sf: &SourceFile, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+fn apply_waivers(
+    path: &str,
+    sf: &SourceFile,
+    cfg: &Config,
+    raw: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
     let (waivers, mut out) = parse_waivers(path, sf);
     for d in raw {
         let line0 = d.line - 1;
@@ -250,6 +286,14 @@ fn apply_waivers(path: &str, sf: &SourceFile, raw: Vec<Diagnostic>) -> Vec<Diagn
         }
     }
     for w in &waivers {
+        // A waiver whose lints are all disabled in lint.toml is dormant, not
+        // stale: toggling config must not force source churn.
+        if w.lints
+            .iter()
+            .all(|id| cfg.disabled.iter().any(|d| d == id))
+        {
+            continue;
+        }
         if !w.used.get() {
             out.push(Diagnostic::new(
                 "L000",
@@ -338,7 +382,7 @@ fn l002_no_thread_spawn(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagno
 
 // --- L003 ------------------------------------------------------------------
 
-const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
 
 fn l003_panic_freedom(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnostic> {
     if !Config::path_in(path, &cfg.hot_paths) {
@@ -399,7 +443,7 @@ fn l003_panic_freedom(path: &str, sf: &SourceFile, cfg: &Config) -> Vec<Diagnost
 
 /// `.expect(` is compliant when followed on the same raw line by a string
 /// literal containing a space — a stated invariant, not a bare token.
-fn expect_states_invariant(raw_line: &str, at: usize) -> bool {
+pub(crate) fn expect_states_invariant(raw_line: &str, at: usize) -> bool {
     let Some(tail) = raw_line.get(at..) else {
         return false;
     };
@@ -519,7 +563,7 @@ fn fn_body(code: &str, at: usize) -> Option<&str> {
 
 // --- L005 ------------------------------------------------------------------
 
-const ALLOC_PATTERNS: &[&str] = &[
+pub(crate) const ALLOC_PATTERNS: &[&str] = &[
     "Vec::new",
     "Vec::with_capacity",
     "vec!",
@@ -699,6 +743,38 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.lint == "L000" && d.message.contains("unused waiver")));
+    }
+
+    #[test]
+    fn waivers_for_disabled_lints_are_dormant_not_unused() {
+        let cfg = Config {
+            disabled: vec!["L006".into()],
+            ..Config::default()
+        };
+        let src = "// lint:allow(L006): single-writer counter, no pairing needed\n\
+                   fn f() { x.load(Ordering::Relaxed); }\n";
+        let diags = lint_with("crates/k/src/a.rs", src, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+        // Re-enabling the lint makes the same waiver live again.
+        let diags = lint_with("crates/k/src/a.rs", src, &Config::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn waiver_on_macro_invocation_line_covers_its_diagnostics() {
+        let cfg = hot_cfg("crates/k/src/hot.rs");
+        // Trailing waiver on the macro's own line.
+        let trailing = "fn f() { resilience::fault_point!(\"k.s\"); } \
+                        // lint:allow(L008): one relaxed load, off the inner loop\n";
+        let diags = lint_with("crates/k/src/hot.rs", trailing, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
+        // Standalone waiver above a multi-line macro invocation: the
+        // diagnostic attributes to the macro's first line, which the
+        // waiver covers.
+        let multiline = "// lint:allow(L008): one relaxed load, off the inner loop\n\
+                         resilience::fault_point!(\n    \"k.site\"\n);\n";
+        let diags = lint_with("crates/k/src/hot.rs", multiline, &cfg);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
