@@ -20,6 +20,13 @@ pub enum GcnError {
         /// Feature matrix row count.
         features: usize,
     },
+    /// A requested target vertex lies outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        vertices: usize,
+    },
     /// A kernel rejected its operands (wrapped lower-level error).
     Kernel(matrix::MatrixError),
     /// Adjacency normalization failed (wrapped lower-level error).
@@ -36,6 +43,10 @@ impl fmt::Display for GcnError {
             GcnError::VertexCountMismatch { graph, features } => write!(
                 f,
                 "feature matrix has {features} rows but the graph has {graph} vertices"
+            ),
+            GcnError::VertexOutOfRange { vertex, vertices } => write!(
+                f,
+                "target vertex {vertex} is out of range for a graph with {vertices} vertices"
             ),
             GcnError::Kernel(e) => write!(f, "kernel error: {e}"),
             GcnError::Normalize(e) => write!(f, "normalization error: {e}"),

@@ -34,6 +34,8 @@ pub mod error;
 pub mod model;
 /// Guarded (budget/cancel) and fault-tolerant inference entry points.
 pub mod resilient;
+/// Batched per-vertex inference over gathered k-hop neighbourhoods.
+pub mod rows;
 /// Neighborhood-sampled mini-batch inference (GraphSAGE-style).
 pub mod sampled;
 /// Training loop: node classification, optimizers, per-step stats.
@@ -44,5 +46,6 @@ pub use config::GcnConfig;
 pub use error::GcnError;
 pub use model::{GcnLayer, GcnModel, InferenceWorkspace};
 pub use resilient::{InferenceRun, PrecisionRun};
+pub use rows::{RowsBatchStats, RowsWorkspace};
 pub use sampled::{SampledBatch, SamplingScheme};
 pub use train::{NodeClassification, OptimizerKind, StepStats, Trainer};

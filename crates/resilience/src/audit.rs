@@ -83,6 +83,27 @@ pub fn recover_wait<'a, T>(
     }
 }
 
+/// `Condvar::wait_timeout` with the same poisoning-recovery policy as
+/// [`recover`]. Returns the reacquired guard and whether the wait timed
+/// out (`true` = the duration elapsed without a notification). The
+/// serving batcher's window wait uses this so a panic injected into a
+/// producer never wedges a consumer on a poisoned queue lock.
+pub fn recover_wait_timeout<'a, T>(
+    site: &'static str,
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: std::time::Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(e) => {
+            note(site);
+            let (g, t) = e.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
 /// Total poisoned-lock recoveries since process start.
 pub fn poison_recoveries() -> u64 {
     // lint:allow(L006): see note(); monotonic counter read.

@@ -89,8 +89,17 @@ impl RunGuard {
     }
 
     /// Add a wall-clock budget to this guard (measured from now).
+    ///
+    /// If the guard already carries a deadline — e.g. it was derived from
+    /// an enclosing guard via [`RunGuard::child`] — the **tighter** of the
+    /// two wins: a budget added inside an already-guarded region can only
+    /// shrink the remaining time, never extend past the outer deadline.
     pub fn and_budget(mut self, budget: Duration) -> Self {
-        self.deadline = Some(Instant::now() + budget);
+        let candidate = Instant::now() + budget;
+        self.deadline = Some(match self.deadline {
+            Some(existing) => existing.min(candidate),
+            None => candidate,
+        });
         self
     }
 
@@ -98,6 +107,35 @@ impl RunGuard {
     pub fn and_token(mut self, token: CancelToken) -> Self {
         self.token = Some(token);
         self
+    }
+
+    /// Derive a guard for a nested region: the child shares this guard's
+    /// cancellation token and inherits its deadline, so budgets added to
+    /// the child (via [`RunGuard::and_budget`]) are clamped to the outer
+    /// deadline. Cancelling the parent's token cancels the child; the
+    /// child's elapsed clock restarts at this call.
+    pub fn child(&self) -> Self {
+        RunGuard {
+            token: self.token.clone(),
+            deadline: self.deadline,
+            started: Instant::now(),
+        }
+    }
+
+    /// [`RunGuard::child`] with an additional budget for the nested
+    /// region — the effective deadline is the tighter of the parent's
+    /// deadline and `now + budget`.
+    pub fn child_with_budget(&self, budget: Duration) -> Self {
+        self.child().and_budget(budget)
+    }
+
+    /// Time remaining until the deadline, if one is set. Zero once the
+    /// deadline has passed. Admission controllers use this to shed
+    /// requests whose estimated service time exceeds the remaining
+    /// budget rather than letting them time out mid-run.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// Poll at loop safe points: `Some(reason)` once the run should stop.
@@ -211,6 +249,48 @@ mod tests {
         t.cancel();
         let g = RunGuard::with_budget(Duration::ZERO).and_token(t);
         assert_eq!(g.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn nested_budget_cannot_extend_outer_deadline() {
+        // Outer guard with an already-expired budget; an inner region
+        // asking for a generous budget must stay expired.
+        let outer = RunGuard::with_budget(Duration::ZERO);
+        let inner = outer.child_with_budget(Duration::from_secs(3600));
+        assert_eq!(inner.should_stop(), Some(StopReason::BudgetExceeded));
+        // and_budget on an existing guard clamps the same way.
+        let extended = outer.clone().and_budget(Duration::from_secs(3600));
+        assert_eq!(extended.should_stop(), Some(StopReason::BudgetExceeded));
+    }
+
+    #[test]
+    fn nested_budget_can_tighten() {
+        let outer = RunGuard::with_budget(Duration::from_secs(3600));
+        let inner = outer.child_with_budget(Duration::ZERO);
+        assert_eq!(inner.should_stop(), Some(StopReason::BudgetExceeded));
+        assert_eq!(outer.should_stop(), None);
+    }
+
+    #[test]
+    fn child_shares_cancellation() {
+        let t = CancelToken::new();
+        let outer = RunGuard::with_token(t.clone());
+        let inner = outer.child();
+        assert_eq!(inner.should_stop(), None);
+        t.cancel();
+        assert_eq!(inner.should_stop(), Some(StopReason::Cancelled));
+    }
+
+    #[test]
+    fn remaining_reports_time_left() {
+        assert_eq!(RunGuard::unbounded().remaining(), None);
+        let g = RunGuard::with_budget(Duration::from_secs(3600));
+        let r = g.remaining().expect("budgeted guard has a deadline");
+        assert!(r > Duration::from_secs(3500));
+        assert_eq!(
+            RunGuard::with_budget(Duration::ZERO).remaining(),
+            Some(Duration::ZERO)
+        );
     }
 
     #[test]

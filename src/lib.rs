@@ -42,6 +42,7 @@
 //! | [`piuma_kernels`] | SpMM lowered onto the simulator |
 //! | [`platform_models`] | Xeon 8380 / A100 / PIUMA GCN timing models |
 //! | [`report`] | experiment harness and the `repro` binary |
+//! | [`serving`] | async inference service: batching + admission control |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +56,7 @@ pub use piuma_kernels;
 pub use piuma_sim;
 pub use platform_models;
 pub use report;
+pub use serving;
 pub use sparse;
 
 /// The most commonly used types, re-exported flat.
@@ -70,5 +72,6 @@ pub mod prelude {
     pub use piuma_kernels::{SpmmSimResult, SpmmSimulation, SpmmVariant};
     pub use piuma_sim::{MachineConfig, SimResult, Simulator};
     pub use platform_models::{GcnPhaseTimes, GpuModel, Phase, PiumaModel, XeonModel};
+    pub use serving::{GcnService, Rejection, Request, ServiceConfig, TenantSpec};
     pub use sparse::{Coo, Csr, Permutation};
 }
