@@ -1,0 +1,161 @@
+//! Chaos soak study: recovery latency and goodput dips under a seeded
+//! kill/heal schedule, on an Arxiv Table-I twin served by the sharded
+//! backend.
+//!
+//! The schedule arms three fault windows in turn — shard-task kills
+//! (masked replay recovers them), exchange faults at a rate high enough
+//! to trip the circuit breaker into planned failover, and batch-executor
+//! panics (typed `Faulted` sheds) — with clean cooldowns between them.
+//! For each window the soak harness reports the recovery latency (heal
+//! to first post-heal success), the worst goodput dip and its duration,
+//! and the post-recovery goodput over the tail of the cooldown.
+//!
+//! Results go to `results/BENCH_recovery.json`; the headline gate is
+//! that post-recovery goodput lands within 10% of the pre-fault steady
+//! state for every window, with zero hung handles and zero bitwise
+//! mismatches across the whole run.
+
+use bench::BENCH_SEED;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gcn::{GcnConfig, GcnModel, InferenceWorkspace};
+use graph::OgbDataset;
+use kernels::SpmmPlan;
+use matrix::DenseMatrix;
+use resilience::fault::FaultKind;
+use serving::soak::{run_soak, SoakConfig};
+use serving::{GcnService, PartitionKind, ServiceConfig};
+use sparse::Csr;
+use std::time::Duration;
+
+/// Vertex cap for the Arxiv twin.
+const TWIN_CAP: usize = 1 << 9;
+/// Shards behind the service.
+const WORKERS: usize = 4;
+/// Post-recovery goodput must land within this fraction of steady state.
+const GOODPUT_TOLERANCE: f64 = 0.10;
+
+fn setup() -> (GcnModel, Csr, DenseMatrix, DenseMatrix) {
+    let a_hat = OgbDataset::Arxiv
+        .materialize_scaled(TWIN_CAP, 0xC0FFEE)
+        .normalized_adjacency()
+        .expect("twin adjacency normalizes");
+    let model = GcnModel::new(&GcnConfig::from_dims(vec![16, 32, 8]), 7);
+    let n = a_hat.nrows();
+    let data: Vec<f32> = (0..n * 16)
+        .map(|i| {
+            let mut z = 11u64.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) as f32) / ((1u64 << 23) as f32) - 1.0
+        })
+        .collect();
+    let x = DenseMatrix::from_vec(n, 16, data).expect("shape matches by construction");
+    let mut ws = InferenceWorkspace::new();
+    ws.install_plan(SpmmPlan::with_width(&a_hat, 16, 1));
+    let want = model
+        .infer_planned_with(&a_hat, &x, &mut ws)
+        .expect("planned inference succeeds")
+        .clone();
+    (model, a_hat, x, want)
+}
+
+/// The measured schedule: longer phases than the gate test so goodput
+/// estimates are stable enough to compare within 10%.
+fn schedule(seed: u64) -> SoakConfig {
+    let mut cfg = SoakConfig::quick(seed);
+    cfg.warmup = Duration::from_millis(800);
+    cfg.cooldown = Duration::from_millis(800);
+    cfg.window(
+        "shard.task",
+        FaultKind::Panic,
+        0.05,
+        Duration::from_millis(400),
+    )
+    .window(
+        "shard.exchange",
+        FaultKind::Panic,
+        0.30,
+        Duration::from_millis(400),
+    )
+    .window(
+        "serving.batch",
+        FaultKind::Panic,
+        0.05,
+        Duration::from_millis(300),
+    )
+}
+
+fn bench_all(c: &mut Criterion) {
+    let _quiet = resilience::retry::quiet_panics();
+    let (model, a_hat, x, want) = setup();
+    let svc = GcnService::sharded(
+        model,
+        a_hat,
+        x,
+        WORKERS,
+        PartitionKind::Rows1D,
+        ServiceConfig::single_tenant(),
+    )
+    .expect("sharded service starts");
+
+    let cfg = schedule(BENCH_SEED);
+    let report = run_soak(&svc, &want, &cfg);
+    assert!(report.clean(), "soak gate: hung or mismatched handles");
+    for w in &report.windows {
+        eprintln!(
+            "chaos_soak: {:<28} recovery {:>6?}, dip {:.0}% for {:?}, \
+             post {:.0}/s vs steady {:.0}/s",
+            w.window.label,
+            w.recovery_latency.unwrap_or_default(),
+            w.dip_depth * 100.0,
+            w.dip_duration,
+            w.post_goodput,
+            report.steady_goodput,
+        );
+        assert!(
+            w.post_goodput >= (1.0 - GOODPUT_TOLERANCE) * report.steady_goodput,
+            "{}: post-recovery goodput {:.1}/s fell more than {:.0}% below \
+             steady state {:.1}/s",
+            w.window.label,
+            w.post_goodput,
+            GOODPUT_TOLERANCE * 100.0,
+            report.steady_goodput,
+        );
+    }
+
+    let json = report.to_json();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(format!("{dir}/BENCH_recovery.json"), &json))
+    {
+        eprintln!("chaos_soak: failed to write stats JSON: {e}");
+    } else {
+        eprintln!(
+            "chaos_soak: wrote {dir}/BENCH_recovery.json \
+             (steady {:.0}/s, {} windows)",
+            report.steady_goodput,
+            report.windows.len(),
+        );
+    }
+
+    // One interactive criterion datapoint: a clean closed-loop burst on
+    // the recovered service — post-soak latency has to look like
+    // pre-soak latency, and the timing here makes regressions visible.
+    let mut group = c.benchmark_group("chaos_soak");
+    group.sample_size(10);
+    group.bench_function("post_recovery_burst64", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..64)
+                .map(|v| svc.submit_vertex(0, v * 61 % TWIN_CAP).unwrap())
+                .collect();
+            for h in handles {
+                h.wait().unwrap();
+            }
+        })
+    });
+    group.finish();
+    svc.shutdown();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

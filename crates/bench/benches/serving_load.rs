@@ -51,6 +51,7 @@ fn service_config(batched: bool) -> ServiceConfig {
         latency_budget: Duration::from_millis(500),
         lanes: 2,
         tenants: vec![serving::TenantSpec::default()],
+        ..ServiceConfig::single_tenant()
     };
     if batched {
         cfg

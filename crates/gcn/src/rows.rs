@@ -25,7 +25,7 @@
 use crate::error::GcnError;
 use crate::model::{GcnModel, InferenceWorkspace};
 use kernels::SpmmPlan;
-use matrix::DenseMatrix;
+use matrix::{DenseMatrix, Precision};
 use sparse::Csr;
 
 /// Statistics of one gathered-batch inference call (fed into the serving
@@ -71,6 +71,10 @@ pub struct RowsWorkspace {
     /// Workspace for saturated batches: caches one width-1 full-graph
     /// plan per adjacency across calls.
     full_ws: InferenceWorkspace,
+    /// Workspace for narrow-precision (brownout) batches:
+    /// [`GcnModel::infer_planned_prec_with`] manages its own
+    /// precision-keyed plan cache inside it.
+    prec_ws: InferenceWorkspace,
 }
 
 impl RowsWorkspace {
@@ -125,6 +129,40 @@ impl GcnModel {
         a_hat: &Csr,
         features: &DenseMatrix,
         targets: &[usize],
+        ws: &mut RowsWorkspace,
+        out: &mut DenseMatrix,
+    ) -> Result<RowsBatchStats, GcnError> {
+        self.rows_impl(a_hat, features, targets, None, ws, out)
+    }
+
+    /// [`GcnModel::infer_rows_planned_into`] at a narrow storage
+    /// precision — the serving brownout path. The gather/saturation logic
+    /// is identical; the layer stack runs through
+    /// [`GcnModel::infer_planned_prec_with`], so outputs carry the
+    /// precision's quantization error and are **not** bitwise-comparable
+    /// to the f32 path (callers must annotate responses accordingly).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GcnModel::infer_rows_planned_into`].
+    pub fn infer_rows_planned_prec_into(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        targets: &[usize],
+        precision: Precision,
+        ws: &mut RowsWorkspace,
+        out: &mut DenseMatrix,
+    ) -> Result<RowsBatchStats, GcnError> {
+        self.rows_impl(a_hat, features, targets, Some(precision), ws, out)
+    }
+
+    fn rows_impl(
+        &self,
+        a_hat: &Csr,
+        features: &DenseMatrix,
+        targets: &[usize],
+        precision: Option<Precision>,
         ws: &mut RowsWorkspace,
         out: &mut DenseMatrix,
     ) -> Result<RowsBatchStats, GcnError> {
@@ -197,11 +235,16 @@ impl GcnModel {
 
         // --- Saturated: run the cached width-1 full-graph plan. ---------
         if ws.verts.len() == n {
-            if !ws.full_ws.plan().is_some_and(|p| p.matches(a_hat)) {
-                ws.full_ws
-                    .install_plan(SpmmPlan::with_width(a_hat, features.cols(), 1));
-            }
-            let h = self.infer_planned_with(a_hat, features, &mut ws.full_ws)?;
+            let h = match precision {
+                None => {
+                    if !ws.full_ws.plan().is_some_and(|p| p.matches(a_hat)) {
+                        ws.full_ws
+                            .install_plan(SpmmPlan::with_width(a_hat, features.cols(), 1));
+                    }
+                    self.infer_planned_with(a_hat, features, &mut ws.full_ws)?
+                }
+                Some(p) => self.infer_planned_prec_with(a_hat, features, p, &mut ws.prec_ws)?,
+            };
             for (i, &t) in targets.iter().enumerate() {
                 out.row_mut(i).copy_from_slice(h.row(t));
             }
@@ -256,8 +299,13 @@ impl GcnModel {
         // Width 1 ⇒ always sequential: batch parallelism comes from the
         // serving lanes, never from inside a batch, which keeps the
         // per-row floating-point order independent of batch composition.
-        ws.sub_ws.install_plan(SpmmPlan::with_width(&sub, k, 1));
-        let run = self.infer_planned_with(&sub, &ws.feat, &mut ws.sub_ws);
+        let run = match precision {
+            None => {
+                ws.sub_ws.install_plan(SpmmPlan::with_width(&sub, k, 1));
+                self.infer_planned_with(&sub, &ws.feat, &mut ws.sub_ws)
+            }
+            Some(p) => self.infer_planned_prec_with(&sub, &ws.feat, p, &mut ws.prec_ws),
+        };
         // Recycle the sub-CSR arrays before propagating any error.
         let scatter = match run {
             Ok(h) => {

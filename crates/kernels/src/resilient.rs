@@ -53,6 +53,15 @@ pub struct ExecutionReport {
     pub precision_fallback: Option<(Precision, Precision)>,
     /// Display form of the strategy that finally produced the result.
     pub completed_with: Option<String>,
+    /// Originating fault site of the first failure this run degraded
+    /// past (e.g. `kernels.exec`), or the rendered panic/error text when
+    /// the failure did not come from a named fault point. `None` for
+    /// clean runs and runs that recovered purely by retrying.
+    pub fault_site: Option<String>,
+    /// Shard the failure is attributed to — kernels itself never sets
+    /// this; the sharded execution layers fill it in when they surface a
+    /// report for a specific shard's work.
+    pub shard: Option<usize>,
 }
 
 impl ExecutionReport {
@@ -96,6 +105,16 @@ pub fn fallback_of(s: SpmmStrategy) -> Option<SpmmStrategy> {
         }
         SpmmStrategy::Sequential => None,
         SpmmStrategy::Auto => Some(SpmmStrategy::Sequential),
+    }
+}
+
+/// The fault site (or rendered failure) behind a terminal attempt — the
+/// string [`ExecutionReport::fault_site`] carries.
+fn failure_site(last: &Failure<MatrixError>) -> String {
+    match last {
+        Failure::Error(MatrixError::Fault { site }) => (*site).to_string(),
+        Failure::Error(e) => e.to_string(),
+        Failure::Panic(p) => p.clone(),
     }
 }
 
@@ -155,6 +174,9 @@ pub fn run_resilient_into(
             }
             Err(err) => {
                 report.attempts += err.attempts;
+                if report.fault_site.is_none() {
+                    report.fault_site = Some(failure_site(&err.last));
+                }
                 let Some(next) = fallback_of(current) else {
                     return Err(terminal_error(err.last));
                 };
@@ -203,6 +225,7 @@ pub fn run_planned_resilient_into(
         }
         Err(err) => {
             report.attempts += err.attempts;
+            report.fault_site = Some(failure_site(&err.last));
             let next = fallback_of(plan.strategy_equivalent()).unwrap_or(SpmmStrategy::Sequential);
             report.degradations.push(Degradation {
                 from: format!("planned {}", plan.strategy_equivalent()),
@@ -212,6 +235,7 @@ pub fn run_planned_resilient_into(
             match run_resilient_into(a, h, next, policy, out) {
                 Ok(mut tail) => {
                     tail.attempts += report.attempts;
+                    tail.fault_site = report.fault_site.or(tail.fault_site);
                     tail.degradations = {
                         let mut d = report.degradations;
                         d.extend(tail.degradations);
@@ -376,6 +400,12 @@ mod tests {
         assert!(!report.degradations.is_empty());
         assert_eq!(report.degradations[0].from, "hybrid x2");
         assert_eq!(report.degradations[0].to, "vertex-parallel x2");
+        assert_eq!(
+            report.fault_site.as_deref(),
+            Some("kernels.exec"),
+            "the report names the originating fault site"
+        );
+        assert_eq!(report.shard, None, "kernels never attributes a shard");
         assert!(expected.max_abs_diff(&out) < 1e-4);
     }
 
@@ -397,6 +427,7 @@ mod tests {
                 .unwrap();
         assert!(!report.degradations.is_empty(), "plan failure not recorded");
         assert!(report.degradations[0].from.starts_with("planned"));
+        assert_eq!(report.fault_site.as_deref(), Some("kernels.plan.exec"));
         assert!(expected.max_abs_diff(&out) < 1e-4);
     }
 }

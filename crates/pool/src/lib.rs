@@ -68,6 +68,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::{self, JoinHandle, ThreadId};
+use std::time::{Duration, Instant};
 
 /// Dynamic work distribution: a shared counter from which each worker
 /// claims the next chunk of `chunk` items, up to `limit`.
@@ -240,13 +241,21 @@ fn worker_loop(shared: Arc<Shared>) {
 /// reduced width (the caller always participates in broadcasts).
 pub const QUARANTINE_AFTER: u32 = 3;
 
+/// Default quiet window after which a healed slot's strike counter
+/// resets (see [`ThreadPool::set_strike_window`]).
+pub const DEFAULT_STRIKE_WINDOW: Duration = Duration::from_secs(60);
+
 /// One worker slot: the live handle plus its crash-recovery history.
 struct WorkerSlot {
     /// `None` while quarantined (or mid-reap).
     handle: Option<JoinHandle<()>>,
     id: ThreadId,
-    /// Crashes observed on this slot so far.
+    /// Consecutive crashes observed on this slot inside the strike
+    /// window; reset by [`ThreadPool::heal`] once a respawned worker
+    /// stays alive for the whole window.
     respawns: u32,
+    /// When this slot's most recent crash was reaped.
+    last_crash: Option<Instant>,
     quarantined: bool,
 }
 
@@ -299,6 +308,9 @@ pub struct ThreadPool {
     /// and quarantines so kernel strategy resolution is deterministic.
     configured: usize,
     respawned: AtomicU64,
+    /// Strike-reset quiet window in milliseconds (see
+    /// [`ThreadPool::set_strike_window`]).
+    strike_window_ms: AtomicU64,
     /// Serializes broadcasts: the single job slot holds one job at a time.
     submit: Mutex<()>,
     scratch: ScratchArena,
@@ -326,6 +338,7 @@ impl ThreadPool {
                 id: handle.thread().id(),
                 handle: Some(handle),
                 respawns: 0,
+                last_crash: None,
                 quarantined: false,
             });
         }
@@ -334,6 +347,7 @@ impl ThreadPool {
             workers: Mutex::new(slots),
             configured: workers,
             respawned: AtomicU64::new(0),
+            strike_window_ms: AtomicU64::new(DEFAULT_STRIKE_WINDOW.as_millis() as u64),
             submit: Mutex::new(()),
             scratch: ScratchArena::new(),
         }
@@ -370,10 +384,22 @@ impl ThreadPool {
     /// per-call cost when nothing died is one `is_finished` check (an
     /// atomic load) per slot.
     pub fn heal(&self) -> usize {
+        let window = Duration::from_millis(self.strike_window_ms.load(Ordering::Relaxed));
         let mut workers = audit::recover("pool.workers", &self.workers);
         let mut respawned = 0;
         for (index, slot) in workers.iter_mut().enumerate() {
             if slot.quarantined || !slot.handle.as_ref().is_some_and(JoinHandle::is_finished) {
+                // A healed slot whose replacement has stayed alive for
+                // the whole quiet window has proven itself: forget its
+                // strikes so an unrelated crash much later does not
+                // inherit them toward quarantine.
+                if !slot.quarantined
+                    && slot.respawns > 0
+                    && slot.last_crash.is_some_and(|at| at.elapsed() >= window)
+                {
+                    slot.respawns = 0;
+                    slot.last_crash = None;
+                }
                 continue;
             }
             let Some(handle) = slot.handle.take() else {
@@ -383,7 +409,13 @@ impl ThreadPool {
                 // Clean exit: only happens at shutdown; leave the slot.
                 continue;
             }
+            // Crashes separated by more than the quiet window are treated
+            // as independent incidents, not a crash loop.
+            if slot.last_crash.is_some_and(|at| at.elapsed() >= window) {
+                slot.respawns = 0;
+            }
             slot.respawns += 1;
+            slot.last_crash = Some(Instant::now());
             self.respawned.fetch_add(1, Ordering::Relaxed);
             if slot.respawns >= QUARANTINE_AFTER {
                 slot.quarantined = true;
@@ -397,6 +429,24 @@ impl ThreadPool {
             respawned += 1;
         }
         respawned
+    }
+
+    /// Sets the strike-reset quiet window: a healed slot that stays alive
+    /// this long (and any crash arriving after this long of quiet) has
+    /// its consecutive-crash counter reset, so only genuine crash *loops*
+    /// reach [`QUARANTINE_AFTER`]. Defaults to [`DEFAULT_STRIKE_WINDOW`].
+    pub fn set_strike_window(&self, window: Duration) {
+        self.strike_window_ms
+            .store(window.as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Per-slot consecutive-crash counters (test and diagnostics hook).
+    pub fn strikes(&self) -> Vec<u32> {
+        audit::recover("pool.workers", &self.workers)
+            .iter()
+            .map(|w| w.respawns)
+            // lint:allow(L005): diagnostic accessor, not on the broadcast path.
+            .collect()
     }
 
     /// Liveness and crash-recovery counters for this pool.
@@ -778,9 +828,9 @@ mod tests {
             assert_eq!(hits.load(Ordering::Relaxed), 64);
         }
         // Wait for the kills to land, then heal and verify replacements.
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let deadline = Instant::now() + Duration::from_secs(5);
         let mut respawned = 0;
-        while respawned == 0 && std::time::Instant::now() < deadline {
+        while respawned == 0 && Instant::now() < deadline {
             respawned = pool.heal();
             thread::sleep(Duration::from_millis(5));
         }
@@ -810,8 +860,8 @@ mod tests {
         // Every published broadcast kills the (re)spawned worker; heal on
         // the next broadcast reaps it. After QUARANTINE_AFTER crashes the
         // slot must stop being respawned.
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while pool.health().quarantined_workers == 0 && std::time::Instant::now() < deadline {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.health().quarantined_workers == 0 && Instant::now() < deadline {
             pool.broadcast(pool.width(), 8, |_| {});
             thread::sleep(Duration::from_millis(2));
             pool.heal();
@@ -828,6 +878,49 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "deadline-polling strike drill; real-time waits stall under miri"
+    )]
+    fn quiet_window_resets_strikes_after_successful_heal() {
+        let pool = ThreadPool::new(1);
+        pool.set_strike_window(Duration::from_millis(50));
+        let _quiet = resilience::retry::quiet_panics();
+        // Kill the worker QUARANTINE_AFTER + 1 times, but let each healed
+        // replacement survive past the quiet window before the next kill:
+        // strikes reset between incidents, so the slot never quarantines.
+        for round in 0..=QUARANTINE_AFTER {
+            {
+                let _armed =
+                    fault::arm(FaultConfig::new(9).point("pool.worker", FaultKind::Panic, 1.0));
+                pool.broadcast(pool.width(), 64, |_| {
+                    thread::sleep(Duration::from_millis(1));
+                });
+            }
+            // Reap the crash, respawn the slot.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut respawned = 0;
+            while respawned == 0 && Instant::now() < deadline {
+                respawned = pool.heal();
+                thread::sleep(Duration::from_millis(2));
+            }
+            assert!(respawned > 0, "round {round}: worker was not respawned");
+            assert_eq!(pool.strikes(), vec![1], "round {round}: one fresh strike");
+            // Survive the quiet window, then heal again: strike forgotten.
+            thread::sleep(Duration::from_millis(60));
+            pool.heal();
+            assert_eq!(pool.strikes(), vec![0], "round {round}: strike reset");
+        }
+        let health = pool.health();
+        assert_eq!(health.quarantined_workers, 0, "no crash loop: {health:?}");
+        assert_eq!(
+            health.respawned_total,
+            u64::from(QUARANTINE_AFTER) + 1,
+            "every incident respawned the slot"
+        );
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Per-backend circuit breaker: closed → open → half-open.
+//!
+//! The service wraps its sharded backend in a [`CircuitBreaker`] so a
+//! shard that keeps failing stops being dispatched to (requests fail
+//! over to the planned single-node backend instead of queueing behind a
+//! dying runner). The machine is deliberately clock-explicit — every
+//! transition that depends on time takes `now: Instant` — so tests and
+//! property checks can drive it with a virtual clock and prove the two
+//! liveness invariants:
+//!
+//! * **never stuck open** — once `cooldown` has elapsed, the next
+//!   [`CircuitBreaker::try_admit`] always admits (transitioning to
+//!   half-open);
+//! * **bounded probes** — half-open admits exactly `probe_quota`
+//!   requests before it sees any of their outcomes; quota successes
+//!   close the breaker, any failure re-opens it.
+
+use std::time::{Duration, Instant};
+
+/// The three classic breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted; consecutive failures count
+    /// toward opening.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Probing: a bounded number of canary requests are admitted; their
+    /// outcomes decide between closing and re-opening.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Breaker tunables.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    /// Clamped to at least 1.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing again.
+    pub cooldown: Duration,
+    /// Requests admitted in half-open before any outcome is known; this
+    /// many successes close the breaker. Clamped to at least 1.
+    pub probe_quota: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+            probe_quota: 2,
+        }
+    }
+}
+
+/// The breaker state machine (see module docs). Not internally
+/// synchronized — the service keeps it behind its engine lock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probes_in_flight: u32,
+    probe_successes: u32,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with `cfg` (threshold and quota clamped ≥ 1).
+    pub fn new(mut cfg: BreakerConfig) -> CircuitBreaker {
+        cfg.failure_threshold = cfg.failure_threshold.max(1);
+        cfg.probe_quota = cfg.probe_quota.max(1);
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probes_in_flight: 0,
+            probe_successes: 0,
+            opens: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped open since construction.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Asks to dispatch one request to the guarded backend at `now`.
+    /// `true` admits (the caller must later report `on_success` or
+    /// `on_failure`); `false` means fail over without touching the
+    /// backend.
+    pub fn try_admit(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let elapsed = self
+                    .opened_at
+                    .map_or(Duration::MAX, |at| now.saturating_duration_since(at));
+                if elapsed >= self.cfg.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.probes_in_flight = 1;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_in_flight + self.probe_successes < self.cfg.probe_quota {
+                    self.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful backend call previously admitted by
+    /// [`CircuitBreaker::try_admit`].
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probes_in_flight = self.probes_in_flight.saturating_sub(1);
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.probe_quota {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.opened_at = None;
+                    self.probes_in_flight = 0;
+                    self.probe_successes = 0;
+                }
+            }
+            // A straggler completing after the breaker already re-opened
+            // carries stale evidence; ignore it.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a failed backend call previously admitted by
+    /// [`CircuitBreaker::try_admit`].
+    pub fn on_failure(&mut self, now: Instant) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.opens += 1;
+        self.consecutive_failures = 0;
+        self.probes_in_flight = 0;
+        self.probe_successes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            probe_quota: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            assert!(b.try_admit(t0));
+            b.on_failure(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_admit(t0));
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        assert!(!b.try_admit(t0), "open refuses inside the cooldown");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_the_probe_quota_then_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let later = t0 + Duration::from_millis(100);
+        assert!(b.try_admit(later), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_admit(later), "second probe within quota");
+        assert!(!b.try_admit(later), "quota exhausted");
+        b.on_success();
+        assert!(!b.try_admit(later), "successes still count against quota");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_admit(later));
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(cfg());
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0);
+        }
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.try_admit(later));
+        b.on_failure(later);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        assert!(!b.try_admit(later + Duration::from_millis(50)));
+        assert!(
+            b.try_admit(later + Duration::from_millis(100)),
+            "never stuck open"
+        );
+    }
+}

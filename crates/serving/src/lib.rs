@@ -26,16 +26,26 @@
 
 mod queue;
 
+/// Per-backend circuit breaker (closed → open → half-open).
+pub mod breaker;
 /// Latency histograms and shed/throughput counters.
 pub mod metrics;
 /// Request, response, and typed-rejection types.
 pub mod request;
 /// The service itself: lanes, backends, lifecycle.
 pub mod service;
+/// Seeded chaos soak harness: kill/heal schedules over the fault points.
+pub mod soak;
 /// Per-tenant resource accounting and fair-share configuration.
 pub mod tenant;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use request::{Rejection, Request, RequestKind, Response, ResponseHandle, TenantId};
-pub use service::{GcnService, ServiceConfig, ServingError};
+pub use request::{
+    Brownout, BrownoutCause, Rejection, Request, RequestKind, Response, ResponseHandle, ServedBy,
+    TenantId,
+};
+pub use service::{BrownoutPolicy, GcnService, ServiceConfig, ServingError};
+pub use shard::PartitionKind;
+pub use soak::{FaultWindow, SoakConfig, SoakReport, WindowReport};
 pub use tenant::{FixedQuota, Resources, TenantSpec};

@@ -77,6 +77,21 @@ impl LatencyHistogram {
             .sum()
     }
 
+    /// The non-empty buckets as `(lower_bound_ns, count)` pairs, ascending
+    /// — the JSON-exportable form of the histogram.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                // lint:allow(L006): see record(); snapshot reads are
+                // advisory.
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (value_of(i), n))
+            })
+            .collect()
+    }
+
     /// The `q`-quantile (`0.0 ..= 1.0`) of recorded samples, as the
     /// lower bound of the bucket containing it. Zero when empty.
     pub fn quantile(&self, q: f64) -> Duration {
@@ -119,6 +134,10 @@ pub struct ServiceMetrics {
     shed_inference: AtomicU64,
     batches: AtomicU64,
     batched_rows: AtomicU64,
+    failovers: AtomicU64,
+    brownout_batches: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_state: AtomicU64,
     batch_sizes: [AtomicU64; BATCH_SIZE_BUCKETS],
     queue_wait: LatencyHistogram,
     latency: LatencyHistogram,
@@ -175,6 +194,30 @@ impl ServiceMetrics {
         self.latency.record(total);
     }
 
+    /// Count one batch failed over from the sharded backend to the
+    /// planned single-node fallback.
+    pub fn on_failover(&self) {
+        // lint:allow(L006): monotone event counter, no data published.
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one batch served at degraded (brownout) precision.
+    pub fn on_brownout(&self) {
+        // lint:allow(L006): monotone event counter, no data published.
+        self.brownout_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publish the sharded backend's breaker state (0 = closed, 1 = open,
+    /// 2 = half-open) and its cumulative open count.
+    pub fn set_breaker(&self, state: u8, opens: u64) {
+        let state = u64::from(state);
+        // lint:allow(L006): last-writer-wins advisory gauge; readers need
+        // no ordering with the transition that produced it.
+        self.breaker_state.store(state, Ordering::Relaxed);
+        // lint:allow(L006): see above.
+        self.breaker_opens.store(opens, Ordering::Relaxed);
+    }
+
     /// Aggregate the counters into an owned snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         // lint:allow(L006): snapshot reads of monotone counters; the
@@ -211,6 +254,10 @@ impl ServiceMetrics {
             },
             batches: load(&self.batches),
             batched_rows: load(&self.batched_rows),
+            failovers: load(&self.failovers),
+            brownout_batches: load(&self.brownout_batches),
+            breaker_opens: load(&self.breaker_opens),
+            breaker_state: breaker_state_name(load(&self.breaker_state)),
             batch_size_hist: self.batch_sizes.iter().map(load).collect(),
             queue_p50: self.queue_wait.quantile(0.50),
             queue_p99: self.queue_wait.quantile(0.99),
@@ -218,6 +265,63 @@ impl ServiceMetrics {
             p99: self.latency.quantile(0.99),
             p999: self.latency.quantile(0.999),
         }
+    }
+
+    /// Render the current counters, quantiles, breaker state, and both
+    /// latency histograms (non-empty buckets, `[lower_bound_ns, count]`
+    /// pairs) as a JSON object — the form the chaos soak harness embeds
+    /// in `results/BENCH_recovery.json`.
+    pub fn snapshot_json(&self) -> String {
+        let s = self.snapshot();
+        let hist = |pairs: Vec<(u64, u64)>| {
+            let items: Vec<String> = pairs.iter().map(|(lo, n)| format!("[{lo},{n}]")).collect();
+            format!("[{}]", items.join(","))
+        };
+        format!(
+            concat!(
+                "{{\"submitted\":{},\"admitted\":{},\"completed\":{},",
+                "\"shed\":{{\"queue_full\":{},\"deadline\":{},\"tenant\":{},",
+                "\"shutdown\":{},\"faulted\":{},\"inference\":{},\"total\":{}}},",
+                "\"failovers\":{},\"brownout_batches\":{},",
+                "\"breaker\":{{\"state\":\"{}\",\"opens\":{}}},",
+                "\"batches\":{},\"batched_rows\":{},",
+                "\"latency_ns\":{{\"queue_p50\":{},\"queue_p99\":{},",
+                "\"p50\":{},\"p99\":{},\"p999\":{}}},",
+                "\"queue_wait_hist\":{},\"latency_hist\":{}}}"
+            ),
+            s.submitted,
+            s.admitted,
+            s.completed,
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.shed_tenant,
+            s.shed_shutdown,
+            s.shed_faulted,
+            s.shed_inference,
+            s.shed,
+            s.failovers,
+            s.brownout_batches,
+            s.breaker_state,
+            s.breaker_opens,
+            s.batches,
+            s.batched_rows,
+            s.queue_p50.as_nanos(),
+            s.queue_p99.as_nanos(),
+            s.p50.as_nanos(),
+            s.p99.as_nanos(),
+            s.p999.as_nanos(),
+            hist(self.queue_wait.nonzero_buckets()),
+            hist(self.latency.nonzero_buckets()),
+        )
+    }
+}
+
+/// Human-readable name for the breaker-state gauge value.
+fn breaker_state_name(v: u64) -> &'static str {
+    match v {
+        1 => "open",
+        2 => "half-open",
+        _ => "closed",
     }
 }
 
@@ -250,6 +354,16 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Output rows across all executed batches.
     pub batched_rows: u64,
+    /// Batches failed over from the sharded backend to the planned
+    /// single-node fallback.
+    pub failovers: u64,
+    /// Batches served at degraded (brownout) precision.
+    pub brownout_batches: u64,
+    /// Times the sharded backend's circuit breaker tripped open.
+    pub breaker_opens: u64,
+    /// Breaker state at snapshot time (`closed` / `open` / `half-open`;
+    /// `closed` for services with no sharded backend).
+    pub breaker_state: &'static str,
     /// Batch-size histogram: bucket `i` counts batches of
     /// `[2^i, 2^(i+1))` requests.
     pub batch_size_hist: Vec<u64>,
@@ -337,6 +451,29 @@ mod tests {
         assert_eq!(s.batched_rows, 9);
         assert_eq!(s.batch_size_hist[2], 1, "4 requests land in bucket 2");
         assert!(s.p99 >= s.p50);
+    }
+
+    #[test]
+    fn snapshot_json_exports_counters_and_histograms() {
+        let m = ServiceMetrics::default();
+        m.on_submitted();
+        m.on_admitted();
+        m.on_batch(2, 2);
+        m.on_completed(Duration::from_micros(3), Duration::from_micros(30));
+        m.on_failover();
+        m.on_brownout();
+        m.set_breaker(1, 2);
+        let j = m.snapshot_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"completed\":1"));
+        assert!(j.contains("\"failovers\":1"));
+        assert!(j.contains("\"brownout_batches\":1"));
+        assert!(j.contains("\"state\":\"open\""));
+        assert!(j.contains("\"opens\":2"));
+        assert!(j.contains("\"latency_hist\":[["));
+        let s = m.snapshot();
+        assert_eq!(s.breaker_state, "open");
+        assert_eq!(s.breaker_opens, 2);
     }
 
     #[test]

@@ -120,8 +120,12 @@ pub enum Rejection {
     /// request was queued or executing; the request was abandoned, not
     /// retried.
     Faulted {
-        /// The fault site, e.g. `serving.batch`.
-        site: &'static str,
+        /// The originating fault-site string, e.g. `serving.batch`, or
+        /// the rendered panic payload when the fault escaped a backend.
+        site: String,
+        /// The shard the fault is attributed to, when the sharded
+        /// backend's health registry could name one.
+        shard: Option<usize>,
     },
     /// The backend rejected the batch (dimension mismatch, out-of-range
     /// vertex, kernel error), rendered from the backend's own error type.
@@ -150,13 +154,63 @@ impl std::fmt::Display for Rejection {
             }
             Rejection::Shutdown => write!(f, "service is shut down"),
             Rejection::Stopped(r) => write!(f, "batch stopped: {r}"),
-            Rejection::Faulted { site } => write!(f, "fault at {site}"),
+            Rejection::Faulted { site, shard } => match shard {
+                Some(s) => write!(f, "fault at {site} (shard {s})"),
+                None => write!(f, "fault at {site}"),
+            },
             Rejection::Inference(e) => write!(f, "inference failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for Rejection {}
+
+/// Which backend actually computed a response — the failover chain is
+/// sharded → planned single-node, and callers comparing outputs bitwise
+/// need to know when a response took the fallback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServedBy {
+    /// The sharded multi-node backend.
+    Sharded,
+    /// The planned single-node backend (the service was configured with
+    /// it directly).
+    #[default]
+    Planned,
+    /// The planned single-node backend, reached by failing over from a
+    /// faulted or breaker-opened sharded backend.
+    PlannedFailover,
+}
+
+impl std::fmt::Display for ServedBy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServedBy::Sharded => write!(f, "sharded"),
+            ServedBy::Planned => write!(f, "planned"),
+            ServedBy::PlannedFailover => write!(f, "planned-failover"),
+        }
+    }
+}
+
+/// Why a response was served at degraded precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutCause {
+    /// Sustained overload: the queue was above the brownout high-water
+    /// mark when the batch dispatched.
+    OverloadedQueue,
+    /// The sharded backend's circuit breaker was open, so the fallback
+    /// ran browned-out to absorb the extra load.
+    OpenBreaker,
+}
+
+/// Typed annotation for a browned-out response: the precision it was
+/// computed at and why — degradation is surfaced, never silent drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Brownout {
+    /// Storage precision the batch actually ran at (e.g. bf16).
+    pub precision: matrix::Precision,
+    /// What triggered the degradation.
+    pub cause: BrownoutCause,
+}
 
 /// A fulfilled request: the model output rows plus where the time went.
 #[derive(Debug, Clone, PartialEq)]
@@ -169,6 +223,11 @@ pub struct Response {
     pub total: Duration,
     /// Number of requests coalesced into the batch that served this one.
     pub batch_size: usize,
+    /// The backend that computed this response.
+    pub served_by: ServedBy,
+    /// `Some` when the brownout policy degraded precision for this batch;
+    /// `None` for full-precision (bitwise-exact) responses.
+    pub degraded: Option<Brownout>,
 }
 
 /// One-shot completion slot shared between the service and the handle.
@@ -277,6 +336,8 @@ mod tests {
             queued: Duration::ZERO,
             total: Duration::ZERO,
             batch_size: 1,
+            served_by: ServedBy::Planned,
+            degraded: None,
         }
     }
 
@@ -322,9 +383,15 @@ mod tests {
         let r = Rejection::QueueFull { depth: 8, limit: 8 };
         assert!(r.to_string().contains("8 of 8"));
         assert!(Rejection::Faulted {
-            site: "serving.batch"
+            site: "serving.batch".into(),
+            shard: None,
         }
         .to_string()
         .contains("serving.batch"));
+        let attributed = Rejection::Faulted {
+            site: "shard.task".into(),
+            shard: Some(3),
+        };
+        assert!(attributed.to_string().contains("shard 3"));
     }
 }

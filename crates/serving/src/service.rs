@@ -33,15 +33,18 @@ use std::time::{Duration, Instant};
 
 use gcn::rows::RowsWorkspace;
 use gcn::{GcnError, GcnModel};
-use matrix::DenseMatrix;
+use matrix::{DenseMatrix, Precision};
 use resilience::audit;
 use resilience::guard::{CancelToken, RunGuard};
 use shard::{PartitionKind, ShardError, ShardedGcn};
 use sparse::Csr;
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::queue::{AdmissionQueue, Pending, TenantLane};
-use crate::request::{Rejection, Request, Response, ResponseHandle, TenantId};
+use crate::request::{
+    Brownout, BrownoutCause, Rejection, Request, Response, ResponseHandle, ServedBy, TenantId,
+};
 use crate::tenant::{FixedQuota, Resources, TenantSpec};
 
 /// Tunables for one service instance.
@@ -66,6 +69,36 @@ pub struct ServiceConfig {
     /// Per-tenant scheduling weight and row quota; tenant `i` is
     /// `tenants[i]`.
     pub tenants: Vec<TenantSpec>,
+    /// Circuit-breaker tunables for the sharded backend (ignored by
+    /// planned-only services).
+    pub breaker: BreakerConfig,
+    /// When and how to degrade precision before shedding.
+    pub brownout: BrownoutPolicy,
+}
+
+/// Brownout policy: degrade precision (through the existing narrow
+/// storage chain) before shedding, and surface the degradation as a typed
+/// annotation on every affected response.
+#[derive(Debug, Clone)]
+pub struct BrownoutPolicy {
+    /// Queue depth at or above which planned batches run at the brownout
+    /// precision (`usize::MAX` disables overload brownout).
+    pub queue_high_water: usize,
+    /// Run breaker-triggered failover batches at the brownout precision
+    /// (absorbing the failed-over load more cheaply).
+    pub on_open_breaker: bool,
+    /// The degraded storage precision.
+    pub precision: Precision,
+}
+
+impl Default for BrownoutPolicy {
+    fn default() -> Self {
+        BrownoutPolicy {
+            queue_high_water: usize::MAX,
+            on_open_breaker: true,
+            precision: Precision::Bf16,
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -79,6 +112,8 @@ impl ServiceConfig {
             latency_budget: Duration::from_secs(1),
             lanes: 2,
             tenants: vec![TenantSpec::default()],
+            breaker: BreakerConfig::default(),
+            brownout: BrownoutPolicy::default(),
         }
     }
 
@@ -132,6 +167,12 @@ struct Engine {
     sharded: Option<Mutex<ShardedGcn>>,
     /// Per-shard request-row attribution (empty for the planned backend).
     routes: Mutex<Vec<u64>>,
+    /// Sharded-backend circuit breaker (idle for planned-only services).
+    /// Never locked while `sharded` or `routes` is held — the lock graph
+    /// stays edge-free.
+    breaker: Mutex<CircuitBreaker>,
+    /// Precision-degradation policy.
+    brownout: BrownoutPolicy,
 }
 
 struct Inner {
@@ -256,6 +297,8 @@ impl GcnService {
                 features,
                 sharded: sharded.map(Mutex::new),
                 routes: Mutex::new(vec![0; workers]),
+                breaker: Mutex::new(CircuitBreaker::new(cfg.breaker.clone())),
+                brownout: cfg.brownout.clone(),
             },
             token: CancelToken::new(),
         });
@@ -279,7 +322,8 @@ impl GcnService {
             Ok(r) => r,
             Err(_) => {
                 let r = Rejection::Faulted {
-                    site: "serving.queue",
+                    site: "serving.queue".into(),
+                    shard: None,
                 };
                 self.inner.metrics.on_rejected(&r);
                 Err(r)
@@ -310,6 +354,12 @@ impl GcnService {
     /// Requests currently queued.
     pub fn queue_depth(&self) -> usize {
         self.inner.queue.depth()
+    }
+
+    /// Current circuit-breaker state for the sharded backend (always
+    /// `Closed` for planned-only services, which never trip it).
+    pub fn breaker_state(&self) -> BreakerState {
+        audit::recover("serving.breaker", &self.inner.engine.breaker).state()
     }
 
     /// Per-shard target-row attribution (`routes()[w]` = output rows the
@@ -392,7 +442,8 @@ fn lane_main(inner: &Inner) {
 /// (injected or real) interrupted it, releasing the tenants' charges.
 fn abandon(inner: &Inner, ctx: &mut LaneCtx) {
     let r = Rejection::Faulted {
-        site: "serving.batch",
+        site: "serving.batch".into(),
+        shard: None,
     };
     for p in ctx.batch.drain(..) {
         inner.queue.release(p.tenant, p.rows);
@@ -450,11 +501,14 @@ fn serve_once(inner: &Inner, guard: &RunGuard, ctx: &mut LaneCtx) -> bool {
     inner.metrics.on_batch(ctx.batch.len(), ctx.targets.len());
     // The whole coalesced batch becomes ONE backend call.
     resilience::fault_point!("serving.batch");
-    match run_backend(&inner.engine, &ctx.targets, &mut ctx.ws, &mut ctx.out) {
-        Ok(()) => {
+    match run_backend(inner, &batch_guard, &ctx.targets, &mut ctx.ws, &mut ctx.out) {
+        Ok(outcome) => {
             let done = Instant::now();
             let width = ctx.out.cols();
             let batch_size = ctx.batch.len();
+            if outcome.degraded.is_some() {
+                inner.metrics.on_brownout();
+            }
             let mut row0 = 0usize;
             for p in ctx.batch.drain(..) {
                 let k = p.kind.rows();
@@ -472,11 +526,12 @@ fn serve_once(inner: &Inner, guard: &RunGuard, ctx: &mut LaneCtx) -> bool {
                     queued,
                     total,
                     batch_size,
+                    served_by: outcome.served_by,
+                    degraded: outcome.degraded,
                 }));
             }
         }
-        Err(msg) => {
-            let r = Rejection::Inference(msg);
+        Err(r) => {
             for p in ctx.batch.drain(..) {
                 inner.queue.release(p.tenant, p.rows);
                 inner.metrics.on_rejected(&r);
@@ -487,46 +542,206 @@ fn serve_once(inner: &Inner, guard: &RunGuard, ctx: &mut LaneCtx) -> bool {
     alive
 }
 
-/// Run one batch against the engine's backend, leaving one output row
-/// per target in `out`.
-fn run_backend(
+/// How one batch was ultimately served.
+struct BatchOutcome {
+    served_by: ServedBy,
+    degraded: Option<Brownout>,
+}
+
+/// Run the planned single-node backend, browned out to `precision` when
+/// one is given.
+fn run_planned(
     engine: &Engine,
     targets: &[usize],
+    precision: Option<Precision>,
     ws: &mut RowsWorkspace,
     out: &mut DenseMatrix,
 ) -> Result<(), String> {
-    match &engine.sharded {
+    match precision {
         None => engine
             .model
             .infer_rows_planned_into(&engine.a_hat, &engine.features, targets, ws, out)
             .map(|_| ())
             .map_err(|e| e.to_string()),
-        Some(m) => {
-            let mut runner = audit::recover("serving.sharded", m);
-            for &t in targets {
-                if t >= engine.a_hat.nrows() {
-                    return Err(GcnError::VertexOutOfRange {
-                        vertex: t,
-                        vertices: engine.a_hat.nrows(),
-                    }
-                    .to_string());
+        Some(p) => engine
+            .model
+            .infer_rows_planned_prec_into(&engine.a_hat, &engine.features, targets, p, ws, out)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Publish the breaker's current state into the metrics gauge. The
+/// breaker lock is taken and released here alone — never while the
+/// runner or routes locks are held.
+/// Admit one sharded attempt through the breaker. Like every helper
+/// below, acquires the breaker lock alone and drops it before returning,
+/// so no function ever orders the breaker lock against the runner or
+/// routing locks (L011).
+fn breaker_try_admit(inner: &Inner, now: Instant) -> bool {
+    audit::recover("serving.breaker", &inner.engine.breaker).try_admit(now)
+}
+
+/// Report a sharded success to the breaker and refresh the gauge.
+fn breaker_on_success(inner: &Inner) {
+    audit::recover("serving.breaker", &inner.engine.breaker).on_success();
+    breaker_gauge(inner);
+}
+
+/// Report a sharded failure to the breaker and refresh the gauge.
+fn breaker_on_failure(inner: &Inner, now: Instant) {
+    audit::recover("serving.breaker", &inner.engine.breaker).on_failure(now);
+    breaker_gauge(inner);
+}
+
+/// Is the breaker anywhere but closed right now?
+fn breaker_not_closed(inner: &Inner) -> bool {
+    audit::recover("serving.breaker", &inner.engine.breaker).state() != BreakerState::Closed
+}
+
+fn breaker_gauge(inner: &Inner) {
+    let b = audit::recover("serving.breaker", &inner.engine.breaker);
+    let state = match b.state() {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    };
+    inner.metrics.set_breaker(state, b.opens());
+}
+
+/// Run one batch against the engine's backend, leaving one output row
+/// per target in `out`.
+///
+/// Sharded services route through the circuit breaker: a failed sharded
+/// pass records the originating fault site from the runner's health
+/// registry, trips the breaker toward open, and **fails over** to the
+/// planned single-node backend as a hedged re-dispatch under a child of
+/// the batch guard (so the retry still honours the batch budget and the
+/// service kill token). While the breaker is open, batches skip the
+/// sharded backend entirely and — per [`BrownoutPolicy`] — run the
+/// failover at degraded precision.
+fn run_backend(
+    inner: &Inner,
+    guard: &RunGuard,
+    targets: &[usize],
+    ws: &mut RowsWorkspace,
+    out: &mut DenseMatrix,
+) -> Result<BatchOutcome, Rejection> {
+    let engine = &inner.engine;
+    for &t in targets {
+        if t >= engine.a_hat.nrows() {
+            return Err(Rejection::Inference(
+                GcnError::VertexOutOfRange {
+                    vertex: t,
+                    vertices: engine.a_hat.nrows(),
                 }
-            }
-            let h = runner
-                .infer(&engine.model, &engine.features)
-                .map_err(|e| e.to_string())?;
-            out.resize_for_overwrite(targets.len(), h.cols());
-            let mut routes = audit::recover("serving.routes", &engine.routes);
-            for (i, &t) in targets.iter().enumerate() {
-                out.row_mut(i).copy_from_slice(h.row(t));
-                if let Some(w) = runner.plan().owner_of_row(t) {
-                    if let Some(c) = routes.get_mut(w) {
-                        *c += 1;
-                    }
-                }
-            }
-            Ok(())
+                .to_string(),
+            ));
         }
+    }
+    let overloaded = inner.queue.depth() >= engine.brownout.queue_high_water;
+    let m = match &engine.sharded {
+        None => {
+            // Planned-only service: brownout under queue overload, no
+            // breaker in the path.
+            let degraded = overloaded.then_some(Brownout {
+                precision: engine.brownout.precision,
+                cause: BrownoutCause::OverloadedQueue,
+            });
+            run_planned(
+                engine,
+                targets,
+                degraded.as_ref().map(|b| b.precision),
+                ws,
+                out,
+            )
+            .map_err(Rejection::Inference)?;
+            return Ok(BatchOutcome {
+                served_by: ServedBy::Planned,
+                degraded,
+            });
+        }
+        Some(m) => m,
+    };
+    let now = Instant::now();
+    let admitted = breaker_try_admit(inner, now);
+    let sharded_error: Option<(String, Option<usize>)> = if admitted {
+        let mut runner = audit::recover("serving.sharded", m);
+        match runner.infer(&engine.model, &engine.features) {
+            Ok(h) => {
+                out.resize_for_overwrite(targets.len(), h.cols());
+                let mut routes = audit::recover("serving.routes", &engine.routes);
+                for (i, &t) in targets.iter().enumerate() {
+                    out.row_mut(i).copy_from_slice(h.row(t));
+                    if let Some(w) = runner.plan().owner_of_row(t) {
+                        if let Some(c) = routes.get_mut(w) {
+                            *c += 1;
+                        }
+                    }
+                }
+                drop(routes);
+                drop(runner);
+                breaker_on_success(inner);
+                return Ok(BatchOutcome {
+                    served_by: ServedBy::Sharded,
+                    degraded: None,
+                });
+            }
+            Err(e) => {
+                // Attribute the failure before releasing the runner: the
+                // health registry's most recent event names the fault
+                // site and shard this error escaped from.
+                let (site, shard) = match runner.health().last() {
+                    Some(ev) => (ev.site.clone(), ev.shard),
+                    None => (e.to_string(), None),
+                };
+                drop(runner);
+                breaker_on_failure(inner, now);
+                Some((site, shard))
+            }
+        }
+    } else {
+        None
+    };
+    // Failover: hedged re-dispatch on the planned backend under a child
+    // guard — still subject to the batch budget and kill token.
+    inner.metrics.on_failover();
+    let hedge = guard.child();
+    if let Some(reason) = hedge.should_stop() {
+        return Err(Rejection::Stopped(reason));
+    }
+    let breaker_open = breaker_not_closed(inner);
+    let degraded = if overloaded {
+        Some(Brownout {
+            precision: engine.brownout.precision,
+            cause: BrownoutCause::OverloadedQueue,
+        })
+    } else if breaker_open && engine.brownout.on_open_breaker {
+        Some(Brownout {
+            precision: engine.brownout.precision,
+            cause: BrownoutCause::OpenBreaker,
+        })
+    } else {
+        None
+    };
+    match run_planned(
+        engine,
+        targets,
+        degraded.as_ref().map(|b| b.precision),
+        ws,
+        out,
+    ) {
+        Ok(()) => Ok(BatchOutcome {
+            served_by: ServedBy::PlannedFailover,
+            degraded,
+        }),
+        Err(e2) => match sharded_error {
+            Some((site, shard)) => Err(Rejection::Faulted {
+                site: format!("{site}; fallback: {e2}"),
+                shard,
+            }),
+            None => Err(Rejection::Inference(e2)),
+        },
     }
 }
 

@@ -1,0 +1,140 @@
+//! Property checks on the circuit-breaker state machine, driven with a
+//! virtual clock (the breaker's transitions all take `now: Instant`
+//! explicitly, so no real time passes here).
+//!
+//! The two liveness invariants the failover path leans on:
+//!
+//! * **never stuck open** — from any reachable state, once `cooldown`
+//!   has elapsed since the last trip, the next `try_admit` admits;
+//! * **bounded probes** — half-open admits exactly `probe_quota`
+//!   requests before any outcome is reported, and refuses every request
+//!   past the quota until outcomes arrive.
+
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use serving::{BreakerConfig, BreakerState, CircuitBreaker};
+
+/// One scripted action against the breaker.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to admit at `now + advance_ms`; report success if admitted.
+    AdmitThenSucceed(u64),
+    /// Try to admit at `now + advance_ms`; report failure if admitted.
+    AdmitThenFail(u64),
+    /// Report a success that was never admitted (stale straggler).
+    StraySuccess,
+}
+
+fn op_strategy(max_advance_ms: u64) -> impl Strategy<Value = Op> {
+    (0u64..3, 0u64..max_advance_ms + 1).prop_map(|(k, ms)| match k {
+        0 => Op::AdmitThenSucceed(ms),
+        1 => Op::AdmitThenFail(ms),
+        _ => Op::StraySuccess,
+    })
+}
+
+fn cfg(threshold: u32, cooldown_ms: u64, quota: u32) -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: threshold,
+        cooldown: Duration::from_millis(cooldown_ms),
+        probe_quota: quota,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Never stuck open: whatever op sequence ran before, advancing the
+    /// clock a full cooldown past the last observed trip always re-admits.
+    #[test]
+    fn never_stuck_open(
+        threshold in 1u32..5,
+        cooldown_ms in 1u64..200,
+        quota in 1u32..4,
+        ops in proptest::collection::vec(op_strategy(50), 1..40),
+    ) {
+        let t0 = Instant::now();
+        let mut clock = t0;
+        let mut b = CircuitBreaker::new(cfg(threshold, cooldown_ms, quota));
+        for op in ops {
+            match op {
+                Op::AdmitThenSucceed(ms) => {
+                    clock += Duration::from_millis(ms);
+                    if b.try_admit(clock) {
+                        b.on_success();
+                    }
+                }
+                Op::AdmitThenFail(ms) => {
+                    clock += Duration::from_millis(ms);
+                    if b.try_admit(clock) {
+                        b.on_failure(clock);
+                    }
+                }
+                Op::StraySuccess => b.on_success(),
+            }
+        }
+        // However the run left the machine, a full cooldown later the
+        // breaker must admit again.
+        let later = clock + Duration::from_millis(cooldown_ms);
+        prop_assert!(
+            b.try_admit(later),
+            "stuck {:?} after a full cooldown (opens={})",
+            b.state(),
+            b.opens()
+        );
+        prop_assert_ne!(b.state(), BreakerState::Open);
+    }
+
+    /// Half-open admits exactly the probe quota: after tripping and
+    /// cooling down, precisely `quota` admissions pass before any
+    /// outcome is reported, then everything is refused; reporting all
+    /// quota successes closes the breaker, any failure re-opens it.
+    #[test]
+    fn half_open_admits_exactly_the_probe_quota(
+        threshold in 1u32..5,
+        cooldown_ms in 1u64..200,
+        quota in 1u32..6,
+        probes_succeed in (0u32..2).prop_map(|b| b == 1),
+        extra_tries in 1usize..8,
+    ) {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg(threshold, cooldown_ms, quota));
+        for _ in 0..threshold {
+            prop_assert!(b.try_admit(t0));
+            b.on_failure(t0);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        let probe_time = t0 + Duration::from_millis(cooldown_ms);
+        let mut admitted = 0u32;
+        for _ in 0..(quota as usize + extra_tries) {
+            if b.try_admit(probe_time) {
+                admitted += 1;
+            }
+        }
+        prop_assert_eq!(admitted, quota);
+        prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+        if probes_succeed {
+            for i in 0..quota {
+                // Still refusing while probe outcomes trickle in.
+                if i < quota - 1 {
+                    prop_assert!(!b.try_admit(probe_time));
+                }
+                b.on_success();
+            }
+            prop_assert_eq!(b.state(), BreakerState::Closed);
+            prop_assert!(b.try_admit(probe_time), "closed admits immediately");
+        } else {
+            b.on_failure(probe_time);
+            prop_assert_eq!(b.state(), BreakerState::Open);
+            prop_assert!(
+                !b.try_admit(probe_time),
+                "re-opened breaker refuses inside the fresh cooldown"
+            );
+            prop_assert!(
+                b.try_admit(probe_time + Duration::from_millis(cooldown_ms)),
+                "and probes again after it"
+            );
+        }
+    }
+}

@@ -82,6 +82,8 @@ fn batched_config(max_batch: usize, window_us: u64, lanes: usize) -> ServiceConf
         latency_budget: Duration::from_secs(30),
         lanes,
         tenants: vec![TenantSpec::default()],
+        breaker: serving::BreakerConfig::default(),
+        brownout: serving::BrownoutPolicy::default(),
     }
 }
 
@@ -302,8 +304,9 @@ fn chaos_faults_surface_as_typed_rejections() {
                     let _ = tx.send((target, h.wait()));
                 });
             }
-            Err(Rejection::Faulted { site }) => {
+            Err(Rejection::Faulted { site, shard }) => {
                 assert_eq!(site, "serving.queue");
+                assert_eq!(shard, None);
                 door_faults += 1;
             }
             Err(other) => panic!("unexpected admission rejection: {other}"),
@@ -322,7 +325,7 @@ fn chaos_faults_surface_as_typed_rejections() {
                 completed += 1;
                 assert_row_bitwise("arxiv", target, r.rows.row(0), want.row(target));
             }
-            Err(Rejection::Faulted { site }) => {
+            Err(Rejection::Faulted { site, .. }) => {
                 assert_eq!(site, "serving.batch");
                 faulted += 1;
             }

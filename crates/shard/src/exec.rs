@@ -55,13 +55,67 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// The first panic observed during a tracked run: which task it hit (if
+/// attributable) and the rendered panic payload, so supervision layers can
+/// turn it into a typed shard-down event instead of an opaque
+/// [`ExecError::TaskPanicked`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The failing task's ID, or `None` when the panic surfaced on the
+    /// caller instead of inside a task body (a pool worker-share panic
+    /// re-raised by `broadcast` after the run drained).
+    pub task: Option<usize>,
+    /// The panic payload rendered to text (fault-site string for injected
+    /// panics).
+    pub message: String,
+}
+
+/// Per-task completion record of one [`TaskGraph::run_tracked`] call.
+///
+/// Recovery layers use the `done` flags to re-execute exactly the tasks a
+/// poisoned run withheld: every completed task's outputs are still in its
+/// stage/row buffers, so replaying the incomplete suffix from those
+/// buffers reproduces the fault-free result bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTrace {
+    /// `done[t]` is true iff task `t` ran to completion (its body returned
+    /// without panicking).
+    pub done: Vec<bool>,
+    /// The first panic observed, if any (dependents of the failing task
+    /// were withheld).
+    pub failure: Option<TaskFailure>,
+    /// Tasks that never completed (failed, withheld, or unreleasable).
+    pub remaining: usize,
+}
+
+impl RunTrace {
+    /// True when every task ran to completion.
+    pub fn complete(&self) -> bool {
+        self.failure.is_none() && self.remaining == 0
+    }
+
+    /// The trace folded back to the untracked [`TaskGraph::run`] verdict.
+    pub fn error(&self) -> Option<ExecError> {
+        if self.failure.is_some() {
+            Some(ExecError::TaskPanicked)
+        } else if self.remaining > 0 {
+            Some(ExecError::Stalled {
+                remaining: self.remaining,
+            })
+        } else {
+            None
+        }
+    }
+}
+
 /// Mutable frontier of one [`TaskGraph::run`] call.
 struct RunState {
     ready: VecDeque<usize>,
     indegree: Vec<usize>,
+    done: Vec<bool>,
     remaining: usize,
     running: usize,
-    panicked: bool,
+    failed: Option<TaskFailure>,
     stalled: usize,
 }
 
@@ -112,9 +166,28 @@ impl TaskGraph {
     /// [`ExecError::Stalled`] if tasks remain unreleasable — a dependency
     /// cycle. Both leave the pool healthy.
     pub fn run<F: Fn(usize) + Sync>(&self, workers: usize, run_task: F) -> Result<(), ExecError> {
+        match self.run_tracked(workers, run_task).error() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// [`TaskGraph::run`] with a per-task completion trace: drains the
+    /// graph the same way but returns which tasks completed, which panic
+    /// poisoned the run (with its rendered payload and task ID), and how
+    /// many tasks were withheld — the raw material for task-level
+    /// recovery. A pool worker-share panic that re-raises on the caller is
+    /// captured as a [`TaskFailure`] with no task ID rather than
+    /// unwinding.
+    pub fn run_tracked<F: Fn(usize) + Sync>(&self, workers: usize, run_task: F) -> RunTrace {
         let total = self.indegree.len();
         if total == 0 {
-            return Ok(());
+            return RunTrace {
+                // lint:allow(L005): empty-graph early return, no tasks.
+                done: Vec::new(),
+                failure: None,
+                remaining: 0,
+            };
         }
         let mut ready = VecDeque::with_capacity(total);
         for (t, &d) in self.indegree.iter().enumerate() {
@@ -125,64 +198,88 @@ impl TaskGraph {
         let state = Mutex::new(RunState {
             ready,
             indegree: self.indegree.clone(),
+            // lint:allow(L005): per-run completion flags, one bool per
+            // task — the allocation recovery tracking exists to serve.
+            done: vec![false; total],
             remaining: total,
             running: 0,
-            panicked: false,
+            failed: None,
             stalled: 0,
         });
         let done = Condvar::new();
         let lanes = workers.clamp(1, pool::global().width());
 
-        pool::global().broadcast(lanes, lanes, |_lane| loop {
-            let task = {
+        let shared = catch_unwind(AssertUnwindSafe(|| {
+            pool::global().broadcast(lanes, lanes, |_lane| loop {
+                let task = {
+                    let mut st = lock(&state);
+                    loop {
+                        if st.failed.is_some() || st.stalled > 0 || st.remaining == 0 {
+                            return;
+                        }
+                        if let Some(t) = st.ready.pop_front() {
+                            st.running += 1;
+                            break t;
+                        }
+                        if st.running == 0 {
+                            // Nothing ready, nothing running, tasks
+                            // pending: the graph cannot make progress.
+                            st.stalled = st.remaining;
+                            done.notify_all();
+                            return;
+                        }
+                        st = wait(&done, st);
+                    }
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_task(task)));
                 let mut st = lock(&state);
-                loop {
-                    if st.panicked || st.stalled > 0 || st.remaining == 0 {
-                        return;
+                st.running -= 1;
+                match outcome {
+                    Ok(()) => {
+                        st.remaining -= 1;
+                        st.done[task] = true;
+                        for &d in &self.dependents[task] {
+                            st.indegree[d] -= 1;
+                            if st.indegree[d] == 0 {
+                                st.ready.push_back(d);
+                            }
+                        }
                     }
-                    if let Some(t) = st.ready.pop_front() {
-                        st.running += 1;
-                        break t;
-                    }
-                    if st.running == 0 {
-                        // Nothing ready, nothing running, tasks pending:
-                        // the graph cannot make progress.
-                        st.stalled = st.remaining;
-                        done.notify_all();
-                        return;
-                    }
-                    st = wait(&done, st);
-                }
-            };
-            let ok = catch_unwind(AssertUnwindSafe(|| run_task(task))).is_ok();
-            let mut st = lock(&state);
-            st.running -= 1;
-            if ok {
-                st.remaining -= 1;
-                for &d in &self.dependents[task] {
-                    st.indegree[d] -= 1;
-                    if st.indegree[d] == 0 {
-                        st.ready.push_back(d);
+                    Err(payload) => {
+                        // Withhold the dependents; every waiter drains
+                        // out. Keep the first failure only.
+                        if st.failed.is_none() {
+                            st.failed = Some(TaskFailure {
+                                task: Some(task),
+                                message: resilience::retry::panic_message(payload.as_ref()),
+                            });
+                        }
                     }
                 }
-            } else {
-                // Withhold the dependents; every waiter drains out.
-                st.panicked = true;
-            }
-            if st.panicked || st.remaining == 0 || !st.ready.is_empty() || st.running == 0 {
-                done.notify_all();
-            }
-        });
+                if st.failed.is_some()
+                    || st.remaining == 0
+                    || !st.ready.is_empty()
+                    || st.running == 0
+                {
+                    done.notify_all();
+                }
+            });
+        }));
 
-        let st = resilience::audit::recover_into("shard.exec.final", state);
-        if st.panicked {
-            Err(ExecError::TaskPanicked)
-        } else if st.remaining > 0 {
-            Err(ExecError::Stalled {
-                remaining: st.remaining,
-            })
-        } else {
-            Ok(())
+        let mut st = resilience::audit::recover_into("shard.exec.final", state);
+        if let Err(payload) = shared {
+            // A worker-share panic re-raised on the caller after the
+            // broadcast drained; no task is attributable, but the run is
+            // poisoned all the same (some task bodies may never have run).
+            st.failed.get_or_insert(TaskFailure {
+                task: None,
+                message: resilience::retry::panic_message(payload.as_ref()),
+            });
+        }
+        RunTrace {
+            done: st.done,
+            failure: st.failed,
+            remaining: st.remaining,
         }
     }
 }

@@ -30,6 +30,8 @@
 
 /// Task-graph executor draining shard tasks through the process pool.
 pub mod exec;
+/// Shard health supervision: typed shard-down events and strike counts.
+pub mod health;
 /// Partitioning: NNZ/row-balanced blocks, halo maps, exchange ledger.
 pub mod partition;
 /// The sharded GCN runner: per-layer task graphs with halo exchange.
@@ -37,7 +39,8 @@ pub mod runner;
 /// PIUMA projection of a shard plan (regenerates the scaling CSV).
 pub mod sim;
 
-pub use exec::TaskGraph;
+pub use exec::{RunTrace, TaskFailure, TaskGraph};
+pub use health::{HealthRegistry, ShardDownCause, ShardEvent};
 pub use partition::{LayerExchange, PartitionKind, ShardBlock, ShardPlan};
 pub use runner::{ShardReport, ShardedGcn};
 pub use sim::{simulate_model, ShardSimResult};

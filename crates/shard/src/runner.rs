@@ -19,6 +19,7 @@
 //! is row-partition-invariant.
 
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use gcn::{GcnLayer, GcnModel};
 use kernels::SpmmPlan;
@@ -28,8 +29,14 @@ use resilience::retry::{self, RetryPolicy};
 use sparse::Csr;
 
 use crate::exec::{self, TaskGraph};
+use crate::health::{HealthRegistry, ShardDownCause, ShardEvent};
 use crate::partition::{LayerExchange, PartitionKind, ShardPlan};
 use crate::ShardError;
+
+/// Upper bound on task-graph attempts per layer (first run + masked
+/// replays). Hitting the bound surfaces the last typed error instead of
+/// looping forever under a 100% fault rate.
+pub const MAX_REPLAY_ATTEMPTS: usize = 8;
 
 /// Per-worker exchange state: the staged feature rows (the halo landing
 /// buffer), their narrow-precision encoding, and the shard's cached
@@ -56,6 +63,53 @@ struct Counters {
     staged_bytes: u64,
     halo_bytes: u64,
     recovered_exchanges: u64,
+    replayed_tasks: u64,
+    recovered_layers: u64,
+}
+
+/// A task-level failure recorded while a layer graph was draining: the
+/// typed error plus the shard / row block it is attributed to.
+#[derive(Debug, Clone)]
+struct TaskFault {
+    shard: Option<usize>,
+    row_block: Option<usize>,
+    error: ShardError,
+}
+
+/// Which task layout a layer graph uses — how task IDs map back to
+/// shards and row blocks for failure attribution and chain-consistent
+/// replay masking.
+#[derive(Debug, Clone, Copy)]
+enum GraphShape {
+    /// `w` exchange tasks, `w` aggregate tasks, `r` tail tasks
+    /// (update or finish): the aggregate-first / phase-B layout.
+    ExchangeAggregate {
+        /// Row blocks.
+        r: usize,
+        /// Column blocks.
+        c: usize,
+    },
+    /// `r` independent per-row-block tasks (update-first phase A).
+    RowBlocks,
+}
+
+impl GraphShape {
+    /// `(shard, row_block)` attribution for task `t`.
+    fn locate(self, t: usize) -> (Option<usize>, Option<usize>) {
+        match self {
+            GraphShape::ExchangeAggregate { r, c } => {
+                let w = r * c;
+                if t < w {
+                    (Some(t), Some(t / c))
+                } else if t < 2 * w {
+                    (Some(t - w), Some((t - w) / c))
+                } else {
+                    (None, Some(t - 2 * w))
+                }
+            }
+            GraphShape::RowBlocks => (None, Some(t)),
+        }
+    }
 }
 
 /// Partition statistics plus the communication ledger and the measured
@@ -94,6 +148,12 @@ pub struct ShardReport {
     /// Exchange attempts beyond the first (fault-injection recoveries)
     /// during the last inference.
     pub recovered_exchanges: u64,
+    /// Tasks re-executed by the masked-replay recovery loop during the
+    /// last inference (0 on a fault-free run).
+    pub replayed_tasks: u64,
+    /// Layers whose task graph needed at least one recovery replay during
+    /// the last inference.
+    pub recovered_layers: u64,
 }
 
 /// Sharded multi-node GCN executor over a fixed partition.
@@ -109,7 +169,9 @@ pub struct ShardedGcn {
     next: DenseMatrix,
     mid: DenseMatrix,
     counters: Mutex<Counters>,
-    error: Mutex<Option<ShardError>>,
+    faults: Mutex<Vec<TaskFault>>,
+    health: HealthRegistry,
+    task_deadline: Option<Duration>,
 }
 
 impl ShardedGcn {
@@ -148,6 +210,7 @@ impl ShardedGcn {
         let rows = (0..plan.grid().0)
             .map(|_| Mutex::new(RowBuf::default()))
             .collect();
+        let workers = plan.workers();
         Ok(ShardedGcn {
             plan,
             precision,
@@ -159,7 +222,9 @@ impl ShardedGcn {
             next: DenseMatrix::default(),
             mid: DenseMatrix::default(),
             counters: Mutex::new(Counters::default()),
-            error: Mutex::new(None),
+            faults: Mutex::new(Vec::new()),
+            health: HealthRegistry::new(workers),
+            task_deadline: None,
         })
     }
 
@@ -176,6 +241,24 @@ impl ShardedGcn {
     /// Replaces the exchange retry policy (tests shorten the backoff).
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.policy = policy;
+    }
+
+    /// Arms per-task deadline supervision: a task whose wall-clock run
+    /// time exceeds `deadline` is reported to the health registry as a
+    /// [`ShardDownCause::DeadlineOverrun`] (the task's result is kept —
+    /// the overrun is a straggler signal, not a failure). `None` disables
+    /// the check.
+    pub fn set_task_deadline(&mut self, deadline: Option<Duration>) {
+        self.task_deadline = deadline;
+    }
+
+    /// The shard health registry: typed shard-down events recorded by
+    /// supervision, and per-shard strike counts. Events accumulate across
+    /// inference calls (the registry ring is bounded); callers that want
+    /// per-call attribution should [`HealthRegistry::clear`] between
+    /// calls.
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
     }
 
     /// Runs sharded inference, returning the output activations.
@@ -203,14 +286,16 @@ impl ShardedGcn {
                 features: features.rows(),
             });
         }
+        // faults before counters: every function acquiring both keeps
+        // this order, so the per-crate lock graph (L011) stays acyclic.
+        lock(&self.faults).clear();
         *lock(&self.counters) = Counters::default();
-        *lock(&self.error) = None;
         self.h.copy_from(features);
-        for layer in model.layers() {
+        for (layer_idx, layer) in model.layers().iter().enumerate() {
             if layer.in_dim() <= layer.out_dim() {
-                self.layer_aggregate_first(layer)?;
+                self.layer_aggregate_first(layer, layer_idx)?;
             } else {
-                self.layer_update_first(layer)?;
+                self.layer_update_first(layer, layer_idx)?;
             }
             std::mem::swap(&mut self.h, &mut self.next);
         }
@@ -241,53 +326,55 @@ impl ShardedGcn {
             staged_bytes: c.staged_bytes,
             halo_bytes: c.halo_bytes,
             recovered_exchanges: c.recovered_exchanges,
+            replayed_tasks: c.replayed_tasks,
+            recovered_layers: c.recovered_layers,
         }
     }
 
     /// Aggregate-first layer (`k_in <= k_out`): one task graph of
     /// exchange → aggregation chain → per-row-block update, then a
     /// sequential scatter of the block outputs into the ping-pong buffer.
-    fn layer_aggregate_first(&mut self, layer: &GcnLayer) -> Result<(), ShardError> {
+    fn layer_aggregate_first(
+        &mut self,
+        layer: &GcnLayer,
+        layer_idx: usize,
+    ) -> Result<(), ShardError> {
         let (r, c) = self.plan.grid();
         let w = r * c;
         let k_in = layer.in_dim();
-        let mut graph = TaskGraph::new(2 * w + r);
-        for i in 0..r {
-            for j in 0..c {
-                let b = i * c + j;
-                graph.add_dep(w + b, b);
-                if j > 0 {
-                    graph.add_dep(w + b, w + b - 1);
-                }
-            }
-            graph.add_dep(2 * w + i, w + (i * c + c - 1));
-        }
+        let graph = exchange_aggregate_graph(r, c);
         let this: &Self = self;
-        let res = graph.run(w.max(r), |t| {
-            if t < w {
-                this.exchange_task(t, &this.h, k_in);
-            } else if t < 2 * w {
-                this.aggregate_task(t - w, k_in);
-            } else {
-                this.update_task(t - 2 * w, layer, true);
-            }
-        });
-        self.check_run(res)?;
+        this.run_recovering(
+            &graph,
+            w.max(r),
+            layer_idx,
+            GraphShape::ExchangeAggregate { r, c },
+            |t| {
+                if t < w {
+                    this.exchange_task(t, &this.h, k_in);
+                } else if t < 2 * w {
+                    this.aggregate_task(t - w, k_in);
+                } else {
+                    this.update_task(t - 2 * w, layer, true);
+                }
+            },
+        )?;
         self.scatter_outputs(layer.out_dim(), false)
     }
 
     /// Update-first layer (`k_in > k_out`): phase A runs the per-row-block
     /// GEMM `H_blk * W` into `mid`, phase B exchanges `mid` rows and
     /// aggregates them, finishing with bias + activation per row block.
-    fn layer_update_first(&mut self, layer: &GcnLayer) -> Result<(), ShardError> {
+    fn layer_update_first(&mut self, layer: &GcnLayer, layer_idx: usize) -> Result<(), ShardError> {
         let (r, c) = self.plan.grid();
         let w = r * c;
         let k_out = layer.out_dim();
         // Phase A: independent per-row-block updates.
         let phase_a = TaskGraph::new(r);
         let this: &Self = self;
-        let res = phase_a.run(r, |i| this.update_task(i, layer, false));
-        self.check_run(res)?;
+        this.run_recovering(&phase_a, r, layer_idx, GraphShape::RowBlocks, |i| {
+            this.update_task(i, layer, false)
+        })?;
         // Gather the block products into the global mid buffer (the
         // sequential analogue of publishing updates to the DGAS).
         self.mid.resize_for_overwrite(self.plan.nrows(), k_out);
@@ -299,29 +386,166 @@ impl ShardedGcn {
             }
         }
         // Phase B: exchange mid rows, aggregate, then bias + activation.
-        let mut graph = TaskGraph::new(2 * w + r);
-        for i in 0..r {
-            for j in 0..c {
-                let b = i * c + j;
-                graph.add_dep(w + b, b);
-                if j > 0 {
-                    graph.add_dep(w + b, w + b - 1);
+        let graph = exchange_aggregate_graph(r, c);
+        let this: &Self = self;
+        this.run_recovering(
+            &graph,
+            w.max(r),
+            layer_idx,
+            GraphShape::ExchangeAggregate { r, c },
+            |t| {
+                if t < w {
+                    this.exchange_task(t, &this.mid, k_out);
+                } else if t < 2 * w {
+                    this.aggregate_task(t - w, k_out);
+                } else {
+                    this.finish_task(t - 2 * w, layer);
+                }
+            },
+        )?;
+        self.scatter_outputs(k_out, true)
+    }
+
+    /// Drains `graph` with supervision and bounded masked-replay
+    /// recovery. The first attempt runs every task; when a task panics
+    /// (worker loss), an exchange exhausts its retries, or a kernel
+    /// records a recoverable fault, the completed tasks' buffers are kept
+    /// and only the incomplete remainder — widened to whole aggregation
+    /// chains, whose accumulation is not idempotent — is re-executed on
+    /// the surviving workers. Because every replayed region either fully
+    /// overwrites its output buffer or replays its accumulation chain
+    /// from the overwriting first block, a recovered layer is bitwise
+    /// identical to a fault-free run.
+    fn run_recovering<F: Fn(usize) + Sync>(
+        &self,
+        graph: &TaskGraph,
+        lanes: usize,
+        layer_idx: usize,
+        shape: GraphShape,
+        run_task: F,
+    ) -> Result<(), ShardError> {
+        let total = graph.tasks();
+        let mut done = vec![false; total];
+        let mut replayed = 0u64;
+        let mut recovered = false;
+        let mut last_error = ShardError::Executor("recovery attempts exhausted".into());
+        for attempt in 0..MAX_REPLAY_ATTEMPTS {
+            if attempt > 0 {
+                replayed += done.iter().filter(|d| !**d).count() as u64;
+            }
+            lock(&self.faults).clear();
+            let done_ro = &done;
+            let trace = graph.run_tracked(lanes, |t| {
+                if done_ro[t] {
+                    return; // already completed in a prior attempt
+                }
+                self.supervised(t, layer_idx, shape, &run_task);
+            });
+            for (d, td) in done.iter_mut().zip(&trace.done) {
+                *d = *d || *td;
+            }
+            let faults = std::mem::take(&mut *lock(&self.faults));
+            // Panic captured by the executor: typed health event, then
+            // decide whether the run still completed (a pool-share panic
+            // can re-raise after every task drained).
+            if let Some(f) = &trace.failure {
+                let (shard, row_block) = match f.task {
+                    Some(t) => shape.locate(t),
+                    None => (None, None),
+                };
+                self.health.record(ShardEvent {
+                    shard,
+                    row_block,
+                    layer: layer_idx,
+                    cause: ShardDownCause::Panic,
+                    site: f.message.clone(),
+                    recovered: false,
+                });
+            }
+            // Deterministic kernel/shape errors reproduce on replay;
+            // surface them immediately.
+            if let Some(bad) = faults
+                .iter()
+                .find(|f| !matches!(f.error, ShardError::Exchange(_)))
+            {
+                return Err(bad.error.clone());
+            }
+            if faults.is_empty() {
+                if done.iter().all(|&d| d) {
+                    if recovered || trace.failure.is_some() {
+                        let mut ctr = lock(&self.counters);
+                        ctr.replayed_tasks += replayed;
+                        ctr.recovered_layers += 1;
+                        drop(ctr);
+                        self.health.mark_recovered(layer_idx);
+                    }
+                    return Ok(());
+                }
+                match &trace.failure {
+                    Some(f) => last_error = ShardError::Executor(f.message.clone()),
+                    // No failure and no fault but tasks unreleased: a
+                    // dependency cycle — deterministic, do not retry.
+                    None => {
+                        return Err(ShardError::Executor(format!(
+                            "task graph stalled with {} tasks unreleased",
+                            trace.remaining
+                        )))
+                    }
                 }
             }
-            graph.add_dep(2 * w + i, w + (i * c + c - 1));
-        }
-        let this: &Self = self;
-        let res = graph.run(w.max(r), |t| {
-            if t < w {
-                this.exchange_task(t, &this.mid, k_out);
-            } else if t < 2 * w {
-                this.aggregate_task(t - w, k_out);
-            } else {
-                this.finish_task(t - 2 * w, layer);
+            for f in faults {
+                self.health.record(ShardEvent {
+                    shard: f.shard,
+                    row_block: f.row_block,
+                    layer: layer_idx,
+                    cause: ShardDownCause::ExchangeFault,
+                    site: f.error.to_string(),
+                    recovered: false,
+                });
+                // The faulted task returned normally after recording, so
+                // its done flag lies: clear it (and anything its stale
+                // buffer feeds) for the next attempt.
+                clear_attributed(&mut done, shape, f.shard, f.row_block);
+                last_error = f.error;
             }
-        });
-        self.check_run(res)?;
-        self.scatter_outputs(k_out, true)
+            // Widen the replay set to chain granularity: an aggregation
+            // chain accumulates in place, so a partially-complete chain
+            // must restart from its overwriting first block.
+            widen_to_chains(&mut done, shape);
+            recovered = true;
+        }
+        Err(last_error)
+    }
+
+    /// Per-task supervision wrapper: the `shard.task` fault point (the
+    /// chaos harness' worker-kill site — it fires *before* the task body,
+    /// so an injected kill never leaves a partial in-place mutation) plus
+    /// per-task deadline timing.
+    fn supervised<F: Fn(usize)>(
+        &self,
+        t: usize,
+        layer_idx: usize,
+        shape: GraphShape,
+        run_task: &F,
+    ) {
+        resilience::fault_point!("shard.task");
+        let started = self.task_deadline.map(|_| Instant::now());
+        run_task(t);
+        if let (Some(deadline), Some(at)) = (self.task_deadline, started) {
+            let took = at.elapsed();
+            if took > deadline {
+                let (shard, row_block) = shape.locate(t);
+                self.health.record(ShardEvent {
+                    shard,
+                    row_block,
+                    layer: layer_idx,
+                    cause: ShardDownCause::DeadlineOverrun,
+                    site: format!("shard.task[{t}] ran {took:?} (deadline {deadline:?})"),
+                    // The task completed; the overrun is advisory.
+                    recovered: true,
+                });
+            }
+        }
     }
 
     /// Stages shard `b`'s referenced rows of `src` into its landing
@@ -343,11 +567,11 @@ impl ShardedGcn {
                 drop(c);
                 if self.precision != Precision::F32 {
                     if let Err(e) = st.quant.encode(&st.feat, self.precision) {
-                        self.record(ShardError::Matrix(e));
+                        self.record(Some(b), None, ShardError::Matrix(e));
                     }
                 }
             }
-            Err(e) => self.record(ShardError::Exchange(e.to_string())),
+            Err(e) => self.record(Some(b), None, ShardError::Exchange(e.to_string())),
         }
     }
 
@@ -385,7 +609,7 @@ impl ShardedGcn {
                 plan.run_quant_into(&blk.local, &st.quant, &mut rb.acc)
             };
             if let Err(e) = res {
-                self.record(ShardError::Matrix(e));
+                self.record(Some(b), Some(i), ShardError::Matrix(e));
             }
         } else {
             exec::accumulate_block(self.kd, &blk.local, &st.feat, &mut rb.acc);
@@ -412,7 +636,7 @@ impl ShardedGcn {
                     c.recovered_exchanges += u64::from(rec.attempts - 1);
                 }
                 Err(e) => {
-                    self.record(ShardError::Exchange(e.to_string()));
+                    self.record(None, Some(i), ShardError::Exchange(e.to_string()));
                     return;
                 }
             }
@@ -424,13 +648,13 @@ impl ShardedGcn {
             matmul_packed_prec_with(self.kd, self.precision, a, &layer.weight, 1, &mut rb.out)
         };
         if let Err(e) = res {
-            self.record(ShardError::Matrix(e));
+            self.record(None, Some(i), ShardError::Matrix(e));
             return;
         }
         if from_acc {
             if let Some(bias) = &layer.bias {
                 if let Err(e) = rb.out.add_row_bias(bias) {
-                    self.record(ShardError::Matrix(e));
+                    self.record(None, Some(i), ShardError::Matrix(e));
                     return;
                 }
             }
@@ -444,7 +668,7 @@ impl ShardedGcn {
         let mut rb = lock(&self.rows[i]);
         if let Some(bias) = &layer.bias {
             if let Err(e) = rb.acc.add_row_bias(bias) {
-                self.record(ShardError::Matrix(e));
+                self.record(None, Some(i), ShardError::Matrix(e));
                 return;
             }
         }
@@ -481,18 +705,94 @@ impl ShardedGcn {
         }
     }
 
-    /// Records the first task-level error of the current graph run.
-    fn record(&self, e: ShardError) {
-        lock(&self.error).get_or_insert(e);
+    /// Records a task-level error of the current graph run, attributed to
+    /// the shard / row block that hit it. Every fault is kept — recovery
+    /// must invalidate *all* stale buffers, not just the first.
+    fn record(&self, shard: Option<usize>, row_block: Option<usize>, e: ShardError) {
+        lock(&self.faults).push(TaskFault {
+            shard,
+            row_block,
+            error: e,
+        });
     }
+}
 
-    /// Maps a graph-run outcome to the first recorded task error, falling
-    /// back to the executor's own verdict.
-    fn check_run(&self, res: Result<(), exec::ExecError>) -> Result<(), ShardError> {
-        if let Some(e) = lock(&self.error).take() {
-            return Err(e);
+/// Builds the exchange → aggregation-chain → tail task graph shared by
+/// aggregate-first layers and update-first phase B: tasks `0..w` exchange,
+/// `w..2w` aggregate (chained per row block in ascending column order),
+/// `2w..2w+r` run the per-row-block tail.
+fn exchange_aggregate_graph(r: usize, c: usize) -> TaskGraph {
+    let w = r * c;
+    let mut graph = TaskGraph::new(2 * w + r);
+    for i in 0..r {
+        for j in 0..c {
+            let b = i * c + j;
+            graph.add_dep(w + b, b);
+            if j > 0 {
+                graph.add_dep(w + b, w + b - 1);
+            }
         }
-        res.map_err(|e| ShardError::Executor(e.to_string()))
+        graph.add_dep(2 * w + i, w + (i * c + c - 1));
+    }
+    graph
+}
+
+/// Clears the completion flags a recorded task fault invalidates: the
+/// faulted shard's exchange (its landing buffer is stale) and the whole
+/// aggregation chain of the attributed row block.
+fn clear_attributed(
+    done: &mut [bool],
+    shape: GraphShape,
+    shard: Option<usize>,
+    row: Option<usize>,
+) {
+    match shape {
+        GraphShape::ExchangeAggregate { r, c } => {
+            if let Some(b) = shard {
+                if let Some(d) = done.get_mut(b) {
+                    *d = false;
+                }
+            }
+            let row = row.or(shard.map(|b| b / c));
+            if let Some(i) = row {
+                for t in chain_tasks(i, r, c) {
+                    if let Some(d) = done.get_mut(t) {
+                        *d = false;
+                    }
+                }
+            }
+        }
+        GraphShape::RowBlocks => {
+            if let Some(i) = row {
+                if let Some(d) = done.get_mut(i) {
+                    *d = false;
+                }
+            }
+        }
+    }
+}
+
+/// Task IDs of row block `i`'s aggregation chain plus its tail task in an
+/// exchange-aggregate graph.
+fn chain_tasks(i: usize, r: usize, c: usize) -> impl Iterator<Item = usize> {
+    let w = r * c;
+    (w + i * c..w + (i + 1) * c).chain(std::iter::once(2 * w + i))
+}
+
+/// Chain-consistency pass over the replay mask: 2D aggregation chains
+/// accumulate into one accumulator in place, so if *any* task of a row
+/// block's chain (or its tail) is incomplete, the whole chain must replay
+/// from its overwriting first block. Completed exchanges stay completed —
+/// their landing buffers are untouched by aggregation.
+fn widen_to_chains(done: &mut [bool], shape: GraphShape) {
+    if let GraphShape::ExchangeAggregate { r, c } = shape {
+        for i in 0..r {
+            if chain_tasks(i, r, c).any(|t| !done[t]) {
+                for t in chain_tasks(i, r, c) {
+                    done[t] = false;
+                }
+            }
+        }
     }
 }
 

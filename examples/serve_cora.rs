@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 quota_rows: 512,
             },
         ],
+        ..ServiceConfig::single_tenant()
     };
     let svc = GcnService::planned(model, a_hat, x, cfg)?;
 
@@ -87,6 +88,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "latency: p50 {:?}, p99 {:?} (queue wait p99 {:?})",
         m.p50, m.p99, m.queue_p99
+    );
+
+    // --- Degraded-mode quickstart -------------------------------------
+    // Under sustained overload the service degrades precision before it
+    // sheds: a zero high-water mark marks every batch overloaded, so each
+    // response comes back annotated with the brownout (which precision
+    // served it, and why) instead of silently at lower fidelity.
+    let g2 = Graph::from_undirected_edges(2708, &edges);
+    let a_hat2 = g2.normalized_adjacency()?;
+    let x2 = g2.random_features(1433, 9);
+    let model2 = GcnModel::new(&GcnConfig::paper_model(1433, 16, 2), 7);
+    let mut brown_cfg = ServiceConfig::single_tenant();
+    brown_cfg.brownout.queue_high_water = 0;
+    let svc = GcnService::planned(model2, a_hat2, x2, brown_cfg)?;
+    let resp = svc.submit_vertex(0, 0)?.wait()?;
+    match &resp.degraded {
+        Some(b) => println!(
+            "degraded mode: served at {:?} because {:?} (served_by {:?})",
+            b.precision, b.cause, resp.served_by
+        ),
+        None => println!("degraded mode: response unexpectedly full-precision"),
+    }
+    let m = svc.shutdown();
+    println!(
+        "brownout batches: {} (metrics export: ServiceMetrics::snapshot_json)",
+        m.brownout_batches
     );
     Ok(())
 }
